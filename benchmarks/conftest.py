@@ -1,0 +1,57 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Family sizes default to a laptop-friendly scale (60 + 60 pipelines) so the
+whole harness finishes in a few minutes; set ``REPRO_FULL=1`` to run the
+paper's full 250 + 250 pipelines.  Every benchmark writes its report (the
+rows/series of the corresponding paper figure) to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads.attendee import build_attendee_family
+from repro.workloads.sentiment import build_sentiment_family
+from repro.workloads.text_data import generate_reviews
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+N_SA = 250 if FULL_SCALE else 60
+N_AC = 250 if FULL_SCALE else 60
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a figure report so it survives pytest output capture."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def sa_family():
+    """The Sentiment Analysis pipeline family (Table 1, SA column)."""
+    corpus = generate_reviews(n_reviews=800, vocabulary_size=3000, seed=23)
+    return build_sentiment_family(n_pipelines=N_SA, corpus=corpus, seed=23)
+
+
+@pytest.fixture(scope="session")
+def ac_family():
+    """The Attendee Count pipeline family (Table 1, AC column)."""
+    return build_attendee_family(n_pipelines=N_AC, n_configurations=12, seed=41)
+
+
+@pytest.fixture(scope="session")
+def sa_inputs(sa_family):
+    return sa_family.sample_inputs(20, seed=join_seed(1))
+
+
+@pytest.fixture(scope="session")
+def ac_inputs(ac_family):
+    return ac_family.sample_inputs(20, seed=join_seed(2))
+
+
+def join_seed(offset: int) -> int:
+    return 1000 + offset

@@ -1,0 +1,104 @@
+"""Figure 10 + Section 5.2.1 ablations: materialization, AOT, vector pooling."""
+
+import numpy as np
+
+from conftest import write_report
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.telemetry.reporting import ExperimentReport
+
+
+def _hot_latencies(runtime, plan_ids, inputs, repetitions=6):
+    """Mean hot latency per plan (after warm-up)."""
+    latencies = {}
+    for plan_id in plan_ids:
+        runtime.predict(plan_id, inputs[0])
+        samples = []
+        for _ in range(repetitions):
+            for text in inputs[1:3]:
+                samples.append(runtime.timed_predict(plan_id, text)[1])
+        latencies[plan_id] = float(np.mean(samples))
+    return latencies
+
+
+def test_fig10_subplan_materialization(benchmark, sa_family, sa_inputs):
+    """Hot SA latency with and without sub-plan materialization."""
+
+    def run():
+        baseline = PretzelRuntime(PretzelConfig(enable_subplan_materialization=False))
+        materialized = PretzelRuntime(
+            PretzelConfig(enable_subplan_materialization=True, materialization_budget_bytes=64 * 1024 * 1024)
+        )
+        try:
+            base_ids, mat_ids = [], []
+            for generated in sa_family.pipelines:
+                base_ids.append(baseline.register(generated.pipeline, stats=generated.stats))
+                mat_ids.append(materialized.register(generated.pipeline, stats=generated.stats))
+            base = _hot_latencies(baseline, base_ids, sa_inputs)
+            mat = _hot_latencies(materialized, mat_ids, sa_inputs)
+            speedups = [base[b] / mat[m] for b, m in zip(base_ids, mat_ids)]
+            hits = materialized.materializer.stats()["hits"]
+        finally:
+            baseline.shutdown()
+            materialized.shutdown()
+        return speedups, hits
+
+    speedups, hits = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Figure 10",
+        "Per-pipeline hot-latency speedup from sub-plan materialization (SA family).",
+    )
+    report.add_row(
+        pipelines=len(speedups),
+        mean_speedup=float(np.mean(speedups)),
+        p50_speedup=float(np.percentile(speedups, 50)),
+        frac_above_2x=float(np.mean([s >= 2.0 for s in speedups])),
+        cache_hits=hits,
+    )
+    write_report("fig10_subplan_materialization", report.render())
+    # Shape: materialization helps on average and a large fraction of the SA
+    # pipelines see a big speedup; nothing should get meaningfully slower.
+    assert hits > 0
+    assert float(np.mean(speedups)) > 1.3
+    assert float(np.mean([s >= 1.5 for s in speedups])) > 0.5
+    assert min(speedups) > 0.7
+
+
+def test_ablation_aot_and_vector_pooling(benchmark, sa_family, sa_inputs):
+    """Section 5.2.1: disabling AOT inflates cold latency; disabling pooling inflates hot latency."""
+
+    def run():
+        results = {}
+        for label, config in (
+            ("full", PretzelConfig()),
+            ("no-aot", PretzelConfig(enable_aot_compilation=False)),
+            ("no-pooling", PretzelConfig(enable_vector_pooling=False)),
+        ):
+            runtime = PretzelRuntime(config)
+            try:
+                cold, hot = [], []
+                for generated in sa_family.pipelines[:25]:
+                    plan_id = runtime.register(generated.pipeline, stats=generated.stats)
+                    cold.append(runtime.timed_predict(plan_id, sa_inputs[0])[1])
+                    runtime.predict(plan_id, sa_inputs[1])
+                    samples = [
+                        runtime.timed_predict(plan_id, text)[1] for text in sa_inputs[2:8]
+                    ]
+                    hot.append(float(np.mean(samples)))
+                results[label] = (float(np.mean(cold)), float(np.mean(hot)))
+            finally:
+                runtime.shutdown()
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Section 5.2.1 ablations", "Effect of disabling AOT compilation and vector pooling."
+    )
+    for label, (cold, hot) in results.items():
+        report.add_row(config=label, mean_cold_ms=cold * 1e3, mean_hot_ms=hot * 1e3)
+    write_report("ablation_aot_pooling", report.render())
+    # Shape: no AOT hurts the cold path; the hot path is unaffected or worse.
+    assert results["no-aot"][0] > results["full"][0]
+    # Vector pooling mainly shields the data path from allocations; disabling
+    # it must never make the hot path faster.
+    assert results["no-pooling"][1] >= 0.95 * results["full"][1]

@@ -1,0 +1,110 @@
+"""Figure 12: batch throughput scaling with CPU cores, PRETZEL vs the black box."""
+
+import numpy as np
+
+from conftest import write_report
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.mlnet.runtime import MLNetRuntime
+from repro.simulation.calibrate import calibrate_blackbox, calibrate_plan_stages
+from repro.simulation.queueing import ArrivalProcess, simulate_stage_scheduler, simulate_thread_per_request
+from repro.telemetry.reporting import ExperimentReport
+
+CORE_COUNTS = [1, 2, 4, 8, 13]
+#: sub-linear scaling of the black box: duplicated per-thread model state
+#: stresses the memory subsystem as cores are added (Section 5.3).
+BLACKBOX_CONTENTION_PER_CORE = 0.04
+
+
+def _calibrate(family, inputs, sample=10):
+    """Measure per-stage (PRETZEL) and per-request (black box) service times."""
+    pretzel = PretzelRuntime(PretzelConfig())
+    mlnet = MLNetRuntime()
+    stage_times = {}
+    request_times = {}
+    try:
+        for generated in family.pipelines[:sample]:
+            plan_id = pretzel.register(generated.pipeline, stats=generated.stats)
+            mlnet.load(generated.pipeline)
+            calibrated = calibrate_plan_stages(pretzel, plan_id, inputs[:3], repetitions=2)
+            stage_times[generated.name] = calibrated.stage_seconds
+            request_times[generated.name] = calibrate_blackbox(
+                mlnet, generated.name, inputs[:3], repetitions=2
+            )
+    finally:
+        pretzel.shutdown()
+    return stage_times, request_times
+
+
+def _sweep(family, stage_times, request_times, batch=100, requests=300):
+    models = list(stage_times)
+    arrivals = ArrivalProcess.constant_rate(
+        models, requests_per_second=100000.0, duration_seconds=requests / 100000.0, batch_size=batch
+    )
+    rows = []
+    for cores in CORE_COUNTS:
+        pretzel_result = simulate_stage_scheduler(
+            arrivals,
+            lambda model, batch_size: [t * batch_size for t in stage_times[model]],
+            n_cores=cores,
+        )
+        mlnet_result = simulate_thread_per_request(
+            arrivals,
+            lambda model, batch_size: request_times[model] * batch_size,
+            n_cores=cores,
+            contention_per_core=BLACKBOX_CONTENTION_PER_CORE,
+        )
+        rows.append(
+            {
+                "cores": cores,
+                "pretzel_kqps": pretzel_result.throughput_qps / 1e3,
+                "mlnet_kqps": mlnet_result.throughput_qps / 1e3,
+                "speedup": pretzel_result.throughput_qps / max(mlnet_result.throughput_qps, 1e-9),
+            }
+        )
+    return rows
+
+
+def _run(family, inputs):
+    stage_times, request_times = _calibrate(family, inputs)
+    return _sweep(family, stage_times, request_times)
+
+
+def _check_shape(rows, require_win_everywhere=True):
+    # PRETZEL scales close to linearly and the black box scales worse, so the
+    # gap widens with core count (the paper's headline observation).
+    one = next(r for r in rows if r["cores"] == 1)
+    eight = next(r for r in rows if r["cores"] == 8)
+    top = rows[-1]
+    assert eight["pretzel_kqps"] > 5.0 * one["pretzel_kqps"]
+    assert (eight["mlnet_kqps"] / one["mlnet_kqps"]) < (
+        eight["pretzel_kqps"] / one["pretzel_kqps"]
+    )
+    assert top["speedup"] > one["speedup"]
+    assert top["pretzel_kqps"] > top["mlnet_kqps"]
+    if require_win_everywhere:
+        for row in rows:
+            assert row["pretzel_kqps"] > row["mlnet_kqps"]
+
+
+def test_fig12_throughput_sa(benchmark, sa_family, sa_inputs):
+    rows = benchmark.pedantic(lambda: _run(sa_family, sa_inputs), iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Figure 12 (SA)", "Batch throughput (thousands of queries/second) vs number of CPU cores."
+    )
+    report.rows = rows
+    write_report("fig12_throughput_sa", report.render())
+    _check_shape(rows)
+
+
+def test_fig12_throughput_ac(benchmark, ac_family, ac_inputs):
+    rows = benchmark.pedantic(lambda: _run(ac_family, ac_inputs), iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Figure 12 (AC)", "Batch throughput (thousands of queries/second) vs number of CPU cores."
+    )
+    report.rows = rows
+    write_report("fig12_throughput_ac", report.render())
+    # For the very cheap AC pipelines the per-record advantage is small at low
+    # core counts (see EXPERIMENTS.md); the widening gap with cores is the
+    # shape under test.
+    _check_shape(rows, require_win_everywhere=False)

@@ -1,0 +1,101 @@
+"""Figure 13 + Section 5.4.1: PRETZEL under heavy, skewed load (and reservation)."""
+
+import numpy as np
+
+from conftest import write_report
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.simulation.calibrate import calibrate_plan_stages
+from repro.simulation.queueing import ArrivalProcess, simulate_stage_scheduler
+from repro.telemetry.reporting import ExperimentReport
+from repro.workloads.zipf import zipf_request_sequence
+
+LOADS = [50, 100, 200, 300, 400, 500]
+N_CORES = 13
+
+
+def _calibrated_models(sa_family, ac_family, sa_inputs, ac_inputs, per_family=12):
+    """Calibrate a mixed population of SA + AC plans (the '500 models' setup)."""
+    runtime = PretzelRuntime(PretzelConfig())
+    stage_times = {}
+    try:
+        for family, inputs in ((sa_family, sa_inputs), (ac_family, ac_inputs)):
+            for generated in family.pipelines[:per_family]:
+                plan_id = runtime.register(generated.pipeline, stats=generated.stats)
+                calibrated = calibrate_plan_stages(runtime, plan_id, inputs[:2], repetitions=2)
+                stage_times[generated.name] = calibrated.stage_seconds
+    finally:
+        runtime.shutdown()
+    return stage_times
+
+
+def _heavy_load_rows(stage_times, reservations=None, duration=2.0, seed=3):
+    models = list(stage_times)
+    # Half of the models are latency-sensitive (batch of 1); the rest receive
+    # batches of 100 records, as in Section 5.4.1.
+    latency_sensitive = {model: index < len(models) // 2 for index, model in enumerate(models)}
+    batch_sizes = {model: 1 if latency_sensitive[model] else 100 for model in models}
+    rows = []
+    for load in LOADS:
+        sequence = zipf_request_sequence(models, int(load * duration), alpha=2.0, seed=seed)
+        arrivals = ArrivalProcess.from_model_sequence(
+            sequence, requests_per_second=load, batch_sizes=batch_sizes,
+            latency_sensitive=latency_sensitive,
+        )
+        result = simulate_stage_scheduler(
+            arrivals,
+            lambda model, batch_size: [t * batch_size for t in stage_times[model]],
+            n_cores=N_CORES,
+            reservations=reservations,
+        )
+        rows.append(
+            {
+                "load_rps": load,
+                "throughput_kqps": result.throughput_qps / 1e3,
+                "mean_latency_sensitive_ms": result.mean_latency_sensitive * 1e3,
+            }
+        )
+    return rows
+
+
+def test_fig13_heavy_load(benchmark, sa_family, ac_family, sa_inputs, ac_inputs):
+    stage_times = _calibrated_models(sa_family, ac_family, sa_inputs, ac_inputs)
+    rows = benchmark.pedantic(lambda: _heavy_load_rows(stage_times), iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Figure 13",
+        "PRETZEL throughput and latency-sensitive mean latency under Zipf(2) load, 13 cores.",
+    )
+    report.rows = rows
+    write_report("fig13_heavy_load", report.render())
+    # Shape: throughput grows with offered load; latency degrades gracefully
+    # (no order-of-magnitude blow-up across the sweep).
+    assert rows[-1]["throughput_kqps"] > rows[0]["throughput_kqps"]
+    assert rows[-1]["mean_latency_sensitive_ms"] < 50 * max(rows[0]["mean_latency_sensitive_ms"], 1e-3)
+
+
+def test_reservation_scheduling_keeps_latency_flat(benchmark, sa_family, ac_family, sa_inputs, ac_inputs):
+    """Section 5.4.1: reserving a core for one pipeline shields it from load."""
+    stage_times = _calibrated_models(sa_family, ac_family, sa_inputs, ac_inputs)
+    reserved_model = list(stage_times)[0]
+
+    def run():
+        shared = _heavy_load_rows(stage_times)
+        reserved = _heavy_load_rows(stage_times, reservations={reserved_model: 0})
+        return shared, reserved
+
+    shared, reserved = benchmark.pedantic(run, iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Section 5.4.1 (reservation)",
+        "Latency-sensitive latency with and without a reserved core, highest load point.",
+    )
+    report.add_row(
+        config="shared", mean_latency_ms=shared[-1]["mean_latency_sensitive_ms"],
+        throughput_kqps=shared[-1]["throughput_kqps"],
+    )
+    report.add_row(
+        config="reserved", mean_latency_ms=reserved[-1]["mean_latency_sensitive_ms"],
+        throughput_kqps=reserved[-1]["throughput_kqps"],
+    )
+    write_report("ablation_reservation", report.render())
+    # Reservation must not collapse total throughput.
+    assert reserved[-1]["throughput_kqps"] > 0.6 * shared[-1]["throughput_kqps"]

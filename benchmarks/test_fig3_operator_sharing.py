@@ -1,0 +1,33 @@
+"""Figure 3: how many identical operators can be shared across SA pipelines."""
+
+from conftest import write_report
+from repro.telemetry.memory import format_bytes
+from repro.telemetry.reporting import ExperimentReport
+
+
+def test_fig3_operator_sharing(benchmark, sa_family):
+    rows = benchmark.pedantic(sa_family.operator_sharing_report, iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Figure 3",
+        "Operator versions, how many SA pipelines use each, and their sizes.",
+    )
+    for row in rows:
+        report.add_row(
+            operator=row["operator"],
+            version=row["version"],
+            pipelines=row["pipelines"],
+            size=format_bytes(row["bytes"]),
+        )
+    write_report("fig3_operator_sharing", report.render())
+
+    # Shape assertions: Tokenize and Concat are shared by every pipeline; the
+    # n-gram featurizers come in a handful of versions with skewed popularity;
+    # dictionaries dwarf the stateless operators.
+    tokenize = next(r for r in rows if r["operator"] == "Tokenize")
+    assert tokenize["pipelines"] == len(sa_family)
+    char_rows = [r for r in rows if r["operator"] == "CharNgram"]
+    word_rows = [r for r in rows if r["operator"] == "WordNgram"]
+    assert 2 <= len(char_rows) <= 8 and 2 <= len(word_rows) <= 8
+    assert sum(r["pipelines"] for r in char_rows) == len(sa_family)
+    assert max(r["pipelines"] for r in word_rows) > len(sa_family) // 4
+    assert max(r["bytes"] for r in word_rows) > 100 * tokenize["bytes"]

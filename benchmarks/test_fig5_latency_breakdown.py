@@ -1,0 +1,29 @@
+"""Figure 5: per-operator latency breakdown of one SA pipeline."""
+
+from conftest import write_report
+from repro.telemetry.reporting import ExperimentReport
+
+
+def test_fig5_latency_breakdown(benchmark, sa_family, sa_inputs):
+    pipeline = sa_family.pipelines[0].pipeline
+
+    def run():
+        return pipeline.latency_breakdown(sa_inputs[0], repetitions=20)
+
+    breakdown = benchmark.pedantic(run, iterations=1, rounds=1)
+    total = sum(breakdown.values())
+    report = ExperimentReport(
+        "Figure 5", "Relative wall-clock time per operator for one SA prediction (black box)."
+    )
+    for node, seconds in breakdown.items():
+        report.add_row(operator=node, share_pct=100.0 * seconds / total, micros=seconds * 1e6)
+    write_report("fig5_latency_breakdown", report.render())
+
+    # Shape: featurization (n-grams + the Concat buffer) dominates; the final
+    # linear model is a negligible fraction, as in the paper.
+    featurization = (
+        breakdown["char_ngram"] + breakdown["word_ngram"] + breakdown["concat"]
+    )
+    assert featurization / total > 0.6
+    assert breakdown["classifier"] / total < 0.15
+    assert breakdown["concat"] > breakdown["classifier"]

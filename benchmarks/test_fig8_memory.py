@@ -1,0 +1,86 @@
+"""Figure 8: cumulative memory usage of the serving systems (plus model-load time)."""
+
+import time
+
+from conftest import write_report
+from repro.clipper.frontend import ClipperFrontEnd
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.mlnet.runtime import MLNetRuntime
+from repro.telemetry.memory import MemoryReport, format_bytes
+from repro.telemetry.reporting import ExperimentReport
+
+
+def _load_all(family):
+    """Load the whole family into each system and return the memory report."""
+    report = MemoryReport()
+    timings = {}
+
+    mlnet = MLNetRuntime()
+    start = time.perf_counter()
+    for generated in family.pipelines:
+        mlnet.load(generated.pipeline)
+        report.record("ML.Net", mlnet.memory_bytes())
+    timings["ML.Net"] = time.perf_counter() - start
+
+    clipper = ClipperFrontEnd()
+    start = time.perf_counter()
+    for generated in family.pipelines:
+        clipper.deploy(generated.pipeline)
+        report.record("ML.Net + Clipper", clipper.memory_bytes())
+    timings["ML.Net + Clipper"] = time.perf_counter() - start
+
+    pretzel_nostore = PretzelRuntime(PretzelConfig(enable_object_store=False))
+    start = time.perf_counter()
+    for generated in family.pipelines:
+        pretzel_nostore.register(generated.pipeline, stats=generated.stats)
+        report.record("Pretzel (no ObjStore)", pretzel_nostore.memory_bytes())
+    timings["Pretzel (no ObjStore)"] = time.perf_counter() - start
+    pretzel_nostore.shutdown()
+
+    pretzel = PretzelRuntime(PretzelConfig())
+    start = time.perf_counter()
+    for generated in family.pipelines:
+        pretzel.register(generated.pipeline, stats=generated.stats)
+        report.record("Pretzel", pretzel.memory_bytes())
+    timings["Pretzel"] = time.perf_counter() - start
+    pretzel.shutdown()
+    return report, timings
+
+
+def _render(category, report, timings):
+    experiment = ExperimentReport(
+        f"Figure 8 ({category})",
+        "Cumulative memory after loading every pipeline, per serving system.",
+    )
+    for system in report.systems():
+        experiment.add_row(
+            system=system,
+            models=len(report.series[system]),
+            total=format_bytes(report.final(system)),
+            load_seconds=round(timings[system], 3),
+        )
+    experiment.add_note(
+        f"Pretzel uses {report.ratio('ML.Net', 'Pretzel'):.1f}x less memory than ML.Net and "
+        f"{report.ratio('ML.Net + Clipper', 'Pretzel'):.1f}x less than ML.Net + Clipper."
+    )
+    return experiment
+
+
+def test_fig8_memory_sa(benchmark, sa_family):
+    report, timings = benchmark.pedantic(lambda: _load_all(sa_family), iterations=1, rounds=1)
+    write_report("fig8_memory_sa", _render("SA", report, timings).render())
+    assert report.final("Pretzel") < report.final("ML.Net") < report.final("ML.Net + Clipper")
+    assert report.final("Pretzel") < report.final("Pretzel (no ObjStore)")
+    assert report.ratio("ML.Net", "Pretzel") > 2.0
+
+
+def test_fig8_memory_ac(benchmark, ac_family):
+    report, timings = benchmark.pedantic(lambda: _load_all(ac_family), iterations=1, rounds=1)
+    write_report("fig8_memory_ac", _render("AC", report, timings).render())
+    assert report.final("Pretzel") < report.final("ML.Net") < report.final("ML.Net + Clipper")
+    # The paper reports ~25x for AC; our scaled-down parameters preserve the
+    # ordering and a multiple-x gap.
+    assert report.ratio("ML.Net", "Pretzel") > 2.0
+    # Containerization costs noticeably more than the shared black-box runtime.
+    assert report.ratio("ML.Net + Clipper", "ML.Net") > 1.5

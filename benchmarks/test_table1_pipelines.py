@@ -1,0 +1,42 @@
+"""Table 1: characteristics of the pipelines used in the experiments."""
+
+import numpy as np
+
+from conftest import write_report
+from repro.telemetry.memory import format_bytes
+from repro.telemetry.reporting import ExperimentReport
+
+
+def test_table1_pipeline_characteristics(benchmark, sa_family, ac_family):
+    def summarize():
+        rows = []
+        for name, family, input_kind, featurizers in (
+            ("Sentiment Analysis (SA)", sa_family, "Plain text (variable length)",
+             "N-gram with dictionaries"),
+            ("Attendee Count (AC)", ac_family, "Structured record (40 dimensions)",
+             "PCA, KMeans, TreeFeaturizer, tree ensembles"),
+        ):
+            sizes = [generated.memory_bytes() for generated in family.pipelines]
+            rows.append(
+                {
+                    "type": name,
+                    "pipelines": len(family),
+                    "input": input_kind,
+                    "size_min": format_bytes(min(sizes)),
+                    "size_max": format_bytes(max(sizes)),
+                    "size_mean": format_bytes(float(np.mean(sizes))),
+                    "featurizers": featurizers,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(summarize, iterations=1, rounds=1)
+    report = ExperimentReport(
+        "Table 1", "Characteristics of the generated pipeline families (sizes scaled ~1/64)."
+    )
+    report.rows = rows
+    write_report("table1_pipelines", report.render())
+    # Shape: SA pipelines are much larger than AC pipelines on average.
+    sa_mean = np.mean([g.memory_bytes() for g in sa_family.pipelines])
+    ac_mean = np.mean([g.memory_bytes() for g in ac_family.pipelines])
+    assert sa_mean > 3 * ac_mean

@@ -1,0 +1,58 @@
+"""Quickstart: train a sentiment-analysis pipeline and serve it with PRETZEL.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import PretzelConfig, PretzelRuntime, flour_from_pipeline
+from repro.mlnet import Pipeline
+from repro.operators import (
+    CharNgramFeaturizer,
+    ConcatFeaturizer,
+    LogisticRegressionClassifier,
+    Tokenizer,
+    WordNgramFeaturizer,
+)
+from repro.workloads.text_data import generate_reviews
+
+
+def train_pipeline() -> Pipeline:
+    """Author and train the Figure 1 pipeline with the ML.Net-style API."""
+    corpus = generate_reviews(n_reviews=400, vocabulary_size=1500, seed=7)
+    pipeline = Pipeline("sentiment-quickstart")
+    pipeline.add("tokenizer", Tokenizer(), ["input"])
+    pipeline.add("char_ngram", CharNgramFeaturizer(ngram_range=(2, 3), max_features=2000), ["tokenizer"])
+    pipeline.add("word_ngram", WordNgramFeaturizer(ngram_range=(1, 2), max_features=3000), ["tokenizer"])
+    pipeline.add("concat", ConcatFeaturizer(), ["char_ngram", "word_ngram"])
+    pipeline.add("classifier", LogisticRegressionClassifier(epochs=10), ["concat"])
+    pipeline.fit(corpus.texts, corpus.labels)
+    return pipeline
+
+
+def main() -> None:
+    pipeline = train_pipeline()
+
+    # Off-line phase: extract a Flour program and let Oven compile a model plan.
+    program = flour_from_pipeline(pipeline)
+    plan = program.plan()
+    print("Optimized model plan:")
+    for stage in plan.stages:
+        print(f"  stage {stage.stage_id}: {' -> '.join(stage.physical.transform_names)}")
+
+    # On-line phase: register the pipeline with the runtime and serve requests.
+    runtime = PretzelRuntime(PretzelConfig())
+    plan_id = runtime.register(pipeline)
+    for text in (
+        "this is a great product, works perfectly and i love it",
+        "terrible quality, broke after one day, asking for a refund",
+    ):
+        score, latency = runtime.timed_predict(plan_id, text)
+        sentiment = "positive" if score >= 0.5 else "negative"
+        print(f"  {sentiment:8s} p={score:.3f}  ({latency * 1e3:.2f} ms)   {text[:48]}...")
+
+    print("Runtime stats:", runtime.stats()["plans"], "plan(s),",
+          runtime.stats()["unique_stages"], "physical stage(s)")
+    runtime.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Setuptools entry point.
+
+The pinned environment for this repository has no ``wheel`` package and no
+network access, so editable installs must go through the legacy
+``setup.py develop`` path rather than PEP 517/660 wheel builds.  Keeping the
+build configuration here (instead of a ``[build-system]`` table in
+``pyproject.toml``) is what makes ``pip install -e .`` work offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "PRETZEL (OSDI 2018) reproduction: white-box machine-learning "
+        "prediction serving"
+    ),
+    author="PRETZEL reproduction authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,14 @@
+"""Clipper-like containerized serving baseline ("ML.Net + Clipper").
+
+Each trained pipeline runs inside its own simulated container: a private
+runtime copy of the model, a fixed per-container memory overhead, and an RPC
+hop between the front-end and the container on every request.  The front-end
+layers the black-box optimizations Clipper provides -- prediction caching and
+delayed (adaptive) batching -- on top, without any visibility into pipeline
+internals.
+"""
+
+from repro.clipper.container import ContainerConfig, ModelContainer
+from repro.clipper.frontend import ClipperConfig, ClipperFrontEnd
+
+__all__ = ["ContainerConfig", "ModelContainer", "ClipperConfig", "ClipperFrontEnd"]

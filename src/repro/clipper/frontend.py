@@ -1,0 +1,223 @@
+"""Clipper-style front-end: routing, caching, delayed batching, replication.
+
+This is the "external", model-agnostic optimization layer the paper contrasts
+with PRETZEL's white-box techniques.  The front-end never inspects a pipeline:
+it only routes serialized requests to containers, caches whole predictions,
+buffers requests into batches and replicates containers of popular models.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.clipper.container import ContainerConfig, ModelContainer
+from repro.mlnet.pipeline import Pipeline
+from repro.net import NetworkModel
+
+__all__ = ["ClipperConfig", "ClipperFrontEnd", "PredictionResponse"]
+
+
+@dataclass
+class ClipperConfig:
+    """Front-end configuration.
+
+    ``client_network`` models the external client <-> front-end hop (the
+    paper's Redis front-end adds ~9 ms); ``cache_size`` bounds the prediction
+    cache; ``max_batch_delay_seconds``/``max_batch_size`` drive delayed
+    batching.
+    """
+
+    container: ContainerConfig = field(default_factory=ContainerConfig)
+    client_network: NetworkModel = field(default_factory=lambda: NetworkModel(round_trip_seconds=0.009))
+    cache_size: int = 1024
+    enable_cache: bool = False
+    max_batch_size: int = 8
+    max_batch_delay_seconds: float = 0.001
+    frontend_overhead_bytes: int = 2 * 1024 * 1024
+
+
+@dataclass
+class PredictionResponse:
+    """What the client gets back: outputs plus a latency breakdown."""
+
+    model: str
+    outputs: List[Any]
+    prediction_seconds: float
+    network_seconds: float
+    cache_hit: bool = False
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.prediction_seconds + self.network_seconds
+
+
+class _LruCache:
+    """A small LRU cache for (model, input) -> prediction."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ClipperFrontEnd:
+    """Route prediction requests to per-model containers."""
+
+    def __init__(self, config: Optional[ClipperConfig] = None):
+        self.config = config or ClipperConfig()
+        self._containers: Dict[str, List[ModelContainer]] = {}
+        self._round_robin: Dict[str, int] = {}
+        self._cache = _LruCache(self.config.cache_size)
+        self._pending: Dict[str, List[Any]] = {}
+        self.deployed_at: Dict[str, float] = {}
+
+    # -- deployment --------------------------------------------------------
+
+    def deploy(self, pipeline: Pipeline, replicas: int = 1) -> str:
+        """Start ``replicas`` containers for the pipeline."""
+        if pipeline.name in self._containers:
+            raise ValueError(f"model {pipeline.name!r} already deployed")
+        self._containers[pipeline.name] = [
+            ModelContainer(pipeline, self.config.container, replica=index)
+            for index in range(replicas)
+        ]
+        self._round_robin[pipeline.name] = 0
+        self.deployed_at[pipeline.name] = time.perf_counter()
+        return pipeline.name
+
+    def scale(self, model_name: str, replicas: int, pipeline: Optional[Pipeline] = None) -> int:
+        """Change the replica count of a deployed model (external load balancing)."""
+        containers = self._containers_for(model_name)
+        if replicas > len(containers):
+            if pipeline is None:
+                raise ValueError("scaling up requires the pipeline to start new containers")
+            for index in range(len(containers), replicas):
+                containers.append(ModelContainer(pipeline, self.config.container, replica=index))
+        elif replicas < len(containers):
+            if replicas < 1:
+                raise ValueError("at least one replica must remain")
+            del containers[replicas:]
+        return len(containers)
+
+    def undeploy(self, model_name: str) -> None:
+        self._containers.pop(model_name, None)
+        self._round_robin.pop(model_name, None)
+        self.deployed_at.pop(model_name, None)
+
+    def deployed_models(self) -> List[str]:
+        return list(self._containers)
+
+    def replica_count(self, model_name: str) -> int:
+        return len(self._containers_for(model_name))
+
+    def _containers_for(self, model_name: str) -> List[ModelContainer]:
+        if model_name not in self._containers:
+            raise KeyError(f"model {model_name!r} is not deployed")
+        return self._containers[model_name]
+
+    def _pick_container(self, model_name: str) -> ModelContainer:
+        containers = self._containers_for(model_name)
+        index = self._round_robin[model_name] % len(containers)
+        self._round_robin[model_name] = index + 1
+        return containers[index]
+
+    # -- serving -----------------------------------------------------------
+
+    def predict(self, model_name: str, records: Sequence[Any]) -> PredictionResponse:
+        """Serve a request end-to-end: cache check, RPC to a container, reply."""
+        records = list(records)
+        cache_key: Optional[Hashable] = None
+        if self.config.enable_cache and len(records) == 1:
+            cache_key = (model_name, repr(records[0]))
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                network, _req, _resp = self.config.client_network.round_trip(
+                    {"model": model_name, "records": records}, {"outputs": [cached]}
+                )
+                return PredictionResponse(
+                    model=model_name,
+                    outputs=[cached],
+                    prediction_seconds=0.0,
+                    network_seconds=network,
+                    cache_hit=True,
+                )
+        container = self._pick_container(model_name)
+        start = time.perf_counter()
+        outputs, rpc_overhead = container.predict(records)
+        prediction_seconds = time.perf_counter() - start + rpc_overhead
+        if cache_key is not None:
+            self._cache.put(cache_key, outputs[0])
+        network, _req, _resp = self.config.client_network.round_trip(
+            {"model": model_name, "records": records}, {"outputs": outputs}
+        )
+        return PredictionResponse(
+            model=model_name,
+            outputs=outputs,
+            prediction_seconds=prediction_seconds,
+            network_seconds=network,
+        )
+
+    def predict_batched(self, model_name: str, records: Sequence[Any]) -> PredictionResponse:
+        """Delayed batching: buffer requests, flush when full (or on demand)."""
+        queue = self._pending.setdefault(model_name, [])
+        queue.extend(records)
+        if len(queue) < self.config.max_batch_size:
+            # The caller is responsible for flushing after the batch delay; we
+            # model the delay as part of the latency when the flush happens.
+            return PredictionResponse(
+                model=model_name, outputs=[], prediction_seconds=0.0, network_seconds=0.0
+            )
+        return self.flush(model_name)
+
+    def flush(self, model_name: str) -> PredictionResponse:
+        """Send any buffered requests for the model as one batch."""
+        queue = self._pending.get(model_name, [])
+        if not queue:
+            return PredictionResponse(
+                model=model_name, outputs=[], prediction_seconds=0.0, network_seconds=0.0
+            )
+        self._pending[model_name] = []
+        response = self.predict(model_name, queue)
+        response.prediction_seconds += self.config.max_batch_delay_seconds
+        return response
+
+    # -- accounting --------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        total = self.config.frontend_overhead_bytes
+        for containers in self._containers.values():
+            for container in containers:
+                total += container.memory_bytes()
+        return total
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {"hits": self._cache.hits, "misses": self._cache.misses, "entries": len(self._cache)}
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "models": len(self._containers),
+            "containers": sum(len(c) for c in self._containers.values()),
+            "memory_bytes": self.memory_bytes(),
+            "cache": self.cache_stats(),
+        }

@@ -1,0 +1,60 @@
+"""Configuration of the PRETZEL runtime and its optimizations.
+
+Every white-box optimization the paper evaluates can be toggled here, which
+is how the ablation benchmarks (Section 5.2.1, Figure 8's "no Object Store"
+series, Section 5.4.1's reservation scheduling) are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PretzelConfig"]
+
+
+@dataclass
+class PretzelConfig:
+    """Runtime-wide knobs.
+
+    Attributes
+    ----------
+    enable_object_store:
+        Share identical parameters/operators across model plans.  Disabling
+        this reproduces the "Pretzel (no ObjStore)" series of Figure 8.
+    enable_aot_compilation:
+        Compile physical stages ahead of time (at registration).  When off,
+        the first prediction of each plan pays stage compilation, inflating
+        cold latency (Section 5.2.1).
+    enable_vector_pooling:
+        Serve intermediate buffers from per-executor vector pools rather than
+        allocating on the prediction path (Section 5.2.1).
+    enable_subplan_materialization:
+        Cache outputs of physical stages shared by multiple plans (Figure 10).
+    materialization_budget_bytes:
+        LRU budget of the materialization cache inside the Object Store.
+    num_executors:
+        Number of executor workers the batch engine schedules over.
+    runtime_overhead_bytes:
+        Fixed footprint of the hosting process (counted once, shared by all
+        plans -- the whole point of the white-box architecture).
+    per_plan_overhead_bytes:
+        Small per-plan bookkeeping footprint (plan metadata, stage bindings).
+    vector_pool_entries:
+        Number of pre-allocated buffers per size class per executor.
+    """
+
+    enable_object_store: bool = True
+    enable_aot_compilation: bool = True
+    enable_vector_pooling: bool = True
+    enable_subplan_materialization: bool = False
+    materialization_budget_bytes: int = 32 * 1024 * 1024
+    num_executors: int = 2
+    runtime_overhead_bytes: int = 2 * 1024 * 1024
+    per_plan_overhead_bytes: int = 4 * 1024
+    vector_pool_entries: int = 8
+
+    def clone(self, **overrides: object) -> "PretzelConfig":
+        """Copy the config with some fields replaced (used by ablation benches)."""
+        values = self.__dict__.copy()
+        values.update(overrides)
+        return PretzelConfig(**values)  # type: ignore[arg-type]

@@ -1,0 +1,111 @@
+"""Execution engines: shared stage execution plus the request-response engine.
+
+PRETZEL serves predictions through two engines (Section 4.2.1):
+
+* the **request-response engine** executes a single prediction inline on the
+  thread handling the request -- no scheduling or context switching, which is
+  the right trade-off for latency-sensitive single predictions; and
+* the **batch engine** (see :mod:`repro.core.scheduler`) routes per-stage
+  events through the Scheduler onto shared Executors.
+
+Both engines share :func:`execute_plan_stage`, which layers sub-plan
+materialization and vector pooling around the physical stage call.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.materialization import SubPlanMaterializer
+from repro.core.oven.plan import ModelPlan, PlanStage
+from repro.core.vector_pool import VectorPool
+
+__all__ = ["execute_plan_stage", "execute_plan", "RequestResponseEngine"]
+
+
+def execute_plan_stage(
+    stage: PlanStage,
+    record: Any,
+    values: Dict[Tuple[str, str], Any],
+    materializer: Optional[SubPlanMaterializer] = None,
+    pool: Optional[VectorPool] = None,
+) -> Any:
+    """Execute one plan stage, consulting the materialization cache first.
+
+    ``values`` is the per-request context holding every exported intermediate
+    value; it is updated in place.  Returns the stage's final output.
+    """
+    externals = [
+        record if upstream is None else values[(upstream, transform_id)]
+        for upstream, transform_id in stage.external_refs
+    ]
+    buffer = None
+    if pool is not None and stage.physical.max_vector_size:
+        # Working memory for the stage comes from the executor's pool; with
+        # pooling disabled this is a fresh allocation on the data path.
+        buffer = pool.acquire(stage.physical.max_vector_size)
+    try:
+        outputs = None
+        if materializer is not None and materializer.enabled:
+            outputs = materializer.lookup(stage.physical, externals)
+        if outputs is None:
+            outputs = stage.physical.execute(externals)
+            if materializer is not None and materializer.enabled:
+                materializer.store(stage.physical, externals, outputs)
+        for position, key in enumerate(stage.output_keys):
+            values[key] = outputs[position]
+        return outputs[stage.physical.final_position()]
+    finally:
+        if buffer is not None and pool is not None:
+            pool.release(buffer)
+
+
+def execute_plan(
+    plan: ModelPlan,
+    record: Any,
+    materializer: Optional[SubPlanMaterializer] = None,
+    pool: Optional[VectorPool] = None,
+) -> Any:
+    """Execute every stage of a plan inline, in topological order.
+
+    Working memory is requested from the pool once per pipeline (not per
+    stage), lazily at the first stage, exactly as the paper describes for the
+    on-line phase.
+    """
+    values: Dict[Tuple[str, str], Any] = {}
+    result: Any = None
+    buffer = None
+    if pool is not None and plan.max_vector_size:
+        buffer = pool.acquire(plan.max_vector_size)
+    try:
+        for stage in plan.stages:
+            output = execute_plan_stage(stage, record, values, materializer, pool=None)
+            if stage.is_sink:
+                result = output
+    finally:
+        if buffer is not None and pool is not None:
+            pool.release(buffer)
+    return result
+
+
+class RequestResponseEngine:
+    """Inline, low-latency execution of single predictions."""
+
+    def __init__(
+        self,
+        materializer: Optional[SubPlanMaterializer] = None,
+        pool: Optional[VectorPool] = None,
+    ):
+        self.materializer = materializer
+        self.pool = pool
+        self.predictions = 0
+
+    def predict(self, plan: ModelPlan, record: Any) -> Any:
+        self.predictions += 1
+        return execute_plan(plan, record, self.materializer, self.pool)
+
+    def timed_predict(self, plan: ModelPlan, record: Any) -> Tuple[Any, float]:
+        start = time.perf_counter()
+        result = self.predict(plan, record)
+        return result, time.perf_counter() - start

@@ -1,0 +1,125 @@
+"""Executors: long-running workers that execute physical stages.
+
+Each executor owns a vector pool (allocated per executor to improve locality,
+as in the paper) and pulls stage events from the Scheduler when free.  The
+pool of executors is created once at runtime initialization so no thread is
+ever spawned on the prediction path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from repro.core.engines import execute_plan_stage
+from repro.core.materialization import SubPlanMaterializer
+from repro.core.scheduler import Scheduler, StageEvent
+from repro.core.vector_pool import VectorPool
+
+__all__ = ["Executor", "ExecutorPool"]
+
+
+class Executor(threading.Thread):
+    """A worker thread bound to one logical core."""
+
+    def __init__(
+        self,
+        executor_id: int,
+        scheduler: Scheduler,
+        materializer: Optional[SubPlanMaterializer] = None,
+        vector_pooling: bool = True,
+        pool_entries: int = 8,
+    ):
+        super().__init__(name=f"pretzel-executor-{executor_id}", daemon=True)
+        self.executor_id = executor_id
+        self.scheduler = scheduler
+        self.materializer = materializer
+        self.vector_pool = VectorPool(enabled=vector_pooling, entries_per_class=pool_entries)
+        self.stages_executed = 0
+        self.busy_seconds = 0.0
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        while not self._stop_event.is_set() and not self.scheduler.is_shut_down:
+            event = self.scheduler.next_event(self.executor_id)
+            if event is None:
+                continue
+            self.execute_event(event)
+
+    def execute_event(self, event: StageEvent) -> None:
+        """Run one stage event (also callable synchronously from tests)."""
+        request = event.request
+        stage = request.plan.stages[event.stage_index]
+        try:
+            output = execute_plan_stage(
+                stage,
+                request.record,
+                request.values,
+                materializer=self.materializer,
+                pool=self.vector_pool,
+            )
+        except BaseException as error:  # noqa: BLE001 - forwarded to the caller
+            self.scheduler.on_stage_error(event, error)
+            return
+        self.stages_executed += 1
+        self.scheduler.on_stage_complete(event, output)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+
+
+class ExecutorPool:
+    """The fixed set of executors the batch engine schedules over."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        num_executors: int,
+        materializer: Optional[SubPlanMaterializer] = None,
+        vector_pooling: bool = True,
+        pool_entries: int = 8,
+    ):
+        if num_executors < 1:
+            raise ValueError("need at least one executor")
+        self.scheduler = scheduler
+        self.executors: List[Executor] = [
+            Executor(
+                executor_id=index,
+                scheduler=scheduler,
+                materializer=materializer,
+                vector_pooling=vector_pooling,
+                pool_entries=pool_entries,
+            )
+            for index in range(num_executors)
+        ]
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        for executor in self.executors:
+            executor.start()
+        self._started = True
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def preallocate(self, sizes: List[int]) -> None:
+        for executor in self.executors:
+            executor.vector_pool.preallocate(sizes)
+
+    def shutdown(self) -> None:
+        self.scheduler.shutdown()
+        for executor in self.executors:
+            executor.stop()
+        if self._started:
+            for executor in self.executors:
+                executor.join(timeout=1.0)
+        self._started = False
+
+    def memory_bytes(self) -> int:
+        return sum(executor.vector_pool.memory_bytes() for executor in self.executors)
+
+    def __len__(self) -> int:
+        return len(self.executors)

@@ -1,0 +1,76 @@
+"""Sub-plan materialization (Section 4.3).
+
+When a physical stage (with its parameters) is shared by several model plans,
+its output for a given input can be cached and reused across plans -- the
+white-box analogue of materialized views in multi-query optimization.  The
+cache is the LRU byte-budgeted store hosted by the Object Store; hashing of
+the stage's external inputs decides whether a result is already available.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.object_store import ObjectStore
+from repro.core.oven.physical import PhysicalStage, estimate_value_bytes, hash_value
+from repro.operators.base import OperatorKind
+
+__all__ = ["SubPlanMaterializer"]
+
+
+class SubPlanMaterializer:
+    """Cache outputs of shared featurization stages keyed by input hash."""
+
+    def __init__(self, object_store: ObjectStore, enabled: bool = True):
+        self.object_store = object_store
+        self.enabled = enabled
+        #: physical stage signatures shared by >= 2 registered plans
+        self._shared_signatures: Set[str] = set()
+
+    # -- registration hooks ---------------------------------------------------
+
+    def mark_shared(self, signature: str) -> None:
+        self._shared_signatures.add(signature)
+
+    def is_candidate(self, stage: PhysicalStage) -> bool:
+        """Materialize only shared, deterministic featurization stages.
+
+        Stages ending in a predictor (per-plan weights) are excluded: their
+        outputs are never reused across plans, so caching them only wastes
+        budget.
+        """
+        if not self.enabled:
+            return False
+        if stage.full_signature not in self._shared_signatures:
+            return False
+        return stage.operators[-1].kind == OperatorKind.FEATURIZER
+
+    # -- cache protocol --------------------------------------------------------
+
+    def _key(self, stage: PhysicalStage, externals: Sequence[Any]) -> Tuple[str, str]:
+        return (stage.full_signature, hash_value(list(externals)))
+
+    def lookup(self, stage: PhysicalStage, externals: Sequence[Any]) -> Optional[List[Any]]:
+        if not self.is_candidate(stage):
+            return None
+        return self.object_store.materialization_cache.get(self._key(stage, externals))
+
+    def store(self, stage: PhysicalStage, externals: Sequence[Any], outputs: List[Any]) -> None:
+        if not self.is_candidate(stage):
+            return
+        nbytes = sum(estimate_value_bytes(value) for value in outputs)
+        self.object_store.materialization_cache.put(self._key(stage, externals), outputs, nbytes)
+
+    # -- stats ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        cache = self.object_store.materialization_cache
+        return {
+            "enabled": self.enabled,
+            "shared_stages": len(self._shared_signatures),
+            "entries": len(cache),
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "used_bytes": cache.used_bytes,
+        }

@@ -1,0 +1,161 @@
+"""The Object Store: shared storage for operator parameters and cached results.
+
+Section 4.1.3: many DAGs have similar structures, so sharing operators' state
+(parameters) considerably improves memory footprint and, as a consequence,
+the number of predictions served per machine.  Parameters are compared by the
+checksum of their serialized form; parameters already present are reused and
+the registering plan is rewritten to point at the existing copy.
+
+The store also hosts the LRU byte-budgeted cache used by sub-plan
+materialization (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.operators.base import Operator, Parameter
+
+__all__ = ["ObjectStore", "LruByteCache"]
+
+
+class LruByteCache:
+    """A byte-budgeted LRU cache (used for materialized sub-plan results)."""
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be non-negative")
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key][0]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any, nbytes: int) -> None:
+        if nbytes > self.budget_bytes:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._used -= self._entries[key][1]
+            self._entries[key] = (value, nbytes)
+            self._entries.move_to_end(key)
+            self._used += nbytes
+            while self._used > self.budget_bytes and self._entries:
+                _key, (_value, size) = self._entries.popitem(last=False)
+                self._used -= size
+                self.evictions += 1
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._used = 0
+
+
+class ObjectStore:
+    """Deduplicated storage of operator parameters (and whole operators).
+
+    ``intern_operator`` returns a canonical operator instance for a given
+    operator *signature* (operator family + configuration + parameter
+    checksums): the first registration stores the instance, later
+    registrations of functionally identical operators are rewritten to the
+    stored one.  ``intern_parameter`` provides the same service at the
+    granularity of a single parameter.
+    """
+
+    def __init__(self, enabled: bool = True, materialization_budget_bytes: int = 32 * 1024 * 1024):
+        self.enabled = enabled
+        self._parameters: Dict[str, Parameter] = {}
+        self._operators: Dict[str, Operator] = {}
+        self._operator_refcount: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.materialization_cache = LruByteCache(materialization_budget_bytes)
+
+    # -- parameters ---------------------------------------------------------
+
+    def intern_parameter(self, parameter: Parameter) -> Parameter:
+        """Return the canonical copy of ``parameter`` (storing it if new)."""
+        if not self.enabled:
+            return parameter
+        key = f"{parameter.name}:{parameter.checksum}"
+        with self._lock:
+            existing = self._parameters.get(key)
+            if existing is not None:
+                return existing
+            self._parameters[key] = parameter
+            return parameter
+
+    def has_parameter(self, parameter: Parameter) -> bool:
+        return f"{parameter.name}:{parameter.checksum}" in self._parameters
+
+    # -- operators ----------------------------------------------------------
+
+    def intern_operator(self, operator: Operator) -> Operator:
+        """Return the canonical instance for this operator's trained state.
+
+        With the store disabled every caller keeps its own instance, which is
+        exactly the "Pretzel (no ObjStore)" configuration of Figure 8.
+        """
+        if not self.enabled:
+            return operator
+        signature = operator.signature()
+        with self._lock:
+            existing = self._operators.get(signature)
+            if existing is not None:
+                self._operator_refcount[signature] += 1
+                return existing
+            self._operators[signature] = operator
+            self._operator_refcount[signature] = 1
+            # Register the operator's parameters as well so parameter-level
+            # queries (and memory accounting) see them.
+            for parameter in operator.parameters():
+                key = f"{parameter.name}:{parameter.checksum}"
+                self._parameters.setdefault(key, parameter)
+            return operator
+
+    def operator_refcount(self, operator: Operator) -> int:
+        """How many plans registered an operator with this trained state."""
+        return self._operator_refcount.get(operator.signature(), 0)
+
+    # -- accounting ---------------------------------------------------------
+
+    def unique_operator_count(self) -> int:
+        return len(self._operators)
+
+    def unique_parameter_count(self) -> int:
+        return len(self._parameters)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by unique parameters plus the materialization cache."""
+        total = sum(param.nbytes for param in self._parameters.values())
+        return total + self.materialization_cache.used_bytes
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "unique_operators": self.unique_operator_count(),
+            "unique_parameters": self.unique_parameter_count(),
+            "memory_bytes": self.memory_bytes(),
+            "materialization_entries": len(self.materialization_cache),
+            "materialization_hits": self.materialization_cache.hits,
+            "materialization_misses": self.materialization_cache.misses,
+        }

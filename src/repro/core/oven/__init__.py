@@ -1,0 +1,34 @@
+"""Oven: PRETZEL's optimizer and model-plan compiler.
+
+Oven takes the transformation graph produced by Flour and
+
+1. validates it (schema propagation / checking, well-formedness),
+2. groups transformations into *stages* (pipelining memory-bound 1-to-1
+   transformations, breaking at n-to-1 "pipeline breakers"),
+3. optimizes the stage graph (common sub-expression elimination, stage
+   merging and inlining, pushing linear models through ``Concat``, removal of
+   unnecessary stages), and
+4. labels stages with schema and training statistics before the Model Plan
+   Compiler maps every logical stage to an AOT-compiled physical stage.
+"""
+
+from repro.core.oven.logical import (
+    LogicalStage,
+    StageGraph,
+    TransformGraph,
+    TransformNode,
+)
+from repro.core.oven.optimizer import OvenOptimizer
+from repro.core.oven.compiler import ModelPlanCompiler
+from repro.core.oven.plan import ModelPlan, PlanStage
+
+__all__ = [
+    "TransformNode",
+    "TransformGraph",
+    "LogicalStage",
+    "StageGraph",
+    "OvenOptimizer",
+    "ModelPlanCompiler",
+    "ModelPlan",
+    "PlanStage",
+]

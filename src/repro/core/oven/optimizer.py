@@ -1,0 +1,63 @@
+"""The Oven optimizer: transform graph -> optimized stage graph."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.oven.logical import StageGraph, TransformGraph
+from repro.core.oven.steps import (
+    InputGraphValidatorStep,
+    OutputGraphValidatorStep,
+    StageGraphBuilderStep,
+    StageGraphOptimizerStep,
+)
+
+__all__ = ["OvenOptimizer"]
+
+
+class OvenOptimizer:
+    """Rule-based optimizer turning Flour transform graphs into stage graphs.
+
+    The four rewriting steps run sequentially; each internally iterates its
+    rules to a fix-point.  The optimizer is deliberately extensible: pass a
+    custom step list to experiment with additional rewrites (this is how the
+    ablation benchmarks disable individual optimizations).
+    """
+
+    def __init__(
+        self,
+        enable_stage_fusion: bool = True,
+        enable_logical_rewrites: bool = True,
+        extra_steps: Optional[Sequence[object]] = None,
+    ):
+        self.enable_stage_fusion = enable_stage_fusion
+        self.enable_logical_rewrites = enable_logical_rewrites
+        self.extra_steps = list(extra_steps or [])
+
+    def optimize(self, graph: TransformGraph) -> StageGraph:
+        """Validate, stage and optimize a transform graph."""
+        InputGraphValidatorStep().run(graph)
+        builder = StageGraphBuilderStep()
+        if not self.enable_stage_fusion:
+            builder = _OneTransformPerStageBuilder()
+        stage_graph = builder.run(graph)
+        if self.enable_logical_rewrites:
+            StageGraphOptimizerStep().run(stage_graph)
+        for step in self.extra_steps:
+            step.run(stage_graph)
+        OutputGraphValidatorStep().run(stage_graph)
+        return stage_graph
+
+
+class _OneTransformPerStageBuilder(StageGraphBuilderStep):
+    """Degenerate builder used by ablations: one stage per transformation.
+
+    This reproduces the operator-at-a-time execution model inside PRETZEL's
+    runtime, isolating the benefit of stage fusion from the other white-box
+    optimizations.
+    """
+
+    name = "OneTransformPerStageBuilder"
+
+    def _fusion_target(self, graph, stage_graph, location, node):
+        return None

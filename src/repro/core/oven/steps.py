@@ -1,0 +1,200 @@
+"""Oven's rewriting steps.
+
+Each step bundles a set of rules and runs them to a fix-point (Section 4.1.2).
+The four steps are executed in order by :class:`~repro.core.oven.optimizer.OvenOptimizer`:
+
+1. :class:`InputGraphValidatorStep` -- schema propagation + validation over the
+   transform graph,
+2. :class:`StageGraphBuilderStep` -- groups transformations into stages,
+   breaking at pipeline breakers and at transforms with multiple consumers,
+3. :class:`StageGraphOptimizerStep` -- logical rewrites of the stage graph, and
+4. :class:`OutputGraphValidatorStep` -- per-stage schema/statistics labelling
+   and final well-formedness checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.oven.logical import (
+    SOURCE,
+    GraphValidationError,
+    LogicalStage,
+    StageGraph,
+    StageInput,
+    TransformGraph,
+)
+from repro.core.oven.rules import (
+    ExportConsistencyRule,
+    GraphWellFormedRule,
+    InlineSingleTransformStageRule,
+    PushLinearModelThroughConcatRule,
+    RemoveDuplicateBranchStagesRule,
+    RemoveUnnecessaryStagesRule,
+    SchemaPropagationRule,
+    SchemaValidationRule,
+    StageGraphWellFormedRule,
+    StageSchemaRule,
+    StageStatsRule,
+    VectorizableLabelingRule,
+)
+from repro.operators.base import Annotation
+
+__all__ = [
+    "RewritingStep",
+    "InputGraphValidatorStep",
+    "StageGraphBuilderStep",
+    "StageGraphOptimizerStep",
+    "OutputGraphValidatorStep",
+]
+
+#: safety bound on fix-point iteration; real plans converge in a handful.
+_MAX_ITERATIONS = 100
+
+
+class RewritingStep:
+    """A named set of rules applied until the graph stops changing."""
+
+    name = "RewritingStep"
+
+    def __init__(self, rules: Sequence[object]):
+        self.rules = list(rules)
+
+    def run(self, graph):
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for rule in self.rules:
+                changed = bool(rule.apply(graph)) or changed
+            if not changed:
+                return graph
+        raise GraphValidationError(
+            f"{self.name} did not reach a fix-point after {_MAX_ITERATIONS} iterations"
+        )
+
+
+class InputGraphValidatorStep(RewritingStep):
+    """Schema propagation, schema validation and graph validation."""
+
+    name = "InputGraphValidator"
+
+    def __init__(self) -> None:
+        super().__init__([SchemaPropagationRule(), SchemaValidationRule(), GraphWellFormedRule()])
+
+
+class StageGraphBuilderStep:
+    """Rewrite the (schematized) transform graph into a stage graph.
+
+    The grouping policy follows the paper's hybrid approach: memory-bound
+    1-to-1 transformations are pipelined into the same stage (one pass over
+    the record, best cache locality); compute-bound transformations and
+    pipeline breakers (n-to-1 aggregations such as ``Concat`` or ``L2``
+    normalization) start a new stage.  A transformation whose producer is
+    consumed by several branches is fused with the first branch; the other
+    branches receive the shared value as a cross-stage dependency, mirroring
+    how the paper reuses the Tokenizer output between Char and Word n-grams.
+    """
+
+    name = "StageGraphBuilder"
+
+    def run(self, graph: TransformGraph) -> StageGraph:
+        stage_graph = StageGraph(graph.name)
+        stage_graph.metadata.update(graph.metadata)
+        #: transform id -> (stage, still_open) where still_open means new
+        #: transforms may still be appended after it (it is the stage's tail).
+        location: Dict[str, LogicalStage] = {}
+
+        for node_id in graph.topological_order():
+            node = graph.nodes[node_id]
+            fuse_target = self._fusion_target(graph, stage_graph, location, node)
+            if fuse_target is not None:
+                upstream_id = node.upstream[0]
+                fuse_target.add_transform(node, [upstream_id])
+                location[node.id] = fuse_target
+                continue
+            stage = LogicalStage()
+            bindings: List[object] = []
+            for upstream in node.upstream:
+                if upstream == SOURCE:
+                    bindings.append(StageInput.source())
+                    continue
+                producer_stage = location[upstream]
+                bindings.append(StageInput(producer_stage.id, upstream))
+                if upstream != producer_stage.final_transform().id:
+                    producer_stage.ensure_export(upstream)
+            stage.add_transform(node, bindings)
+            stage_graph.add_stage(stage)
+            location[node.id] = stage
+
+        # Exports may also be needed for values consumed by later-fused
+        # transforms; re-validate them here.
+        ExportConsistencyRule().apply(stage_graph)
+        return stage_graph
+
+    def _fusion_target(
+        self,
+        graph: TransformGraph,
+        stage_graph: StageGraph,
+        location: Dict[str, LogicalStage],
+        node,
+    ) -> Optional[LogicalStage]:
+        """Return the stage to append ``node`` to, or ``None`` for a new stage."""
+        if node.is_breaker():
+            return None
+        if len(node.upstream) != 1:
+            return None
+        if not (node.annotations & Annotation.MEMORY_BOUND):
+            return None
+        upstream_id = node.upstream[0]
+        if upstream_id == SOURCE:
+            return None
+        producer_stage = location.get(upstream_id)
+        if producer_stage is None:
+            return None
+        # Fuse only when the producer is still the tail of its stage, i.e. the
+        # value can flow operator-to-operator without being materialized for
+        # anyone else inside that stage.
+        if producer_stage.final_transform().id != upstream_id:
+            return None
+        # If another consumer of this value was already placed in a different
+        # stage, the value is shared: keep it materialized (exported) and do
+        # not extend the producer stage (first consumer wins).
+        for consumer_id in graph.consumers_of(upstream_id):
+            if consumer_id == node.id:
+                continue
+            consumer_stage = location.get(consumer_id)
+            if consumer_stage is not None and consumer_stage is producer_stage:
+                return None
+        return producer_stage
+
+
+class StageGraphOptimizerStep(RewritingStep):
+    """Logical rewrites of the stage graph."""
+
+    name = "StageGraphOptimizer"
+
+    def __init__(self) -> None:
+        super().__init__(
+            [
+                RemoveDuplicateBranchStagesRule(),
+                PushLinearModelThroughConcatRule(),
+                InlineSingleTransformStageRule(),
+                RemoveUnnecessaryStagesRule(),
+            ]
+        )
+
+
+class OutputGraphValidatorStep(RewritingStep):
+    """Stage labelling (schema, statistics, vectorizability) and final checks."""
+
+    name = "OutputGraphValidator"
+
+    def __init__(self) -> None:
+        super().__init__(
+            [
+                StageSchemaRule(),
+                StageStatsRule(),
+                VectorizableLabelingRule(),
+                ExportConsistencyRule(),
+                StageGraphWellFormedRule(),
+            ]
+        )

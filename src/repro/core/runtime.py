@@ -1,0 +1,274 @@
+"""The PRETZEL Runtime: plan catalog, engines, scheduler and accounting.
+
+The Runtime is the on-line half of the system (Section 4.2).  Model plans
+produced off-line by Oven/MPC are *registered*: their physical stages go into
+a shared catalog (loaded only once when identical), their parameters live in
+the Object Store, and vector pools are sized from the plans' statistics.
+Prediction requests are served either by the request-response engine (inline
+execution, lowest latency) or by the batch engine (stage events scheduled
+onto the shared executors).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import PretzelConfig
+from repro.core.engines import RequestResponseEngine, execute_plan
+from repro.core.executors import ExecutorPool
+from repro.core.flour import FlourContext, FlourProgram, flour_from_pipeline
+from repro.core.materialization import SubPlanMaterializer
+from repro.core.object_store import ObjectStore
+from repro.core.oven.compiler import ModelPlanCompiler
+from repro.core.oven.optimizer import OvenOptimizer
+from repro.core.oven.physical import PhysicalStage
+from repro.core.oven.plan import ModelPlan
+from repro.core.scheduler import InferenceRequest, Scheduler
+from repro.core.statistics import TransformStats
+from repro.core.vector_pool import VectorPool
+from repro.mlnet.pipeline import Pipeline
+
+__all__ = ["PretzelRuntime", "RegisteredPlan"]
+
+
+@dataclass
+class RegisteredPlan:
+    """Book-keeping for one registered model plan."""
+
+    plan_id: str
+    plan: ModelPlan
+    registered_seconds: float
+    engine: str = "request-response"
+    reserved_executor: Optional[int] = None
+    predictions: int = 0
+    cold: bool = True
+
+
+class PretzelRuntime:
+    """Host many model plans on shared memory and CPU resources."""
+
+    def __init__(self, config: Optional[PretzelConfig] = None):
+        self.config = config or PretzelConfig()
+        self.object_store = ObjectStore(
+            enabled=self.config.enable_object_store,
+            materialization_budget_bytes=self.config.materialization_budget_bytes,
+        )
+        self.materializer = SubPlanMaterializer(
+            self.object_store, enabled=self.config.enable_subplan_materialization
+        )
+        self.compiler = ModelPlanCompiler(object_store=self.object_store, config=self.config)
+        self.optimizer = OvenOptimizer()
+        self.scheduler = Scheduler()
+        self.executor_pool = ExecutorPool(
+            self.scheduler,
+            num_executors=self.config.num_executors,
+            materializer=self.materializer,
+            vector_pooling=self.config.enable_vector_pooling,
+            pool_entries=self.config.vector_pool_entries,
+        )
+        self._inline_pool = VectorPool(
+            enabled=self.config.enable_vector_pooling,
+            entries_per_class=self.config.vector_pool_entries,
+        )
+        self._request_response = RequestResponseEngine(
+            materializer=self.materializer, pool=self._inline_pool
+        )
+        self._plans: Dict[str, RegisteredPlan] = {}
+        self._stage_plan_count: Dict[str, int] = {}
+        self._id_counter = itertools.count()
+        self._lock = threading.Lock()
+        self._next_reserved_executor = 0
+
+    # -- registration (off-line -> on-line handoff) -----------------------------
+
+    def register(
+        self,
+        model: Union[ModelPlan, FlourProgram, Pipeline],
+        stats: Optional[Dict[str, TransformStats]] = None,
+        engine: str = "request-response",
+        reserve: bool = False,
+        plan_id: Optional[str] = None,
+    ) -> str:
+        """Register a model for serving and return its pipeline id.
+
+        ``model`` may be an already-compiled :class:`ModelPlan`, a Flour
+        program, or a trained ML.Net pipeline (which is translated to Flour and
+        compiled on the fly).  ``reserve=True`` dedicates one executor to this
+        plan (reservation-based scheduling).
+        """
+        if engine not in ("request-response", "batch"):
+            raise ValueError(f"unknown engine {engine!r}")
+        start = time.perf_counter()
+        plan = self._compile_to_plan(model, stats)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            identifier = plan_id or f"plan-{next(self._id_counter)}-{plan.name}"
+            if identifier in self._plans:
+                raise ValueError(f"plan id {identifier!r} already registered")
+            plan.plan_id = identifier
+            registered = RegisteredPlan(
+                plan_id=identifier, plan=plan, registered_seconds=elapsed, engine=engine
+            )
+            self._plans[identifier] = registered
+            self._register_stages(plan)
+            if reserve:
+                registered.reserved_executor = self._reserve_executor(identifier)
+        sizes = [stage.physical.max_vector_size for stage in plan.stages]
+        self.executor_pool.preallocate(sizes)
+        self._inline_pool.preallocate(sizes)
+        return identifier
+
+    def _compile_to_plan(
+        self,
+        model: Union[ModelPlan, FlourProgram, Pipeline],
+        stats: Optional[Dict[str, TransformStats]],
+    ) -> ModelPlan:
+        if isinstance(model, ModelPlan):
+            return model
+        if isinstance(model, FlourProgram):
+            graph = model.to_transform_graph()
+            stage_graph = self.optimizer.optimize(graph)
+            return self.compiler.compile(stage_graph)
+        if isinstance(model, Pipeline):
+            context = FlourContext(object_store=self.object_store, name=model.name)
+            program = flour_from_pipeline(model, context=context, stats=stats)
+            graph = program.to_transform_graph()
+            stage_graph = self.optimizer.optimize(graph)
+            return self.compiler.compile(stage_graph)
+        raise TypeError(f"cannot register object of type {type(model).__name__}")
+
+    def _register_stages(self, plan: ModelPlan) -> None:
+        for stage in plan.stages:
+            signature = stage.physical.full_signature
+            count = self._stage_plan_count.get(signature, 0) + 1
+            self._stage_plan_count[signature] = count
+            if count >= 2:
+                self.materializer.mark_shared(signature)
+
+    def _reserve_executor(self, plan_id: str) -> int:
+        executor_id = self._next_reserved_executor % len(self.executor_pool.executors)
+        self._next_reserved_executor += 1
+        self.scheduler.reserve(plan_id, executor_id)
+        return executor_id
+
+    def unregister(self, plan_id: str) -> None:
+        with self._lock:
+            registered = self._plans.pop(plan_id, None)
+            if registered is None:
+                return
+            for stage in registered.plan.stages:
+                signature = stage.physical.full_signature
+                if signature in self._stage_plan_count:
+                    self._stage_plan_count[signature] -= 1
+                    if self._stage_plan_count[signature] <= 0:
+                        del self._stage_plan_count[signature]
+
+    # -- lookups -----------------------------------------------------------------
+
+    def plan_ids(self) -> List[str]:
+        return list(self._plans)
+
+    def registered(self, plan_id: str) -> RegisteredPlan:
+        if plan_id not in self._plans:
+            raise KeyError(f"plan {plan_id!r} is not registered")
+        return self._plans[plan_id]
+
+    def plan(self, plan_id: str) -> ModelPlan:
+        return self.registered(plan_id).plan
+
+    def shared_stage_count(self) -> int:
+        """Number of distinct physical stages referenced by >= 2 plans."""
+        return sum(1 for count in self._stage_plan_count.values() if count >= 2)
+
+    def unique_stage_count(self) -> int:
+        return len(self._stage_plan_count)
+
+    # -- serving -------------------------------------------------------------------
+
+    def predict(self, plan_id: str, record: Any) -> Any:
+        """Serve one prediction with the request-response engine."""
+        registered = self.registered(plan_id)
+        registered.predictions += 1
+        registered.cold = False
+        return self._request_response.predict(registered.plan, record)
+
+    def timed_predict(self, plan_id: str, record: Any) -> Tuple[Any, float]:
+        start = time.perf_counter()
+        result = self.predict(plan_id, record)
+        return result, time.perf_counter() - start
+
+    def predict_batch(
+        self,
+        plan_id: str,
+        records: Sequence[Any],
+        latency_sensitive: bool = False,
+        timeout: Optional[float] = 60.0,
+    ) -> List[Any]:
+        """Serve a batch through the batch engine (scheduler + executors)."""
+        registered = self.registered(plan_id)
+        registered.predictions += len(records)
+        registered.cold = False
+        if not self.executor_pool.started:
+            self.executor_pool.start()
+        requests = [
+            self.scheduler.submit(
+                InferenceRequest(plan_id, registered.plan, record, latency_sensitive)
+            )
+            for record in records
+        ]
+        return [request.wait(timeout) for request in requests]
+
+    def submit(self, plan_id: str, record: Any, latency_sensitive: bool = False) -> InferenceRequest:
+        """Asynchronously submit one prediction to the batch engine."""
+        registered = self.registered(plan_id)
+        registered.predictions += 1
+        if not self.executor_pool.started:
+            self.executor_pool.start()
+        return self.scheduler.submit(
+            InferenceRequest(plan_id, registered.plan, record, latency_sensitive)
+        )
+
+    # -- accounting -------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Resident footprint: shared parameters + per-plan overhead + pools."""
+        total = self.config.runtime_overhead_bytes
+        if self.config.enable_object_store:
+            total += self.object_store.memory_bytes()
+        else:
+            total += sum(reg.plan.memory_bytes() for reg in self._plans.values())
+        total += self.config.per_plan_overhead_bytes * len(self._plans)
+        total += self.executor_pool.memory_bytes()
+        total += self._inline_pool.memory_bytes()
+        return total
+
+    def registration_seconds(self) -> float:
+        """Cumulative time spent compiling + registering plans (model loading)."""
+        return sum(reg.registered_seconds for reg in self._plans.values())
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "plans": len(self._plans),
+            "unique_stages": self.unique_stage_count(),
+            "shared_stages": self.shared_stage_count(),
+            "memory_bytes": self.memory_bytes(),
+            "object_store": self.object_store.stats(),
+            "materialization": self.materializer.stats(),
+            "scheduler_events": self.scheduler.scheduled_events,
+            "completed_requests": self.scheduler.completed_requests,
+        }
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        self.executor_pool.shutdown()
+
+    def __enter__(self) -> "PretzelRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,211 @@
+"""Event-based, late-binding scheduling of stage executions (Section 4.2.2).
+
+The Scheduler never pushes work to a specific executor.  Instead it maintains
+a shared pair of queues -- a *low priority* queue for the first stage of newly
+submitted requests and a *high priority* queue for stages of requests that are
+already in flight -- and executors *pull* the next event when they become
+free.  Started pipelines therefore finish (and return their pooled vectors)
+before new pipelines are admitted, which is exactly the paper's rationale for
+the two queues.
+
+Reservation-based scheduling (Section 4.2.2, "Reservation-based Scheduling")
+gives a plan a dedicated executor and a private queue, emulating
+container-style isolation while still sharing parameters and physical stages.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.oven.plan import ModelPlan
+
+__all__ = ["InferenceRequest", "StageEvent", "Scheduler"]
+
+
+class InferenceRequest:
+    """One prediction request travelling through the batch engine."""
+
+    _counter = itertools.count()
+
+    def __init__(self, plan_id: str, plan: ModelPlan, record: Any, latency_sensitive: bool = False):
+        self.request_id = next(InferenceRequest._counter)
+        self.plan_id = plan_id
+        self.plan = plan
+        self.record = record
+        self.latency_sensitive = latency_sensitive
+        #: per-request context of exported stage values
+        self.values: Dict[Tuple[str, str], Any] = {}
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._done = threading.Event()
+
+    # -- completion -----------------------------------------------------------
+
+    def complete(self, result: Any) -> None:
+        self.result = result
+        self.completed_at = time.perf_counter()
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.completed_at = time.perf_counter()
+        self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.request_id} did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        return f"InferenceRequest(id={self.request_id}, plan={self.plan_id!r})"
+
+
+@dataclass
+class StageEvent:
+    """A schedulable unit: one stage of one in-flight request."""
+
+    request: InferenceRequest
+    stage_index: int
+
+    @property
+    def is_first(self) -> bool:
+        return self.stage_index == 0
+
+    @property
+    def is_last(self) -> bool:
+        return self.stage_index == len(self.request.plan.stages) - 1
+
+
+class Scheduler:
+    """Shared queues + reservation bookkeeping; executors pull events from it."""
+
+    def __init__(self) -> None:
+        self._low: Deque[StageEvent] = deque()
+        self._high: Deque[StageEvent] = deque()
+        #: plan id -> executor id holding the reservation
+        self._reservations: Dict[str, int] = {}
+        #: executor id -> private queue of events for its reserved plans
+        self._reserved_queues: Dict[int, Deque[StageEvent]] = {}
+        self._condition = threading.Condition()
+        self._shutdown = False
+        self.scheduled_events = 0
+        self.completed_requests = 0
+
+    # -- reservations -----------------------------------------------------------
+
+    def reserve(self, plan_id: str, executor_id: int) -> None:
+        """Dedicate ``executor_id`` to ``plan_id`` (container-like isolation)."""
+        with self._condition:
+            self._reservations[plan_id] = executor_id
+            self._reserved_queues.setdefault(executor_id, deque())
+
+    def reservation_for(self, plan_id: str) -> Optional[int]:
+        return self._reservations.get(plan_id)
+
+    def reserved_executor_ids(self) -> List[int]:
+        return list(self._reserved_queues)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, request: InferenceRequest) -> InferenceRequest:
+        """Enqueue the first stage of a request on the low-priority queue."""
+        event = StageEvent(request, 0)
+        with self._condition:
+            self._enqueue(event)
+            self._condition.notify_all()
+        return request
+
+    def _enqueue(self, event: StageEvent) -> None:
+        self.scheduled_events += 1
+        executor_id = self._reservations.get(event.request.plan_id)
+        if executor_id is not None:
+            self._reserved_queues[executor_id].append(event)
+            return
+        if event.is_first:
+            self._low.append(event)
+        else:
+            self._high.append(event)
+
+    # -- executor protocol ---------------------------------------------------------
+
+    def next_event(self, executor_id: int, timeout: float = 0.05) -> Optional[StageEvent]:
+        """Late binding: a free executor pulls the next runnable event.
+
+        Reserved executors only serve their private queue.  Shared executors
+        drain the high-priority queue (in-flight pipelines, which hold pooled
+        vectors) before admitting new pipelines from the low-priority queue.
+        """
+        deadline = time.perf_counter() + timeout
+        with self._condition:
+            while not self._shutdown:
+                reserved = self._reserved_queues.get(executor_id)
+                if reserved is not None:
+                    if reserved:
+                        return reserved.popleft()
+                else:
+                    if self._high:
+                        return self._high.popleft()
+                    if self._low:
+                        return self._low.popleft()
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return None
+                self._condition.wait(remaining)
+            return None
+
+    def on_stage_complete(self, event: StageEvent, output: Any) -> None:
+        """Advance the request: schedule the next stage or complete it."""
+        request = event.request
+        if event.is_last:
+            request.complete(output)
+            with self._condition:
+                self.completed_requests += 1
+                self._condition.notify_all()
+            return
+        next_event = StageEvent(request, event.stage_index + 1)
+        with self._condition:
+            self._enqueue(next_event)
+            self._condition.notify_all()
+
+    def on_stage_error(self, event: StageEvent, error: BaseException) -> None:
+        event.request.fail(error)
+        with self._condition:
+            self._condition.notify_all()
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        with self._condition:
+            self._shutdown = True
+            self._condition.notify_all()
+
+    @property
+    def is_shut_down(self) -> bool:
+        return self._shutdown
+
+    def queue_depths(self) -> Dict[str, int]:
+        with self._condition:
+            depths = {"low": len(self._low), "high": len(self._high)}
+            for executor_id, queue in self._reserved_queues.items():
+                depths[f"reserved[{executor_id}]"] = len(queue)
+            return depths

@@ -1,0 +1,29 @@
+"""ML.Net-like black-box pipeline library and serving runtime.
+
+This package is the *baseline* the paper compares against: a declarative
+pipeline library whose trained models are deployed as black boxes.  It
+provides
+
+* :mod:`repro.mlnet.pipeline` -- the pipeline DAG abstraction with pull-based
+  operator-at-a-time execution,
+* :mod:`repro.mlnet.dataview` -- Volcano-style cursors used by that execution
+  model,
+* :mod:`repro.mlnet.model_file` -- on-disk model format (one directory per
+  operator, parameters in binary/plain-text files), and
+* :mod:`repro.mlnet.runtime` -- a serving runtime that loads model files and
+  answers prediction requests, paying per-pipeline initialization (graph
+  analysis, type checking, code specialization) on the cold path.
+"""
+
+from repro.mlnet.pipeline import Pipeline, PipelineNode
+from repro.mlnet.model_file import load_model, save_model
+from repro.mlnet.runtime import MLNetRuntime, MLNetRuntimeConfig
+
+__all__ = [
+    "Pipeline",
+    "PipelineNode",
+    "save_model",
+    "load_model",
+    "MLNetRuntime",
+    "MLNetRuntimeConfig",
+]

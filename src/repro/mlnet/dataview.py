@@ -1,0 +1,82 @@
+"""Volcano-style pull-based cursors (the ML.Net IDataView execution model).
+
+Section 2 of the paper describes how ML.Net pulls records through a chain of
+operators: each operator exposes a cursor over its output, computed lazily by
+pulling from its upstream cursor(s).  The intermediate value of every operator
+is materialized for every record, which is precisely the memory-allocation-on-
+the-data-path behaviour PRETZEL's fused stages avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["DataView", "SourceView", "TransformView", "MultiInputView"]
+
+
+class DataView:
+    """A lazily evaluated view over a stream of per-record values."""
+
+    def cursor(self) -> Iterator[Any]:
+        """Return an iterator producing one value per input record."""
+        raise NotImplementedError
+
+    def collect(self) -> List[Any]:
+        """Materialize the whole view (used at training time)."""
+        return list(self.cursor())
+
+
+class SourceView(DataView):
+    """The root view wrapping raw input records."""
+
+    def __init__(self, records: Iterable[Any]):
+        self._records = records
+
+    def cursor(self) -> Iterator[Any]:
+        return iter(self._records)
+
+
+class TransformView(DataView):
+    """A view produced by applying a single-input operator to an upstream view."""
+
+    def __init__(self, upstream: DataView, transform: Callable[[Any], Any], name: str = ""):
+        self.upstream = upstream
+        self.transform = transform
+        self.name = name
+
+    def cursor(self) -> Iterator[Any]:
+        for value in self.upstream.cursor():
+            yield self.transform(value)
+
+
+class MultiInputView(DataView):
+    """A view combining several upstream views record-by-record.
+
+    Used by n-to-1 operators such as ``Concat``: for every record the operator
+    receives the list of values produced by each upstream branch.  Pulling
+    from multiple branches forces all of them to be materialized per record,
+    which is why these operators are pipeline breakers.
+    """
+
+    def __init__(
+        self,
+        upstreams: Sequence[DataView],
+        transform: Callable[[List[Any]], Any],
+        name: str = "",
+    ):
+        if not upstreams:
+            raise ValueError("MultiInputView needs at least one upstream view")
+        self.upstreams = list(upstreams)
+        self.transform = transform
+        self.name = name
+
+    def cursor(self) -> Iterator[Any]:
+        cursors = [view.cursor() for view in self.upstreams]
+        while True:
+            values: List[Any] = []
+            for cur in cursors:
+                try:
+                    values.append(next(cur))
+                except StopIteration:
+                    return
+            yield self.transform(values)

@@ -1,0 +1,223 @@
+"""Pipeline DAGs with operator-at-a-time execution (the black-box baseline).
+
+A :class:`Pipeline` is a DAG of named nodes, each wrapping one trained
+:class:`~repro.operators.base.Operator`.  Execution follows ML.Net's model:
+for every prediction, each operator runs in topological order over the
+record's intermediate values, materializing one value per node ("operator at
+a time", Section 2).  Per-node wall-clock accounting is built in so the
+Figure 5 latency-breakdown experiment can be reproduced directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.operators.base import Operator, OperatorKind, Parameter, ValueKind
+from repro.mlnet.dataview import DataView, MultiInputView, SourceView, TransformView
+
+__all__ = ["PipelineNode", "Pipeline", "PipelineValidationError"]
+
+
+class PipelineValidationError(ValueError):
+    """Raised when a pipeline DAG is structurally or schema-wise invalid."""
+
+
+class PipelineNode:
+    """One node of the pipeline DAG: an operator plus its upstream node names."""
+
+    def __init__(self, name: str, operator: Operator, inputs: Sequence[str]):
+        self.name = name
+        self.operator = operator
+        self.inputs = list(inputs)
+
+    def __repr__(self) -> str:
+        return f"PipelineNode({self.name!r}, {self.operator.name}, inputs={self.inputs})"
+
+
+class Pipeline:
+    """A trained (or trainable) DAG of operators.
+
+    The special input name ``"input"`` denotes the raw record.  Exactly one
+    node must be a sink (no other node consumes it); its output is the
+    pipeline's prediction.
+    """
+
+    INPUT = "input"
+
+    def __init__(self, name: str, nodes: Optional[Sequence[PipelineNode]] = None):
+        self.name = name
+        self.nodes: Dict[str, PipelineNode] = {}
+        self._order: List[str] = []
+        self._last_timings: Dict[str, float] = {}
+        for node in nodes or []:
+            self.add(node.name, node.operator, node.inputs)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, name: str, operator: Operator, inputs: Sequence[str]) -> "Pipeline":
+        """Append a node.  Upstream nodes must already exist."""
+        if name == self.INPUT:
+            raise PipelineValidationError('"input" is reserved for the raw record')
+        if name in self.nodes:
+            raise PipelineValidationError(f"duplicate node name {name!r}")
+        for upstream in inputs:
+            if upstream != self.INPUT and upstream not in self.nodes:
+                raise PipelineValidationError(
+                    f"node {name!r} references unknown upstream {upstream!r}"
+                )
+        if not inputs:
+            raise PipelineValidationError(f"node {name!r} has no inputs")
+        self.nodes[name] = PipelineNode(name, operator, inputs)
+        self._order.append(name)
+        return self
+
+    # -- introspection -----------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Node names in execution order (insertion order is already topological)."""
+        return list(self._order)
+
+    def sink(self) -> str:
+        """Name of the unique sink node (the final predictor)."""
+        consumed = {up for node in self.nodes.values() for up in node.inputs}
+        sinks = [name for name in self._order if name not in consumed]
+        if len(sinks) != 1:
+            raise PipelineValidationError(
+                f"pipeline {self.name!r} must have exactly one sink, found {sinks}"
+            )
+        return sinks[0]
+
+    def operators(self) -> List[Operator]:
+        return [self.nodes[name].operator for name in self._order]
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for operator in self.operators():
+            params.extend(operator.parameters())
+        return params
+
+    def memory_bytes(self) -> int:
+        """Total parameter footprint of this pipeline (no sharing)."""
+        return sum(op.memory_bytes() for op in self.operators())
+
+    def validate(self) -> None:
+        """Structural and schema validation (ML.Net does this lazily at init)."""
+        self.sink()
+        for name in self._order:
+            node = self.nodes[name]
+            expected = node.operator.input_kind
+            for upstream in node.inputs:
+                if upstream == self.INPUT:
+                    continue
+                produced = self.nodes[upstream].operator.output_kind
+                # n-to-1 operators consume a *list* of vectors; each upstream
+                # branch must individually produce the expected kind.
+                if produced != expected and not (
+                    expected == ValueKind.VECTOR and produced == ValueKind.SCALAR
+                ):
+                    raise PipelineValidationError(
+                        f"node {name!r} expects {expected.value} but upstream "
+                        f"{upstream!r} produces {produced.value}"
+                    )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "name": name,
+                    "operator": self.nodes[name].operator.describe(),
+                    "inputs": self.nodes[name].inputs,
+                }
+                for name in self._order
+            ],
+        }
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Pipeline":
+        """Train every operator in topological order.
+
+        Featurizers are fitted on the transformed training data flowing out of
+        their upstream nodes; predictors additionally receive the labels.
+        """
+        values: Dict[str, List[Any]] = {self.INPUT: list(records)}
+        for name in self._order:
+            node = self.nodes[name]
+            inputs = self._gather_training_inputs(node, values)
+            operator = node.operator
+            if operator.kind == OperatorKind.PREDICTOR:
+                operator.fit(inputs, labels)
+            else:
+                operator.fit(inputs)
+            values[name] = [operator.transform(value) for value in inputs]
+        return self
+
+    def _gather_training_inputs(
+        self, node: PipelineNode, values: Dict[str, List[Any]]
+    ) -> List[Any]:
+        if len(node.inputs) == 1:
+            return values[node.inputs[0]]
+        columns = [values[upstream] for upstream in node.inputs]
+        return [list(row) for row in zip(*columns)]
+
+    # -- inference (operator at a time) -------------------------------------
+
+    def predict(self, record: Any, record_timings: bool = False) -> Any:
+        """Score one record, materializing every intermediate value."""
+        values: Dict[str, Any] = {self.INPUT: record}
+        timings: Dict[str, float] = {}
+        for name in self._order:
+            node = self.nodes[name]
+            if len(node.inputs) == 1:
+                argument = values[node.inputs[0]]
+            else:
+                argument = [values[upstream] for upstream in node.inputs]
+            if record_timings:
+                start = time.perf_counter()
+                values[name] = node.operator.transform(argument)
+                timings[name] = time.perf_counter() - start
+            else:
+                values[name] = node.operator.transform(argument)
+        if record_timings:
+            self._last_timings = timings
+        return values[self.sink()]
+
+    def predict_batch(self, records: Sequence[Any]) -> List[Any]:
+        """Score a batch using the pull-based DataView chain."""
+        view = self.build_dataview(records)
+        return view.collect()
+
+    def build_dataview(self, records: Iterable[Any]) -> DataView:
+        """Assemble the Volcano-style cursor chain for a stream of records."""
+        views: Dict[str, DataView] = {self.INPUT: SourceView(records)}
+        for name in self._order:
+            node = self.nodes[name]
+            if len(node.inputs) == 1:
+                views[name] = TransformView(
+                    views[node.inputs[0]], node.operator.transform, name=name
+                )
+            else:
+                views[name] = MultiInputView(
+                    [views[upstream] for upstream in node.inputs],
+                    node.operator.transform,
+                    name=name,
+                )
+        return views[self.sink()]
+
+    def last_timings(self) -> Dict[str, float]:
+        """Per-node wall-clock seconds of the last ``predict(record_timings=True)``."""
+        return dict(self._last_timings)
+
+    def latency_breakdown(self, record: Any, repetitions: int = 10) -> Dict[str, float]:
+        """Average per-node latency over ``repetitions`` predictions (Figure 5)."""
+        totals: Dict[str, float] = {name: 0.0 for name in self._order}
+        for _ in range(repetitions):
+            self.predict(record, record_timings=True)
+            for name, elapsed in self._last_timings.items():
+                totals[name] += elapsed
+        return {name: total / repetitions for name, total in totals.items()}
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.name!r}, nodes={len(self.nodes)})"

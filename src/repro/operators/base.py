@@ -1,0 +1,253 @@
+"""Operator abstraction shared by every runtime in the repository.
+
+An :class:`Operator` is a trained transformation: it consumes one value per
+record (a string, a token list, a feature vector, ...) and produces one value.
+Operators carry
+
+* a *schema* (:class:`ValueKind` of input and output) used by Oven's
+  validation rules,
+* a set of *annotations* (memory-bound vs compute-bound, 1-to-1 vs n-to-1,
+  commutative/associative, ...) used by Oven's stage-building rules, and
+* a list of :class:`Parameter` objects -- the trained state that PRETZEL's
+  Object Store deduplicates across pipelines.
+
+Training (``fit``) happens once, off-line; serving systems only ever call
+``transform``.  This mirrors the paper's observation that, once trained, ML
+models behave like any other featurizer.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ValueKind", "OperatorKind", "Annotation", "Parameter", "Operator"]
+
+
+class ValueKind(enum.Enum):
+    """The type of a value flowing between operators (ML.Net column types)."""
+
+    TEXT = "text"
+    TOKENS = "tokens"
+    VECTOR = "vector"
+    SCALAR = "scalar"
+    KEY = "key"  # categorical key (e.g. predicted class id, cluster id)
+    ROW = "row"  # raw structured record (dict of named fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ValueKind.{self.name}"
+
+
+class OperatorKind(enum.Enum):
+    """Coarse role of an operator inside a pipeline."""
+
+    SOURCE = "source"
+    FEATURIZER = "featurizer"
+    PREDICTOR = "predictor"
+
+
+class Annotation(enum.Flag):
+    """Static properties Oven uses to group operators into stages.
+
+    The paper (Section 4.1.2) notes that ML.Net's operator set is fixed, so
+    manual annotation is sufficient for the optimizer -- no dynamic analysis
+    is required.  The same approach is used here.
+    """
+
+    NONE = 0
+    ONE_TO_ONE = enum.auto()
+    N_TO_ONE = enum.auto()  # pipeline breaker: needs all inputs materialized
+    MEMORY_BOUND = enum.auto()
+    COMPUTE_BOUND = enum.auto()
+    COMMUTATIVE = enum.auto()
+    ASSOCIATIVE = enum.auto()
+    VECTORIZABLE = enum.auto()
+
+
+def _checksum_of(value: Any) -> str:
+    """Stable content checksum used for parameter deduplication."""
+    hasher = hashlib.sha256()
+    _feed(hasher, value)
+    return hasher.hexdigest()
+
+
+def _feed(hasher: "hashlib._Hash", value: Any) -> None:
+    if isinstance(value, np.ndarray):
+        hasher.update(b"ndarray")
+        hasher.update(str(value.dtype).encode())
+        hasher.update(str(value.shape).encode())
+        hasher.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, dict):
+        hasher.update(b"dict")
+        for key in sorted(value, key=repr):
+            hasher.update(repr(key).encode())
+            _feed(hasher, value[key])
+    elif isinstance(value, (list, tuple)):
+        hasher.update(b"seq")
+        for item in value:
+            _feed(hasher, item)
+    elif isinstance(value, (int, float, str, bool)) or value is None:
+        hasher.update(repr(value).encode())
+    else:
+        hasher.update(repr(value).encode())
+
+
+def _nbytes_of(value: Any) -> int:
+    """Approximate in-memory size of a parameter value in bytes."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, dict):
+        # Keys are typically short strings (n-grams); count their UTF-8 bytes
+        # plus a small per-entry overhead for the hash-table slot.
+        total = 0
+        for key, item in value.items():
+            total += len(str(key).encode()) + 16
+            total += _nbytes_of(item)
+        return total
+    if isinstance(value, (list, tuple)):
+        return sum(_nbytes_of(item) for item in value) + 8 * len(value)
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 8
+    return 64
+
+
+#: cache of (value, checksum, nbytes) for large parameter values, keyed by
+#: object identity.  Trained dictionaries and weight arrays are shared across
+#: many pipeline instances in the workload families, and their checksums are
+#: requested every time a pipeline is registered; caching by identity turns
+#: repeated registrations from O(parameter bytes) into O(1).  Entries hold a
+#: strong reference to the value, so an id can never be reused while its
+#: entry is alive (identity check below stays sound).  Values must not be
+#: mutated in place after a Parameter has been built from them.
+_PARAMETER_CACHE: Dict[int, tuple] = {}
+_PARAMETER_CACHE_MIN_BYTES = 4096
+
+
+class Parameter:
+    """A named piece of trained operator state.
+
+    Parameters are the unit of sharing in PRETZEL's Object Store: two
+    operators from different pipelines that were trained to identical state
+    (same dictionary, same weights) produce parameters with the same checksum
+    and are stored only once.
+    """
+
+    __slots__ = ("name", "value", "checksum", "nbytes")
+
+    def __init__(self, name: str, value: Any):
+        self.name = name
+        self.value = value
+        cached = _PARAMETER_CACHE.get(id(value))
+        if cached is not None and cached[0] is value:
+            self.checksum = cached[1]
+            self.nbytes = cached[2]
+            return
+        self.checksum = _checksum_of(value)
+        self.nbytes = _nbytes_of(value)
+        if isinstance(value, (dict, np.ndarray)) and self.nbytes >= _PARAMETER_CACHE_MIN_BYTES:
+            _PARAMETER_CACHE[id(value)] = (value, self.checksum, self.nbytes)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, {self.nbytes}B, {self.checksum[:8]})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Parameter)
+            and self.name == other.name
+            and self.checksum == other.checksum
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.checksum))
+
+
+class Operator:
+    """Base class for all trained transformations."""
+
+    #: human readable operator family name ("Tokenizer", "CharNgram", ...)
+    name: str = "Operator"
+    kind: OperatorKind = OperatorKind.FEATURIZER
+    input_kind: ValueKind = ValueKind.VECTOR
+    output_kind: ValueKind = ValueKind.VECTOR
+    annotations: Annotation = Annotation.ONE_TO_ONE | Annotation.MEMORY_BOUND
+    #: static hint that the operator's output vectors are typically sparse
+    #: (used by Oven's stage labelling when no training statistics exist)
+    produces_sparse: bool = False
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
+        """Estimate parameters from training data.  Returns ``self``."""
+        return self
+
+    def transform(self, value: Any) -> Any:
+        """Transform a single record's value."""
+        raise NotImplementedError
+
+    def transform_batch(self, values: Sequence[Any]) -> List[Any]:
+        """Transform a batch of values.
+
+        The default implementation loops over :meth:`transform`; operators
+        with vectorizable kernels override this with a batched numpy path.
+        """
+        return [self.transform(value) for value in values]
+
+    def parameters(self) -> List[Parameter]:
+        """Trained state as a list of shareable :class:`Parameter` objects."""
+        return []
+
+    def output_size(self) -> Optional[int]:
+        """Dimensionality of the output vector, if the output is a vector."""
+        return None
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Total parameter footprint of this operator instance."""
+        return sum(param.nbytes for param in self.parameters())
+
+    def signature(self) -> str:
+        """Checksum identifying the operator family plus all of its state.
+
+        Two operators with equal signatures are functionally interchangeable;
+        PRETZEL uses this to share physical stages and materialized sub-plan
+        results between pipelines.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.name.encode())
+        for param in self.parameters():
+            hasher.update(param.name.encode())
+            hasher.update(param.checksum.encode())
+        hasher.update(repr(self._config()).encode())
+        return hasher.hexdigest()
+
+    def _config(self) -> Dict[str, Any]:
+        """Hyper-parameters that affect behaviour but are not trained state."""
+        return {}
+
+    def describe(self) -> Dict[str, Any]:
+        """Structured description used by model files and reporting."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "input": self.input_kind.value,
+            "output": self.output_kind.value,
+            "config": self._config(),
+            "memory_bytes": self.memory_bytes(),
+        }
+
+    def is_pipeline_breaker(self) -> bool:
+        """True when this operator needs all inputs materialized (n-to-1)."""
+        return bool(self.annotations & Annotation.N_TO_ONE)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def iter_parameters(operators: Iterable[Operator]) -> Iterable[Parameter]:
+    """Yield every parameter of every operator (duplicates included)."""
+    for operator in operators:
+        yield from operator.parameters()

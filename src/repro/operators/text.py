@@ -1,0 +1,251 @@
+"""Text featurization operators: tokenization and n-gram extraction.
+
+These are the operators dominating the Sentiment Analysis pipelines in the
+paper (Figure 5 shows Char/WordNgram taking two orders of magnitude more time
+than the final linear model), and the ones whose dictionaries dominate the
+memory footprint (Figure 3 reports 59-83 MB WordNgram dictionaries shared by
+dozens of pipelines).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.operators.base import (
+    Annotation,
+    Operator,
+    OperatorKind,
+    Parameter,
+    ValueKind,
+)
+from repro.operators.vectors import SparseVector
+
+__all__ = ["Tokenizer", "NgramDictionary", "CharNgramFeaturizer", "WordNgramFeaturizer"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9']+")
+
+
+class Tokenizer(Operator):
+    """Split input text into lowercase word tokens.
+
+    The tokenizer is stateless (its only parameters are the separators),
+    which is why all 250 SA pipelines in Figure 3 share a single instance.
+    """
+
+    name = "Tokenizer"
+    kind = OperatorKind.FEATURIZER
+    input_kind = ValueKind.TEXT
+    output_kind = ValueKind.TOKENS
+    annotations = Annotation.ONE_TO_ONE | Annotation.MEMORY_BOUND
+
+    def __init__(self, lowercase: bool = True, pattern: str = _TOKEN_PATTERN.pattern):
+        self.lowercase = lowercase
+        self.pattern = pattern
+        self._compiled = re.compile(pattern)
+
+    def transform(self, value: Any) -> List[str]:
+        if value is None:
+            return []
+        text = str(value)
+        if self.lowercase:
+            text = text.lower()
+        return self._compiled.findall(text)
+
+    def parameters(self) -> List[Parameter]:
+        return [Parameter("tokenizer.config", {"lowercase": self.lowercase, "pattern": self.pattern})]
+
+    def _config(self) -> Dict[str, Any]:
+        return {"lowercase": self.lowercase, "pattern": self.pattern}
+
+
+class NgramDictionary:
+    """A trained n-gram vocabulary mapping n-grams to feature indices.
+
+    The dictionary is the large shareable object: in the paper these reach
+    tens of megabytes (about one million entries).  It is deliberately a
+    standalone object (not buried inside the featurizer) so the Object Store
+    can hold exactly one copy per distinct trained vocabulary.
+    """
+
+    def __init__(self, ngram_to_index: Dict[str, int], ngram_range: Tuple[int, int]):
+        self.ngram_to_index = ngram_to_index
+        self.ngram_range = ngram_range
+
+    @property
+    def size(self) -> int:
+        return len(self.ngram_to_index)
+
+    @classmethod
+    def train(
+        cls,
+        token_lists: Sequence[Sequence[str]],
+        ngram_range: Tuple[int, int],
+        max_features: int,
+        joiner: str = " ",
+    ) -> "NgramDictionary":
+        """Build a vocabulary of the ``max_features`` most frequent n-grams."""
+        counts: Counter = Counter()
+        low, high = ngram_range
+        for tokens in token_lists:
+            for n in range(low, high + 1):
+                if len(tokens) < n:
+                    continue
+                for start in range(len(tokens) - n + 1):
+                    counts[joiner.join(tokens[start : start + n])] += 1
+        most_common = counts.most_common(max_features)
+        # Sort selected n-grams lexicographically so the mapping is stable
+        # regardless of tie-breaking inside Counter.
+        vocab = sorted(gram for gram, _count in most_common)
+        return cls({gram: idx for idx, gram in enumerate(vocab)}, ngram_range)
+
+    def lookup(self, gram: str) -> Optional[int]:
+        return self.ngram_to_index.get(gram)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NgramDictionary)
+            and self.ngram_range == other.ngram_range
+            and self.ngram_to_index == other.ngram_to_index
+        )
+
+    def __repr__(self) -> str:
+        return f"NgramDictionary(size={self.size}, range={self.ngram_range})"
+
+
+class _NgramFeaturizerBase(Operator):
+    """Common machinery for char- and word-level n-gram featurizers."""
+
+    kind = OperatorKind.FEATURIZER
+    output_kind = ValueKind.VECTOR
+    annotations = Annotation.ONE_TO_ONE | Annotation.MEMORY_BOUND
+    produces_sparse = True
+
+    def __init__(
+        self,
+        ngram_range: Tuple[int, int] = (1, 2),
+        max_features: int = 5000,
+        dictionary: Optional[NgramDictionary] = None,
+        weighting: str = "count",
+    ):
+        if ngram_range[0] < 1 or ngram_range[1] < ngram_range[0]:
+            raise ValueError(f"invalid ngram_range {ngram_range}")
+        if weighting not in ("count", "binary", "tf"):
+            raise ValueError(f"unknown weighting {weighting!r}")
+        self.ngram_range = ngram_range
+        self.max_features = max_features
+        self.dictionary = dictionary
+        self.weighting = weighting
+
+    # -- training ---------------------------------------------------------
+
+    def _units(self, value: Any) -> Sequence[str]:
+        """Turn the input value into the sequence of units to n-gram over."""
+        raise NotImplementedError
+
+    def _joiner(self) -> str:
+        raise NotImplementedError
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
+        unit_lists = [self._units(record) for record in records]
+        self.dictionary = NgramDictionary.train(
+            unit_lists, self.ngram_range, self.max_features, joiner=self._joiner()
+        )
+        return self
+
+    # -- inference --------------------------------------------------------
+
+    def transform(self, value: Any) -> SparseVector:
+        if self.dictionary is None:
+            raise RuntimeError(f"{self.name} used before fit(): no dictionary")
+        units = self._units(value)
+        joiner = self._joiner()
+        low, high = self.ngram_range
+        counts: Dict[int, float] = {}
+        total = 0
+        for n in range(low, high + 1):
+            if len(units) < n:
+                continue
+            for start in range(len(units) - n + 1):
+                gram = joiner.join(units[start : start + n])
+                index = self.dictionary.lookup(gram)
+                total += 1
+                if index is None:
+                    continue
+                if self.weighting == "binary":
+                    counts[index] = 1.0
+                else:
+                    counts[index] = counts.get(index, 0.0) + 1.0
+        if self.weighting == "tf" and total > 0:
+            counts = {idx: val / total for idx, val in counts.items()}
+        if not counts:
+            return SparseVector(np.empty(0, dtype=np.int64), np.empty(0), self.dictionary.size)
+        indices = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+        return SparseVector(indices, values, self.dictionary.size)
+
+    def parameters(self) -> List[Parameter]:
+        params = [
+            Parameter(
+                f"{self.name.lower()}.config",
+                {
+                    "ngram_range": list(self.ngram_range),
+                    "max_features": self.max_features,
+                    "weighting": self.weighting,
+                },
+            )
+        ]
+        if self.dictionary is not None:
+            params.append(
+                Parameter(f"{self.name.lower()}.dictionary", self.dictionary.ngram_to_index)
+            )
+        return params
+
+    def output_size(self) -> Optional[int]:
+        return None if self.dictionary is None else self.dictionary.size
+
+    def _config(self) -> Dict[str, Any]:
+        return {
+            "ngram_range": list(self.ngram_range),
+            "max_features": self.max_features,
+            "weighting": self.weighting,
+        }
+
+
+class WordNgramFeaturizer(_NgramFeaturizerBase):
+    """Bag of word n-grams over a token list."""
+
+    name = "WordNgram"
+    input_kind = ValueKind.TOKENS
+
+    def _units(self, value: Any) -> Sequence[str]:
+        if value is None:
+            return []
+        if isinstance(value, str):
+            raise TypeError("WordNgram expects a token list; run Tokenizer first")
+        return list(value)
+
+    def _joiner(self) -> str:
+        return " "
+
+
+class CharNgramFeaturizer(_NgramFeaturizerBase):
+    """Bag of character n-grams over the concatenated token text."""
+
+    name = "CharNgram"
+    input_kind = ValueKind.TOKENS
+
+    def _units(self, value: Any) -> Sequence[str]:
+        if value is None:
+            return []
+        if isinstance(value, str):
+            text = value
+        else:
+            text = " ".join(value)
+        return list(text)
+
+    def _joiner(self) -> str:
+        return ""

@@ -1,0 +1,458 @@
+"""Tree-based operators: CART trees, forests, tree featurization.
+
+The Attendee Count (AC) pipelines in the paper are ensembles: a
+dimensionality-reduction step runs next to a KMeans clustering and a
+TreeFeaturizer, and their outputs feed a multi-class tree classifier followed
+by a final tree (or forest) that renders the prediction.  These operators
+implement that substrate with a plain CART learner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.operators.base import (
+    Annotation,
+    Operator,
+    OperatorKind,
+    Parameter,
+    ValueKind,
+)
+from repro.operators.vectors import DenseVector, SparseVector, as_vector
+
+__all__ = ["DecisionTree", "RandomForest", "TreeEnsembleClassifier", "TreeFeaturizer"]
+
+
+class _TreeNodes:
+    """Flat array representation of a binary decision tree.
+
+    Children indices of ``-1`` mark leaves.  The flat layout keeps the trained
+    state in a handful of numpy arrays so parameter checksumming, sharing and
+    byte accounting stay simple.
+    """
+
+    def __init__(self) -> None:
+        self.feature: List[int] = []
+        self.threshold: List[float] = []
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self.value: List[float] = []
+
+    def add_node(self, feature: int, threshold: float, value: float) -> int:
+        index = len(self.feature)
+        self.feature.append(feature)
+        self.threshold.append(threshold)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(value)
+        return index
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "feature": np.asarray(self.feature, dtype=np.int64),
+            "threshold": np.asarray(self.threshold, dtype=np.float64),
+            "left": np.asarray(self.left, dtype=np.int64),
+            "right": np.asarray(self.right, dtype=np.int64),
+            "value": np.asarray(self.value, dtype=np.float64),
+        }
+
+
+def _best_split(
+    X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray, min_leaf: int
+) -> Optional[Tuple[int, float, np.ndarray]]:
+    """Find the variance-minimizing split among candidate features.
+
+    The threshold search is vectorized per feature: all candidate thresholds
+    are evaluated with one boolean matrix and two matrix-vector products, so
+    fitting the tree ensembles of the AC workload stays fast in pure numpy.
+    """
+    best_feature = -1
+    best_threshold = 0.0
+    best_score = np.inf
+    n_samples = X.shape[0]
+    parent_score = float(np.var(y)) * n_samples
+    y_squared = y * y
+    for feature in feature_indices:
+        column = X[:, feature]
+        candidates = np.unique(column)
+        if candidates.shape[0] < 2:
+            continue
+        midpoints = (candidates[:-1] + candidates[1:]) / 2.0
+        if midpoints.shape[0] > 16:
+            midpoints = np.unique(np.quantile(column, np.linspace(0.05, 0.95, 16)))
+        left_mask = column[None, :] <= midpoints[:, None]
+        n_left = left_mask.sum(axis=1).astype(np.float64)
+        n_right = n_samples - n_left
+        valid = (n_left >= min_leaf) & (n_right >= min_leaf)
+        if not valid.any():
+            continue
+        sum_left = left_mask @ y
+        sumsq_left = left_mask @ y_squared
+        sum_right = y.sum() - sum_left
+        sumsq_right = y_squared.sum() - sumsq_left
+        with np.errstate(divide="ignore", invalid="ignore"):
+            var_left = sumsq_left - sum_left * sum_left / np.maximum(n_left, 1.0)
+            var_right = sumsq_right - sum_right * sum_right / np.maximum(n_right, 1.0)
+        scores = np.where(valid, var_left + var_right, np.inf)
+        index = int(np.argmin(scores))
+        if scores[index] < best_score - 1e-12:
+            best_score = float(scores[index])
+            best_feature = int(feature)
+            best_threshold = float(midpoints[index])
+    if best_feature < 0 or best_score >= parent_score:
+        return None
+    return best_feature, best_threshold, X[:, best_feature] <= best_threshold
+
+
+class DecisionTree(Operator):
+    """CART regression tree (also used as a building block for classifiers)."""
+
+    name = "DecisionTree"
+    kind = OperatorKind.PREDICTOR
+    input_kind = ValueKind.VECTOR
+    output_kind = ValueKind.SCALAR
+    annotations = Annotation.ONE_TO_ONE | Annotation.COMPUTE_BOUND
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_leaf: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.max_depth = int(max_depth)
+        self.min_leaf = int(min_leaf)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self._nodes: Optional[Dict[str, np.ndarray]] = None
+        self._n_leaves = 0
+
+    # -- training ---------------------------------------------------------
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
+        if labels is None:
+            raise ValueError("DecisionTree requires labels to fit")
+        X = np.vstack([as_vector(r).to_numpy() for r in records])
+        y = np.asarray(labels, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        nodes = _TreeNodes()
+        self._n_leaves = 0
+
+        def build(sample_idx: np.ndarray, depth: int) -> int:
+            node_value = float(np.mean(y[sample_idx]))
+            node_id = nodes.add_node(-1, 0.0, node_value)
+            if depth >= self.max_depth or sample_idx.shape[0] < 2 * self.min_leaf:
+                self._n_leaves += 1
+                return node_id
+            n_features = X.shape[1]
+            if self.max_features is not None and self.max_features < n_features:
+                candidates = rng.choice(n_features, size=self.max_features, replace=False)
+            else:
+                candidates = np.arange(n_features)
+            split = _best_split(X[sample_idx], y[sample_idx], candidates, self.min_leaf)
+            if split is None:
+                self._n_leaves += 1
+                return node_id
+            feature, threshold, mask = split
+            nodes.feature[node_id] = feature
+            nodes.threshold[node_id] = threshold
+            left_id = build(sample_idx[mask], depth + 1)
+            right_id = build(sample_idx[~mask], depth + 1)
+            nodes.left[node_id] = left_id
+            nodes.right[node_id] = right_id
+            return node_id
+
+        build(np.arange(X.shape[0]), 0)
+        self._nodes = nodes.as_arrays()
+        return self
+
+    # -- inference --------------------------------------------------------
+
+    def _leaf_of(self, features: np.ndarray) -> int:
+        assert self._nodes is not None
+        node = 0
+        feature = self._nodes["feature"]
+        threshold = self._nodes["threshold"]
+        left = self._nodes["left"]
+        right = self._nodes["right"]
+        while left[node] != -1:
+            if features[feature[node]] <= threshold[node]:
+                node = int(left[node])
+            else:
+                node = int(right[node])
+        return node
+
+    def transform(self, value: Any) -> float:
+        if self._nodes is None:
+            raise RuntimeError("DecisionTree used before fit()")
+        features = as_vector(value).to_numpy()
+        return float(self._nodes["value"][self._leaf_of(features)])
+
+    def leaf_index(self, value: Any) -> int:
+        """Index of the leaf the record falls into (used by TreeFeaturizer)."""
+        if self._nodes is None:
+            raise RuntimeError("DecisionTree used before fit()")
+        return self._leaf_of(as_vector(value).to_numpy())
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return 0 if self._nodes is None else int(self._nodes["feature"].shape[0])
+
+    def parameters(self) -> List[Parameter]:
+        params = [
+            Parameter(
+                "tree.config",
+                {"max_depth": self.max_depth, "min_leaf": self.min_leaf, "seed": self.seed},
+            )
+        ]
+        if self._nodes is not None:
+            params.append(Parameter("tree.nodes", self._nodes))
+        return params
+
+    def output_size(self) -> Optional[int]:
+        return 1
+
+    def _config(self) -> Dict[str, Any]:
+        return {"max_depth": self.max_depth, "min_leaf": self.min_leaf, "seed": self.seed}
+
+
+class RandomForest(Operator):
+    """Bagged ensemble of regression trees (mean aggregation)."""
+
+    name = "RandomForest"
+    kind = OperatorKind.PREDICTOR
+    input_kind = ValueKind.VECTOR
+    output_kind = ValueKind.SCALAR
+    annotations = Annotation.ONE_TO_ONE | Annotation.COMPUTE_BOUND
+
+    def __init__(
+        self,
+        n_trees: int = 8,
+        max_depth: int = 6,
+        min_leaf: int = 4,
+        feature_fraction: float = 0.7,
+        seed: int = 0,
+    ):
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.min_leaf = int(min_leaf)
+        self.feature_fraction = float(feature_fraction)
+        self.seed = int(seed)
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
+        if labels is None:
+            raise ValueError("RandomForest requires labels to fit")
+        X = [as_vector(r) for r in records]
+        y = np.asarray(labels, dtype=np.float64)
+        n_samples = len(X)
+        n_features = X[0].size if X else 0
+        max_features = max(1, int(round(self.feature_fraction * n_features)))
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        for tree_index in range(self.n_trees):
+            sample = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=max_features,
+                seed=self.seed + tree_index,
+            )
+            tree.fit([X[i] for i in sample], y[sample])
+            self.trees.append(tree)
+        return self
+
+    def transform(self, value: Any) -> float:
+        if not self.trees:
+            raise RuntimeError("RandomForest used before fit()")
+        return float(np.mean([tree.transform(value) for tree in self.trees]))
+
+    def parameters(self) -> List[Parameter]:
+        params = [
+            Parameter(
+                "forest.config",
+                {
+                    "n_trees": self.n_trees,
+                    "max_depth": self.max_depth,
+                    "feature_fraction": self.feature_fraction,
+                    "seed": self.seed,
+                },
+            )
+        ]
+        for index, tree in enumerate(self.trees):
+            tree_params = tree.parameters()
+            for param in tree_params:
+                if param.name == "tree.nodes":
+                    params.append(Parameter(f"forest.tree{index}.nodes", param.value))
+        return params
+
+    def output_size(self) -> Optional[int]:
+        return 1
+
+    def _config(self) -> Dict[str, Any]:
+        return {
+            "n_trees": self.n_trees,
+            "max_depth": self.max_depth,
+            "feature_fraction": self.feature_fraction,
+        }
+
+
+class TreeEnsembleClassifier(Operator):
+    """Multi-class classifier built from one regression tree per class.
+
+    Outputs the vector of per-class scores (one-vs-rest), matching the
+    "multi-class tree-based classifier" stage of the AC pipelines.
+    """
+
+    name = "TreeEnsembleClassifier"
+    kind = OperatorKind.PREDICTOR
+    input_kind = ValueKind.VECTOR
+    output_kind = ValueKind.VECTOR
+    annotations = Annotation.ONE_TO_ONE | Annotation.COMPUTE_BOUND
+
+    def __init__(
+        self,
+        n_classes: int = 3,
+        max_depth: int = 5,
+        min_leaf: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.n_classes = int(n_classes)
+        self.max_depth = int(max_depth)
+        self.min_leaf = int(min_leaf)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
+        if labels is None:
+            raise ValueError("TreeEnsembleClassifier requires labels to fit")
+        y = np.asarray(labels)
+        self.trees = []
+        for cls in range(self.n_classes):
+            indicator = (y == cls).astype(np.float64)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=self.max_features,
+                seed=self.seed + cls,
+            )
+            tree.fit(records, indicator)
+            self.trees.append(tree)
+        return self
+
+    def transform(self, value: Any) -> DenseVector:
+        if not self.trees:
+            raise RuntimeError("TreeEnsembleClassifier used before fit()")
+        scores = np.array([tree.transform(value) for tree in self.trees])
+        return DenseVector(scores)
+
+    def predict_class(self, value: Any) -> int:
+        return int(np.argmax(self.transform(value).values))
+
+    def parameters(self) -> List[Parameter]:
+        params = [
+            Parameter(
+                "treeclassifier.config",
+                {"n_classes": self.n_classes, "max_depth": self.max_depth, "seed": self.seed},
+            )
+        ]
+        for index, tree in enumerate(self.trees):
+            for param in tree.parameters():
+                if param.name == "tree.nodes":
+                    params.append(Parameter(f"treeclassifier.tree{index}.nodes", param.value))
+        return params
+
+    def output_size(self) -> Optional[int]:
+        return self.n_classes
+
+    def _config(self) -> Dict[str, Any]:
+        return {"n_classes": self.n_classes, "max_depth": self.max_depth}
+
+
+class TreeFeaturizer(Operator):
+    """Encode a record as the one-hot concatenation of per-tree leaf indices.
+
+    This is the classic "gradient-boosted trees as featurizer" trick: the
+    position of a record in each tree of a small forest becomes a sparse
+    categorical feature for a downstream model.
+    """
+
+    name = "TreeFeaturizer"
+    kind = OperatorKind.FEATURIZER
+    input_kind = ValueKind.VECTOR
+    output_kind = ValueKind.VECTOR
+    annotations = Annotation.ONE_TO_ONE | Annotation.COMPUTE_BOUND
+    produces_sparse = True
+
+    def __init__(
+        self,
+        n_trees: int = 4,
+        max_depth: int = 4,
+        min_leaf: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.min_leaf = int(min_leaf)
+        self.max_features = max_features
+        self.seed = int(seed)
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
+        if labels is None:
+            raise ValueError("TreeFeaturizer requires labels to fit")
+        X = [as_vector(r) for r in records]
+        y = np.asarray(labels, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        n_samples = len(X)
+        self.trees = []
+        for tree_index in range(self.n_trees):
+            sample = rng.integers(0, n_samples, size=n_samples)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_leaf=self.min_leaf,
+                max_features=self.max_features,
+                seed=self.seed + tree_index,
+            )
+            tree.fit([X[i] for i in sample], y[sample])
+            self.trees.append(tree)
+        return self
+
+    def transform(self, value: Any) -> SparseVector:
+        if not self.trees:
+            raise RuntimeError("TreeFeaturizer used before fit()")
+        indices: List[int] = []
+        offset = 0
+        for tree in self.trees:
+            indices.append(offset + tree.leaf_index(value))
+            offset += tree.n_nodes
+        total = offset
+        return SparseVector(
+            np.asarray(indices, dtype=np.int64), np.ones(len(indices), dtype=np.float64), total
+        )
+
+    def parameters(self) -> List[Parameter]:
+        params = [
+            Parameter(
+                "treefeaturizer.config",
+                {"n_trees": self.n_trees, "max_depth": self.max_depth, "seed": self.seed},
+            )
+        ]
+        for index, tree in enumerate(self.trees):
+            for param in tree.parameters():
+                if param.name == "tree.nodes":
+                    params.append(Parameter(f"treefeaturizer.tree{index}.nodes", param.value))
+        return params
+
+    def output_size(self) -> Optional[int]:
+        return sum(tree.n_nodes for tree in self.trees) if self.trees else None
+
+    def _config(self) -> Dict[str, Any]:
+        return {"n_trees": self.n_trees, "max_depth": self.max_depth}

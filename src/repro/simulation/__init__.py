@@ -1,0 +1,37 @@
+"""Virtual-time simulation of multi-core serving.
+
+Python threads cannot exhibit linear multi-core scaling under the GIL, so the
+throughput and heavy-load experiments (Figures 12-14) run the serving
+systems' *scheduling behaviour* in virtual time: per-stage and per-request
+service times are measured from the real implementations (calibration), and a
+discrete-event simulator replays request arrivals over N simulated cores
+using the same queueing policies the real schedulers implement (thread-per-
+request for the black-box systems, two-priority-queue late-binding stage
+scheduling with optional reservations for PRETZEL).
+
+See DESIGN.md, substitution #5.
+"""
+
+from repro.simulation.calibrate import (
+    CalibratedPlan,
+    calibrate_blackbox,
+    calibrate_container,
+    calibrate_plan_stages,
+)
+from repro.simulation.queueing import (
+    ArrivalProcess,
+    SimulationResult,
+    simulate_stage_scheduler,
+    simulate_thread_per_request,
+)
+
+__all__ = [
+    "CalibratedPlan",
+    "calibrate_plan_stages",
+    "calibrate_blackbox",
+    "calibrate_container",
+    "ArrivalProcess",
+    "SimulationResult",
+    "simulate_thread_per_request",
+    "simulate_stage_scheduler",
+]

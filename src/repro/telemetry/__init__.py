@@ -1,0 +1,17 @@
+"""Measurement infrastructure: latency recorders, throughput, memory, reports."""
+
+from repro.telemetry.latency import LatencyRecorder, percentile, summarize_latencies
+from repro.telemetry.memory import MemoryReport, cumulative_memory_curve, format_bytes
+from repro.telemetry.reporting import format_table, format_cdf, ExperimentReport
+
+__all__ = [
+    "LatencyRecorder",
+    "percentile",
+    "summarize_latencies",
+    "MemoryReport",
+    "cumulative_memory_curve",
+    "format_bytes",
+    "format_table",
+    "format_cdf",
+    "ExperimentReport",
+]

@@ -1,0 +1,73 @@
+"""Memory accounting helpers used by the Figure 8 / Figure 3 reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["format_bytes", "MemoryReport", "cumulative_memory_curve"]
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte counts (10.0KB, 3.2MB, 1.5GB)."""
+    value = float(n_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}TB"
+
+
+@dataclass
+class MemoryReport:
+    """Per-system memory series (one value per number of loaded models)."""
+
+    series: Dict[str, List[int]] = field(default_factory=dict)
+
+    def record(self, system: str, total_bytes: int) -> None:
+        self.series.setdefault(system, []).append(int(total_bytes))
+
+    def final(self, system: str) -> int:
+        values = self.series.get(system, [])
+        if not values:
+            raise KeyError(f"no samples recorded for {system!r}")
+        return values[-1]
+
+    def ratio(self, baseline: str, improved: str) -> float:
+        """How many times less memory ``improved`` uses than ``baseline``."""
+        return self.final(baseline) / max(self.final(improved), 1)
+
+    def systems(self) -> List[str]:
+        return list(self.series)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per system: final footprint plus the per-model curve length."""
+        return [
+            {
+                "system": system,
+                "models": len(values),
+                "total_bytes": values[-1],
+                "total": format_bytes(values[-1]),
+            }
+            for system, values in self.series.items()
+        ]
+
+
+def cumulative_memory_curve(
+    memory_fn: Callable[[], int],
+    load_fn: Callable[[int], None],
+    n_models: int,
+    sample_every: int = 10,
+) -> List[Tuple[int, int]]:
+    """Load models one by one and sample the resident footprint.
+
+    ``load_fn(i)`` loads the i-th model into the system under test;
+    ``memory_fn()`` returns its current footprint.  Returns (models_loaded,
+    bytes) pairs -- the series plotted in Figure 8.
+    """
+    curve: List[Tuple[int, int]] = []
+    for index in range(n_models):
+        load_fn(index)
+        if (index + 1) % sample_every == 0 or index == n_models - 1:
+            curve.append((index + 1, memory_fn()))
+    return curve

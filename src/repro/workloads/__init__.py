@@ -1,0 +1,38 @@
+"""Workload generators reproducing the paper's two pipeline families.
+
+The paper evaluates 250 Sentiment Analysis (SA) pipelines and 250 Attendee
+Count (AC) pipelines that are internal to Microsoft; we cannot use those, so
+this package generates families with the same *sharing structure*:
+
+* SA pipelines share a single Tokenizer/Concat configuration and draw their
+  Char/Word n-gram featurizers from a handful of trained dictionary versions
+  (Figure 3), while every pipeline owns a unique linear model;
+* AC pipelines are ensembles over structured 40-feature records, drawing PCA,
+  KMeans, TreeFeaturizer and classifier components from shared pools while
+  owning per-pipeline imputation/normalization parameters and final
+  predictors -- plenty of parameter sharing, but little opportunity for
+  sub-plan materialization, as in the paper.
+
+Synthetic datasets (a Zipfian-vocabulary review corpus and a correlated
+tabular event stream) stand in for the Amazon Review dataset and the internal
+event records.
+"""
+
+from repro.workloads.text_data import ReviewCorpus, generate_reviews
+from repro.workloads.events_data import EventDataset, generate_events
+from repro.workloads.sentiment import SentimentFamily, build_sentiment_family
+from repro.workloads.attendee import AttendeeFamily, build_attendee_family
+from repro.workloads.zipf import zipf_weights, zipf_request_sequence
+
+__all__ = [
+    "ReviewCorpus",
+    "generate_reviews",
+    "EventDataset",
+    "generate_events",
+    "SentimentFamily",
+    "build_sentiment_family",
+    "AttendeeFamily",
+    "build_attendee_family",
+    "zipf_weights",
+    "zipf_request_sequence",
+]

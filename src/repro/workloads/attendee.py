@@ -1,0 +1,269 @@
+"""The Attendee Count (AC) pipeline family.
+
+250 regression pipelines over structured 40-feature event records (Table 1).
+Each pipeline follows the ensemble structure the paper describes: after
+per-pipeline imputation and normalization, a dimensionality-reduction step
+(PCA) runs next to a KMeans clustering and a TreeFeaturizer; their outputs are
+concatenated and fed to a multi-class tree classifier, whose class scores the
+final predictor turns into an attendee count.
+
+Sharing structure: pipelines are fine-tuned variants of a bounded set of
+*configurations* (combinations of trained PCA / KMeans / TreeFeaturizer /
+classifier versions drawn from shared pools) -- so parameters are heavily
+shared across pipelines, matching the paper's large memory reduction for AC --
+while the cheap per-pipeline imputer/normalizer and the final predictor are
+unique to each pipeline.  Because the per-pipeline normalization differs, the
+values flowing into the shared stages differ between pipelines, so sub-plan
+materialization has little to cache for AC (again matching the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.statistics import TransformStats
+from repro.mlnet.pipeline import Pipeline
+from repro.operators.clustering import KMeans
+from repro.operators.decomposition import PCA
+from repro.operators.featurizers import (
+    ColumnSelector,
+    ConcatFeaturizer,
+    MinMaxNormalizer,
+    MissingValueImputer,
+)
+from repro.operators.linear import LinearRegressor, PoissonRegressor
+from repro.operators.trees import DecisionTree, TreeEnsembleClassifier, TreeFeaturizer
+from repro.operators.vectors import DenseVector
+from repro.workloads.events_data import FEATURE_NAMES, EventDataset, generate_events
+from repro.workloads.sentiment import GeneratedPipeline
+from repro.workloads.zipf import zipf_weights
+
+__all__ = ["AttendeeFamily", "build_attendee_family", "ComponentPools", "Configuration"]
+
+
+@dataclass
+class ComponentPools:
+    """Shared trained components the AC pipelines draw from."""
+
+    pcas: List[PCA]
+    kmeans: List[KMeans]
+    tree_featurizers: List[TreeFeaturizer]
+
+
+@dataclass
+class Configuration:
+    """One (pca, kmeans, tree featurizer, classifier) combination.
+
+    Real deployments fine-tune a handful of default configurations; every AC
+    pipeline is a member of one configuration plus per-pipeline parameters.
+    """
+
+    index: int
+    pca_version: int
+    kmeans_version: int
+    tree_version: int
+    classifier: TreeEnsembleClassifier
+    branch_sizes: List[int]
+
+
+@dataclass
+class AttendeeFamily:
+    """The generated AC family plus its shared assets."""
+
+    pipelines: List[GeneratedPipeline]
+    dataset: EventDataset
+    pools: ComponentPools
+    configurations: List[Configuration]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.pipelines)
+
+    def sample_inputs(self, count: int, seed: int = 103) -> List[Dict[str, float]]:
+        dataset = generate_events(n_events=count, seed=seed)
+        return dataset.records
+
+
+def _normalized_matrix(dataset: EventDataset) -> np.ndarray:
+    """Impute + scale the training matrix once, for fitting pool components."""
+    selector = ColumnSelector(FEATURE_NAMES)
+    rows = [selector.transform(record) for record in dataset.records]
+    imputer = MissingValueImputer().fit(rows)
+    imputed = [imputer.transform(row) for row in rows]
+    normalizer = MinMaxNormalizer().fit(imputed)
+    normalized = [normalizer.transform(row) for row in imputed]
+    return np.vstack([vec.to_numpy() for vec in normalized])
+
+
+def build_attendee_family(
+    n_pipelines: int = 250,
+    dataset: Optional[EventDataset] = None,
+    n_pca_versions: int = 6,
+    n_kmeans_versions: int = 5,
+    n_tree_featurizer_versions: int = 5,
+    n_configurations: int = 20,
+    tree_featurizer_trees: int = 10,
+    tree_featurizer_depth: int = 6,
+    seed: int = 41,
+) -> AttendeeFamily:
+    """Generate the AC pipeline family.
+
+    ``n_configurations`` bounds how many distinct classifier combinations are
+    trained; pipelines are assigned to configurations with a skewed
+    (Zipf-like) popularity, mirroring how a few default configurations are
+    fine-tuned into many deployed variants.
+    """
+    rng = np.random.default_rng(seed)
+    dataset = dataset or generate_events(n_events=320, seed=seed)
+    matrix = _normalized_matrix(dataset)
+    rows = [DenseVector(row) for row in matrix]
+    labels = np.asarray(dataset.labels)
+    class_labels = dataset.class_labels(n_classes=3)
+
+    pools = ComponentPools(
+        pcas=[PCA(n_components=4 + 2 * (index % 4)).fit(rows) for index in range(n_pca_versions)],
+        kmeans=[
+            KMeans(n_clusters=4 + 2 * (index % 4), seed=seed + index, max_iterations=25).fit(rows)
+            for index in range(n_kmeans_versions)
+        ],
+        tree_featurizers=[
+            TreeFeaturizer(
+                n_trees=tree_featurizer_trees,
+                max_depth=tree_featurizer_depth,
+                seed=seed + 31 * index,
+            ).fit(rows, labels)
+            for index in range(n_tree_featurizer_versions)
+        ],
+    )
+
+    # Pre-compute branch outputs per version once; configuration training and
+    # final-predictor fitting reuse them.
+    pca_outputs = [[op.transform(row) for row in rows] for op in pools.pcas]
+    kmeans_outputs = [[op.transform(row) for row in rows] for op in pools.kmeans]
+    tree_outputs = [[op.transform(row) for row in rows] for op in pools.tree_featurizers]
+
+    configurations: List[Configuration] = []
+    score_rows_by_config: List[List[DenseVector]] = []
+    for config_index in range(n_configurations):
+        pca_version = int(rng.integers(0, n_pca_versions))
+        kmeans_version = int(rng.integers(0, n_kmeans_versions))
+        tree_version = int(rng.integers(0, n_tree_featurizer_versions))
+        concat_rows = [
+            DenseVector(
+                np.concatenate(
+                    [
+                        pca_outputs[pca_version][i].to_numpy(),
+                        kmeans_outputs[kmeans_version][i].to_numpy(),
+                        tree_outputs[tree_version][i].to_numpy(),
+                    ]
+                )
+            )
+            for i in range(len(rows))
+        ]
+        classifier = TreeEnsembleClassifier(
+            n_classes=3,
+            max_depth=3 + config_index % 3,
+            max_features=32,
+            seed=seed + 7 * config_index,
+        )
+        classifier.fit(concat_rows, class_labels)
+        branch_sizes = [
+            pools.pcas[pca_version].output_size() or 0,
+            pools.kmeans[kmeans_version].output_size() or 0,
+            pools.tree_featurizers[tree_version].output_size() or 0,
+        ]
+        configurations.append(
+            Configuration(
+                index=config_index,
+                pca_version=pca_version,
+                kmeans_version=kmeans_version,
+                tree_version=tree_version,
+                classifier=classifier,
+                branch_sizes=branch_sizes,
+            )
+        )
+        score_rows_by_config.append([classifier.transform(row) for row in concat_rows])
+
+    # Assign pipelines to configurations with skewed popularity.
+    config_weights = zipf_weights(n_configurations, alpha=1.2)
+    config_assignment = rng.choice(n_configurations, size=n_pipelines, p=config_weights)
+
+    generated: List[GeneratedPipeline] = []
+    for index in range(n_pipelines):
+        configuration = configurations[int(config_assignment[index])]
+        pca = pools.pcas[configuration.pca_version]
+        kmeans = pools.kmeans[configuration.kmeans_version]
+        tree_featurizer = pools.tree_featurizers[configuration.tree_version]
+        classifier = configuration.classifier
+        score_rows = score_rows_by_config[configuration.index]
+
+        # Per-pipeline imputer/normalizer trained on a bootstrap subsample, so
+        # early-stage parameters (and the values fed to shared components)
+        # differ slightly between pipelines.
+        sample = rng.integers(0, len(dataset.records), size=max(64, len(dataset.records) // 2))
+        selector = ColumnSelector(FEATURE_NAMES)
+        sampled_rows = [selector.transform(dataset.records[i]) for i in sample]
+        imputer = MissingValueImputer().fit(sampled_rows)
+        normalizer = MinMaxNormalizer().fit([imputer.transform(r) for r in sampled_rows])
+
+        # Per-pipeline final predictor over the configuration's class scores.
+        final_kind = index % 3
+        if final_kind == 0:
+            final: object = LinearRegressor(l2=1e-3)
+            final.fit(score_rows, labels)
+        elif final_kind == 1:
+            final = PoissonRegressor(epochs=8, learning_rate=0.05)
+            final.fit(score_rows, np.maximum(labels, 0.0))
+        else:
+            final = DecisionTree(max_depth=3, min_leaf=8, seed=seed + index)
+            final.fit(score_rows, labels)
+
+        branch_sizes = configuration.branch_sizes
+        pipeline = Pipeline(f"ac-{index:03d}")
+        pipeline.add("selector", ColumnSelector(FEATURE_NAMES), ["input"])
+        pipeline.add("imputer", imputer, ["selector"])
+        pipeline.add("normalizer", normalizer, ["imputer"])
+        pipeline.add("pca", pca, ["normalizer"])
+        pipeline.add("kmeans", kmeans, ["normalizer"])
+        pipeline.add("tree_featurizer", tree_featurizer, ["normalizer"])
+        pipeline.add("concat", ConcatFeaturizer(branch_sizes), ["pca", "kmeans", "tree_featurizer"])
+        pipeline.add("classifier", classifier, ["concat"])
+        pipeline.add("final", final, ["classifier"])
+
+        stats = {
+            "selector": TransformStats(
+                max_vector_size=len(FEATURE_NAMES), avg_nnz=len(FEATURE_NAMES), density=1.0
+            ),
+            "normalizer": TransformStats(
+                max_vector_size=len(FEATURE_NAMES), avg_nnz=len(FEATURE_NAMES), density=1.0
+            ),
+            "concat": TransformStats(
+                max_vector_size=sum(branch_sizes), avg_nnz=float(sum(branch_sizes)), density=1.0
+            ),
+            "classifier": TransformStats(max_vector_size=3, avg_nnz=3.0, density=1.0),
+            "final": TransformStats(max_vector_size=1, avg_nnz=1.0, density=1.0),
+        }
+        generated.append(
+            GeneratedPipeline(
+                name=pipeline.name,
+                pipeline=pipeline,
+                stats=stats,
+                category="AC",
+                components={
+                    "configuration": configuration.index,
+                    "pca": configuration.pca_version,
+                    "kmeans": configuration.kmeans_version,
+                    "tree_featurizer": configuration.tree_version,
+                },
+            )
+        )
+    return AttendeeFamily(
+        pipelines=generated,
+        dataset=dataset,
+        pools=pools,
+        configurations=configurations,
+        seed=seed,
+    )

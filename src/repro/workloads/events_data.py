@@ -1,0 +1,82 @@
+"""Synthetic structured event records (stand-in for the internal AC dataset).
+
+Each record has 40 numeric features (Table 1: "Structured Text, 40
+dimensions") describing an event -- audience size proxies, seasonal signals,
+engagement counters -- with a small fraction of missing values.  The label is
+the attendee count, generated from a non-linear mixture of the features plus
+noise so that tree ensembles have something real to learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["EventDataset", "generate_events", "FEATURE_NAMES"]
+
+N_FEATURES = 40
+FEATURE_NAMES: List[str] = [f"f{index}" for index in range(N_FEATURES)]
+
+
+@dataclass
+class EventDataset:
+    """Labelled structured records for the Attendee Count task."""
+
+    records: List[Dict[str, float]]
+    labels: List[float]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def split(self, train_fraction: float = 0.8) -> Tuple["EventDataset", "EventDataset"]:
+        cut = int(len(self.records) * train_fraction)
+        return (
+            EventDataset(self.records[:cut], self.labels[:cut], self.seed),
+            EventDataset(self.records[cut:], self.labels[cut:], self.seed),
+        )
+
+    def class_labels(self, n_classes: int = 3) -> List[int]:
+        """Bucketize attendee counts into classes (for the classifier stage)."""
+        values = np.asarray(self.labels)
+        edges = np.quantile(values, np.linspace(0, 1, n_classes + 1)[1:-1])
+        return [int(np.searchsorted(edges, value)) for value in values]
+
+
+def generate_events(
+    n_events: int = 400,
+    missing_fraction: float = 0.03,
+    seed: int = 11,
+) -> EventDataset:
+    """Generate ``n_events`` records with 40 correlated numeric features."""
+    rng = np.random.default_rng(seed)
+    # Latent factors create correlations across the 40 observed features.
+    latent = rng.normal(size=(n_events, 6))
+    mixing = rng.normal(scale=0.8, size=(6, N_FEATURES))
+    observed = latent @ mixing + rng.normal(scale=0.4, size=(n_events, N_FEATURES))
+    # A few features get distinct scales, as in real telemetry.
+    scales = np.concatenate(
+        [np.full(10, 1.0), np.full(10, 10.0), np.full(10, 100.0), np.full(10, 0.1)]
+    )
+    observed = observed * scales + scales
+    labels = (
+        40.0
+        + 12.0 * np.tanh(latent[:, 0])
+        + 8.0 * (latent[:, 1] > 0.3)
+        + 5.0 * np.abs(latent[:, 2])
+        + 3.0 * latent[:, 3] * latent[:, 4]
+        + rng.normal(scale=2.0, size=n_events)
+    )
+    labels = np.clip(labels, 1.0, None)
+    records: List[Dict[str, float]] = []
+    for row_index in range(n_events):
+        record: Dict[str, float] = {}
+        for feature_index, name in enumerate(FEATURE_NAMES):
+            if rng.random() < missing_fraction:
+                record[name] = float("nan")
+            else:
+                record[name] = float(observed[row_index, feature_index])
+        records.append(record)
+    return EventDataset(records=records, labels=[float(v) for v in labels], seed=seed)

@@ -1,0 +1,271 @@
+"""The Sentiment Analysis (SA) pipeline family.
+
+250 production variants of the Figure 1 pipeline: ``Tokenizer -> {CharNgram,
+WordNgram} -> Concat -> LogisticRegression``.  The family mirrors the sharing
+structure of Figure 3:
+
+* one Tokenizer / Concat configuration shared by every pipeline,
+* a handful of Char- and Word-n-gram dictionary *versions* (trained with
+  different hyper-parameters), with a popularity distribution in which a few
+  versions serve most pipelines and the rest serve only a handful, and
+* a unique linear model per pipeline (its weights are the only state that can
+  never be shared).
+
+Dictionary sizes are scaled down from the paper's 59-83 MB (roughly 1/64) so
+the full family trains and loads on a laptop while preserving the relative
+sizes between operators and the sharing ratios between pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.statistics import TransformStats
+from repro.mlnet.pipeline import Pipeline
+from repro.operators.featurizers import ConcatFeaturizer
+from repro.operators.linear import LogisticRegressionClassifier
+from repro.operators.text import (
+    CharNgramFeaturizer,
+    NgramDictionary,
+    Tokenizer,
+    WordNgramFeaturizer,
+)
+from repro.workloads.text_data import ReviewCorpus, generate_reviews
+
+__all__ = ["GeneratedPipeline", "SentimentFamily", "build_sentiment_family"]
+
+#: hyper-parameters of the n-gram dictionary versions (Figure 3 shows 6 char
+#: and 7 word versions); (ngram_range, max_features)
+_CHAR_VERSION_SPECS: List[Tuple[Tuple[int, int], int]] = [
+    ((2, 3), 6000),
+    ((2, 4), 9000),
+    ((3, 4), 7000),
+    ((2, 3), 3000),
+    ((3, 5), 8000),
+    ((2, 5), 12000),
+]
+_WORD_VERSION_SPECS: List[Tuple[Tuple[int, int], int]] = [
+    ((1, 2), 16000),
+    ((1, 2), 12000),
+    ((1, 1), 3000),
+    ((1, 3), 20000),
+    ((2, 2), 9000),
+    ((1, 2), 7000),
+    ((2, 3), 11000),
+]
+#: how many of the 250 pipelines use each version (mirrors Figure 3's counts)
+_CHAR_VERSION_POPULARITY = [85, 86, 46, 8, 18, 7]
+_WORD_VERSION_POPULARITY = [86, 85, 46, 9, 9, 8, 7]
+
+
+@dataclass
+class GeneratedPipeline:
+    """One member of a generated pipeline family."""
+
+    name: str
+    pipeline: Pipeline
+    stats: Dict[str, TransformStats]
+    category: str
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def memory_bytes(self) -> int:
+        return self.pipeline.memory_bytes()
+
+
+@dataclass
+class SentimentFamily:
+    """The generated SA family plus the assets shared by its members."""
+
+    pipelines: List[GeneratedPipeline]
+    corpus: ReviewCorpus
+    char_versions: List[CharNgramFeaturizer]
+    word_versions: List[WordNgramFeaturizer]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.pipelines)
+
+    def sample_inputs(self, count: int, seed: int = 101) -> List[str]:
+        """Fresh review texts to score (not part of the training corpus)."""
+        corpus = generate_reviews(n_reviews=count, vocabulary_size=self.corpus.vocabulary_size, seed=seed)
+        return corpus.texts
+
+    def operator_sharing_report(self) -> List[Dict[str, object]]:
+        """Rows of the Figure 3 reproduction: version, pipelines using it, size."""
+        rows: List[Dict[str, object]] = []
+        tokenizer_bytes = self.pipelines[0].pipeline.nodes["tokenizer"].operator.memory_bytes()
+        concat_bytes = self.pipelines[0].pipeline.nodes["concat"].operator.memory_bytes()
+        rows.append({"operator": "Tokenize", "version": 0, "pipelines": len(self.pipelines), "bytes": tokenizer_bytes})
+        rows.append({"operator": "Concat", "version": 0, "pipelines": len(self.pipelines), "bytes": concat_bytes})
+        for kind, versions in (("CharNgram", self.char_versions), ("WordNgram", self.word_versions)):
+            for version_index, featurizer in enumerate(versions):
+                users = sum(
+                    1
+                    for generated in self.pipelines
+                    if generated.components.get(kind.lower()) == version_index
+                )
+                rows.append(
+                    {
+                        "operator": kind,
+                        "version": version_index,
+                        "pipelines": users,
+                        "bytes": featurizer.memory_bytes(),
+                    }
+                )
+        return rows
+
+
+def _sentiment_informed_weights(
+    char_dict: NgramDictionary,
+    word_dict: NgramDictionary,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, float]:
+    """Cheap, deterministic per-pipeline weights that still encode sentiment.
+
+    Training 250 logistic regressions over tens of thousands of features is
+    not what the serving experiments measure, so by default the family
+    synthesizes plausible weights: word n-grams containing sentiment words get
+    signed weights, everything else gets small noise.  (Pass
+    ``train_predictors=True`` to :func:`build_sentiment_family` for real
+    training on small families.)
+    """
+    from repro.workloads.text_data import _NEGATIVE_WORDS, _POSITIVE_WORDS
+
+    positive = set(_POSITIVE_WORDS)
+    negative = set(_NEGATIVE_WORDS)
+    char_weights = rng.normal(scale=0.01, size=char_dict.size)
+    word_weights = rng.normal(scale=0.02, size=word_dict.size)
+    for gram, index in word_dict.ngram_to_index.items():
+        tokens = set(gram.split(" "))
+        if tokens & positive:
+            word_weights[index] = abs(rng.normal(loc=0.6, scale=0.15))
+        elif tokens & negative:
+            word_weights[index] = -abs(rng.normal(loc=0.6, scale=0.15))
+    weights = np.concatenate([char_weights, word_weights])
+    bias = float(rng.normal(scale=0.05))
+    return weights, bias
+
+
+def _expand_popularity(popularity: Sequence[int], n_pipelines: int, rng: np.random.Generator) -> List[int]:
+    """Turn per-version counts into a per-pipeline version assignment."""
+    assignment: List[int] = []
+    for version_index, count in enumerate(popularity):
+        assignment.extend([version_index] * count)
+    while len(assignment) < n_pipelines:
+        assignment.append(int(rng.integers(0, len(popularity))))
+    assignment = assignment[:n_pipelines]
+    rng.shuffle(assignment)
+    return assignment
+
+
+def build_sentiment_family(
+    n_pipelines: int = 250,
+    corpus: Optional[ReviewCorpus] = None,
+    n_char_versions: int = 6,
+    n_word_versions: int = 7,
+    train_predictors: bool = False,
+    seed: int = 23,
+) -> SentimentFamily:
+    """Generate the SA pipeline family.
+
+    ``train_predictors=True`` trains every pipeline's logistic regression for
+    real (use only with small families -- it densifies the n-gram features);
+    the default synthesizes sentiment-informed weights, which is what the
+    serving benchmarks need.
+    """
+    rng = np.random.default_rng(seed)
+    corpus = corpus or generate_reviews(n_reviews=1200, vocabulary_size=4000, seed=seed)
+    tokenizer_proto = Tokenizer()
+    token_lists = [tokenizer_proto.transform(text) for text in corpus.texts]
+
+    char_versions: List[CharNgramFeaturizer] = []
+    for spec_index in range(n_char_versions):
+        ngram_range, max_features = _CHAR_VERSION_SPECS[spec_index % len(_CHAR_VERSION_SPECS)]
+        featurizer = CharNgramFeaturizer(ngram_range=ngram_range, max_features=max_features)
+        featurizer.fit(token_lists)
+        char_versions.append(featurizer)
+    word_versions: List[WordNgramFeaturizer] = []
+    for spec_index in range(n_word_versions):
+        ngram_range, max_features = _WORD_VERSION_SPECS[spec_index % len(_WORD_VERSION_SPECS)]
+        featurizer = WordNgramFeaturizer(ngram_range=ngram_range, max_features=max_features)
+        featurizer.fit(token_lists)
+        word_versions.append(featurizer)
+
+    char_assignment = _expand_popularity(
+        _CHAR_VERSION_POPULARITY[:n_char_versions], n_pipelines, rng
+    )
+    word_assignment = _expand_popularity(
+        _WORD_VERSION_POPULARITY[:n_word_versions], n_pipelines, rng
+    )
+
+    generated: List[GeneratedPipeline] = []
+    for index in range(n_pipelines):
+        char_index = char_assignment[index]
+        word_index = word_assignment[index]
+        char_proto = char_versions[char_index]
+        word_proto = word_versions[word_index]
+        # Fresh operator instances per pipeline (each model file is its own
+        # black box); the trained dictionaries are shared objects, so the
+        # Object Store will find identical checksums.
+        char_op = CharNgramFeaturizer(
+            ngram_range=char_proto.ngram_range,
+            max_features=char_proto.max_features,
+            dictionary=char_proto.dictionary,
+        )
+        word_op = WordNgramFeaturizer(
+            ngram_range=word_proto.ngram_range,
+            max_features=word_proto.max_features,
+            dictionary=word_proto.dictionary,
+        )
+        char_size = char_op.output_size() or 0
+        word_size = word_op.output_size() or 0
+        classifier = LogisticRegressionClassifier()
+        pipeline = Pipeline(f"sa-{index:03d}")
+        pipeline.add("tokenizer", Tokenizer(), ["input"])
+        pipeline.add("char_ngram", char_op, ["tokenizer"])
+        pipeline.add("word_ngram", word_op, ["tokenizer"])
+        pipeline.add("concat", ConcatFeaturizer([char_size, word_size]), ["char_ngram", "word_ngram"])
+        pipeline.add("classifier", classifier, ["concat"])
+        if train_predictors:
+            pipeline.fit(corpus.texts, corpus.labels)
+        else:
+            pipeline_rng = np.random.default_rng(seed * 1000 + index)
+            weights, bias = _sentiment_informed_weights(
+                char_op.dictionary, word_op.dictionary, pipeline_rng
+            )
+            classifier.weights = weights
+            classifier.bias = bias
+        stats = {
+            "char_ngram": TransformStats(
+                max_vector_size=char_size, avg_nnz=80.0, density=80.0 / max(char_size, 1), is_sparse=True
+            ),
+            "word_ngram": TransformStats(
+                max_vector_size=word_size, avg_nnz=40.0, density=40.0 / max(word_size, 1), is_sparse=True
+            ),
+            "concat": TransformStats(
+                max_vector_size=char_size + word_size,
+                avg_nnz=120.0,
+                density=120.0 / max(char_size + word_size, 1),
+                is_sparse=True,
+            ),
+            "classifier": TransformStats(max_vector_size=1, avg_nnz=1.0, density=1.0),
+        }
+        generated.append(
+            GeneratedPipeline(
+                name=pipeline.name,
+                pipeline=pipeline,
+                stats=stats,
+                category="SA",
+                components={"charngram": char_index, "wordngram": word_index},
+            )
+        )
+    return SentimentFamily(
+        pipelines=generated,
+        corpus=corpus,
+        char_versions=char_versions,
+        word_versions=word_versions,
+        seed=seed,
+    )

@@ -1,0 +1,50 @@
+"""Skewed (Zipf) request generation for the heavy-load experiments.
+
+Section 5.4 submits requests following a Zipf distribution with alpha = 2:
+the number of requests to the i-th most popular model is proportional to
+``i ** -alpha``.  The helpers here turn a list of plan ids into such a
+request sequence deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["zipf_weights", "zipf_request_sequence"]
+
+T = TypeVar("T")
+
+
+def zipf_weights(n_items: int, alpha: float = 2.0) -> np.ndarray:
+    """Normalized Zipf popularity weights for ``n_items`` ranked items."""
+    if n_items < 1:
+        raise ValueError("n_items must be >= 1")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-float(alpha))
+    return weights / weights.sum()
+
+
+def zipf_request_sequence(
+    items: Sequence[T],
+    n_requests: int,
+    alpha: float = 2.0,
+    seed: int = 0,
+    shuffle_ranks: bool = True,
+) -> List[T]:
+    """Draw ``n_requests`` items with Zipfian popularity.
+
+    ``shuffle_ranks`` randomizes which item gets which popularity rank (so the
+    "popular" models are not always the first ones registered).
+    """
+    rng = np.random.default_rng(seed)
+    items = list(items)
+    if shuffle_ranks:
+        order = rng.permutation(len(items))
+        ranked = [items[i] for i in order]
+    else:
+        ranked = items
+    weights = zipf_weights(len(ranked), alpha)
+    draws = rng.choice(len(ranked), size=n_requests, p=weights)
+    return [ranked[i] for i in draws]

@@ -1,0 +1,193 @@
+"""Tests for Flour programs and the Oven optimizer (rules, steps, plans)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PretzelConfig
+from repro.core.flour import FlourContext, flour_from_pipeline
+from repro.core.object_store import ObjectStore
+from repro.core.oven.compiler import ModelPlanCompiler
+from repro.core.oven.logical import GraphValidationError, SOURCE, TransformGraph, TransformNode
+from repro.core.oven.optimizer import OvenOptimizer
+from repro.core.oven.rewrite_ops import LINK_FUNCTIONS, MarginCombiner, PartialLinearScorer
+from repro.core.oven.rules import PushLinearModelThroughConcatRule
+from repro.mlnet.pipeline import Pipeline
+from repro.operators import (
+    ConcatFeaturizer,
+    LogisticRegressionClassifier,
+    Tokenizer,
+    WordNgramFeaturizer,
+)
+from repro.operators.base import ValueKind
+from repro.operators.vectors import DenseVector
+
+
+class TestFlourApi:
+    def test_fluent_program_matches_pipeline(self, sa_pipeline, sa_inputs):
+        """Building the SA program through the fluent API gives the same plan."""
+        context = FlourContext(name="fluent-sa")
+        tokenizer = sa_pipeline.nodes["tokenizer"].operator
+        char = sa_pipeline.nodes["char_ngram"].operator
+        word = sa_pipeline.nodes["word_ngram"].operator
+        classifier = sa_pipeline.nodes["classifier"].operator
+        tokens = context.csv.from_text(",").with_schema(["Text"]).select("Text").tokenize(tokenizer)
+        program = tokens.char_ngram(char).concat(tokens.word_ngram(word)).classifier_binary_linear(classifier)
+        plan = program.plan()
+        # ColumnSelector + the SA operators; the plan must score like ML.Net
+        # modulo the Select stage consuming a record dict.
+        record = {"Text": sa_inputs[0]}
+        assert plan.execute(record) == pytest.approx(sa_pipeline.predict(sa_inputs[0]))
+
+    def test_flour_from_pipeline_structure(self, sa_pipeline):
+        program = flour_from_pipeline(sa_pipeline)
+        graph = program.to_transform_graph()
+        assert len(graph) == 5
+        assert graph.metadata["input_kind"] == ValueKind.TEXT
+
+    def test_stats_are_attached(self, sa_pipeline):
+        from repro.core.statistics import TransformStats
+
+        stats = {"char_ngram": TransformStats(max_vector_size=123, is_sparse=True)}
+        program = flour_from_pipeline(sa_pipeline, stats=stats)
+        graph = program.to_transform_graph()
+        sizes = [node.stats.max_vector_size for node in graph.nodes.values()]
+        assert 123 in sizes
+
+
+class TestOvenOptimizer:
+    def _optimize(self, pipeline):
+        graph = flour_from_pipeline(pipeline).to_transform_graph()
+        return OvenOptimizer().optimize(graph)
+
+    def test_sa_stage_structure(self, sa_pipeline):
+        """Tokenizer fuses with CharNgram; Concat+LogReg become partial scorers."""
+        stage_graph = self._optimize(sa_pipeline)
+        operator_sets = [
+            [node.operator.name for node in stage.transforms] for stage in stage_graph
+        ]
+        assert ["Tokenizer", "CharNgram"] in operator_sets
+        assert ["WordNgram"] in operator_sets
+        flattened = [name for stage in operator_sets for name in stage]
+        assert "Concat" not in flattened
+        assert "PartialLinear" in flattened
+        assert "MarginCombiner" in flattened
+
+    def test_ac_keeps_concat(self, ac_pipeline):
+        """Tree-based sinks cannot be pushed through Concat."""
+        stage_graph = self._optimize(ac_pipeline)
+        flattened = [
+            node.operator.name for stage in stage_graph for node in stage.transforms
+        ]
+        assert "Concat" in flattened
+
+    def test_ac_fuses_row_featurizers(self, ac_pipeline):
+        stage_graph = self._optimize(ac_pipeline)
+        operator_sets = [
+            [node.operator.name for node in stage.transforms] for stage in stage_graph
+        ]
+        assert ["ColumnSelector", "MissingValueImputer", "MinMaxNormalizer"] in operator_sets
+
+    def test_stage_labelling(self, sa_pipeline):
+        stage_graph = self._optimize(sa_pipeline)
+        featurizer_stages = [
+            stage
+            for stage in stage_graph
+            if any(node.operator.name == "CharNgram" for node in stage.transforms)
+        ]
+        assert featurizer_stages[0].is_sparse
+        assert featurizer_stages[0].max_vector_size > 0
+
+    def test_fusion_disabled_one_stage_per_operator(self, sa_pipeline):
+        graph = flour_from_pipeline(sa_pipeline).to_transform_graph()
+        stage_graph = OvenOptimizer(enable_stage_fusion=False, enable_logical_rewrites=False).optimize(graph)
+        assert len(stage_graph) == 5
+
+    def test_rewrites_recorded_in_metadata(self, sa_pipeline):
+        stage_graph = self._optimize(sa_pipeline)
+        rules = [entry["rule"] for entry in stage_graph.metadata.get("rewrites", [])]
+        assert "PushLinearModelThroughConcat" in rules
+
+    def test_invalid_graph_rejected(self):
+        graph = TransformGraph("broken")
+        # WordNgram directly on the raw text source (expects tokens).
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a"]])
+        graph.add_node(TransformNode(featurizer, [SOURCE]))
+        graph.metadata["input_kind"] = ValueKind.TEXT
+        with pytest.raises(GraphValidationError):
+            OvenOptimizer().optimize(graph)
+
+
+class TestPushThroughConcatEquivalence:
+    def test_partial_scores_equal_full_model(self, small_corpus, sa_pipeline, sa_inputs):
+        """The rewritten plan computes exactly the original probability."""
+        graph = flour_from_pipeline(sa_pipeline).to_transform_graph()
+        stage_graph = OvenOptimizer().optimize(graph)
+        plan = ModelPlanCompiler().compile(stage_graph)
+        for text in sa_inputs:
+            assert plan.execute(text) == pytest.approx(sa_pipeline.predict(text))
+
+    def test_rule_requires_known_sizes(self):
+        """Without resolved branch sizes the rule must not fire."""
+        rule = PushLinearModelThroughConcatRule()
+        from repro.core.oven.logical import StageGraph
+
+        assert rule.apply(StageGraph("empty")) is False
+
+
+class TestRewriteOps:
+    def test_partial_linear_scorer(self):
+        scorer = PartialLinearScorer(np.array([1.0, 2.0]), bias=0.5, branch_index=0)
+        assert scorer.transform(DenseVector([1.0, 1.0])) == pytest.approx(3.5)
+
+    def test_margin_combiner_links(self):
+        assert MarginCombiner("identity").transform([1.0, 2.0]) == pytest.approx(3.0)
+        assert MarginCombiner("sigmoid").transform([0.0, 0.0]) == pytest.approx(0.5)
+        assert MarginCombiner("exp").transform([1.0]) == pytest.approx(np.exp(1.0))
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError):
+            MarginCombiner("cube")
+
+    def test_link_registry_complete(self):
+        assert set(LINK_FUNCTIONS) == {"identity", "sigmoid", "exp"}
+
+
+class TestModelPlanCompiler:
+    def test_identical_pipelines_share_physical_stages(self, sa_pipeline, sa_pipeline_variant):
+        store = ObjectStore()
+        compiler = ModelPlanCompiler(object_store=store)
+        plan_a = compiler.compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline).to_transform_graph())
+        )
+        plan_b = compiler.compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline_variant).to_transform_graph())
+        )
+        shared = set(id(s.physical) for s in plan_a.stages) & set(
+            id(s.physical) for s in plan_b.stages
+        )
+        # The featurization stages are identical (same dictionaries) and must
+        # be the same physical objects; the scoring stages differ.
+        assert len(shared) >= 2
+
+    def test_object_store_disabled_no_sharing(self, sa_pipeline, sa_pipeline_variant):
+        config = PretzelConfig(enable_object_store=False)
+        compiler = ModelPlanCompiler(config=config, object_store=ObjectStore(enabled=False))
+        plan_a = compiler.compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline).to_transform_graph())
+        )
+        plan_b = compiler.compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline_variant).to_transform_graph())
+        )
+        shared = set(id(s.physical) for s in plan_a.stages) & set(
+            id(s.physical) for s in plan_b.stages
+        )
+        assert not shared
+
+    def test_plan_metadata(self, sa_pipeline):
+        plan = ModelPlanCompiler().compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline).to_transform_graph())
+        )
+        assert plan.input_kind == ValueKind.TEXT
+        assert plan.max_vector_size > 0
+        assert plan.stage_count() == len(plan.stages)
+        assert plan.sink_stage().is_sink

@@ -1,0 +1,190 @@
+"""Tests for the Object Store, LRU cache, vector pool and materialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.materialization import SubPlanMaterializer
+from repro.core.object_store import LruByteCache, ObjectStore
+from repro.core.vector_pool import VectorPool, _size_class
+from repro.operators.base import Parameter
+from repro.operators.linear import LinearRegressor
+from repro.operators.text import WordNgramFeaturizer
+
+
+class TestObjectStore:
+    def test_interning_identical_operators(self):
+        store = ObjectStore()
+        proto = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a", "b"]])
+        clone = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4, dictionary=proto.dictionary)
+        first = store.intern_operator(proto)
+        second = store.intern_operator(clone)
+        assert first is second
+        assert store.unique_operator_count() == 1
+        assert store.operator_refcount(proto) == 2
+
+    def test_different_operators_not_merged(self):
+        store = ObjectStore()
+        a = LinearRegressor(weights=np.array([1.0]), bias=0.0)
+        b = LinearRegressor(weights=np.array([2.0]), bias=0.0)
+        assert store.intern_operator(a) is not store.intern_operator(b)
+        assert store.unique_operator_count() == 2
+
+    def test_disabled_store_keeps_copies(self):
+        store = ObjectStore(enabled=False)
+        proto = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a"]])
+        clone = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4, dictionary=proto.dictionary)
+        assert store.intern_operator(clone) is clone
+        assert store.memory_bytes() == 0
+
+    def test_parameter_interning(self):
+        store = ObjectStore()
+        first = store.intern_parameter(Parameter("w", np.array([1.0, 2.0])))
+        second = store.intern_parameter(Parameter("w", np.array([1.0, 2.0])))
+        assert first is second
+
+    def test_memory_counts_unique_parameters_once(self):
+        store = ObjectStore()
+        proto = WordNgramFeaturizer(ngram_range=(1, 1), max_features=10).fit([["a", "b", "c"]])
+        clone = WordNgramFeaturizer(ngram_range=(1, 1), max_features=10, dictionary=proto.dictionary)
+        store.intern_operator(proto)
+        before = store.memory_bytes()
+        store.intern_operator(clone)
+        assert store.memory_bytes() == before
+
+    def test_stats_shape(self):
+        stats = ObjectStore().stats()
+        assert {"enabled", "unique_operators", "memory_bytes"} <= set(stats)
+
+
+class TestLruByteCache:
+    def test_put_get(self):
+        cache = LruByteCache(100)
+        cache.put("a", 1, 10)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_respects_budget(self):
+        cache = LruByteCache(30)
+        cache.put("a", 1, 20)
+        cache.put("b", 2, 20)
+        assert cache.used_bytes <= 30
+        assert cache.get("a") is None  # least recently used got evicted
+        assert cache.get("b") == 2
+
+    def test_recently_used_survives(self):
+        cache = LruByteCache(40)
+        cache.put("a", 1, 20)
+        cache.put("b", 2, 20)
+        cache.get("a")
+        cache.put("c", 3, 20)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_oversized_entry_ignored(self):
+        cache = LruByteCache(10)
+        cache.put("big", 1, 100)
+        assert len(cache) == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            LruByteCache(-1)
+
+
+class TestVectorPool:
+    def test_size_class_rounding(self):
+        assert _size_class(1) == 1
+        assert _size_class(5) == 8
+        assert _size_class(1024) == 1024
+        assert _size_class(1025) == 2048
+
+    def test_acquire_release_reuses_buffer(self):
+        pool = VectorPool(enabled=True)
+        pool.preallocate([100])
+        buffer = pool.acquire(100)
+        pool.release(buffer)
+        again = pool.acquire(100)
+        assert again.shape[0] >= 100
+        assert pool.hits >= 1
+
+    def test_disabled_pool_always_allocates(self):
+        pool = VectorPool(enabled=False)
+        pool.preallocate([64])
+        pool.acquire(64)
+        assert pool.hits == 0
+        assert pool.allocations >= 1
+
+    def test_memory_bytes_tracks_pooled_buffers(self):
+        pool = VectorPool(enabled=True, entries_per_class=2)
+        pool.preallocate([256])
+        assert pool.memory_bytes() == 2 * 256 * 8
+
+    def test_zero_size_request(self):
+        pool = VectorPool(enabled=True)
+        assert pool.acquire(0).shape[0] >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(1, 5000), min_size=1, max_size=30))
+def test_size_class_always_covers_request_property(sizes):
+    """The pool never hands out a buffer smaller than requested."""
+    pool = VectorPool(enabled=True, entries_per_class=2)
+    for size in sizes:
+        buffer = pool.acquire(size)
+        assert buffer.shape[0] >= size
+        pool.release(buffer)
+
+
+class TestMaterializer:
+    def _stage(self, sa_pipeline):
+        from repro.core.flour import flour_from_pipeline
+        from repro.core.oven.compiler import ModelPlanCompiler
+        from repro.core.oven.optimizer import OvenOptimizer
+
+        plan = ModelPlanCompiler().compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline).to_transform_graph())
+        )
+        return plan.stages[0].physical
+
+    def test_only_shared_stages_are_cached(self, sa_pipeline):
+        store = ObjectStore()
+        materializer = SubPlanMaterializer(store, enabled=True)
+        stage = self._stage(sa_pipeline)
+        assert not materializer.is_candidate(stage)
+        materializer.mark_shared(stage.full_signature)
+        assert materializer.is_candidate(stage)
+
+    def test_lookup_after_store(self, sa_pipeline, sa_inputs):
+        store = ObjectStore()
+        materializer = SubPlanMaterializer(store, enabled=True)
+        stage = self._stage(sa_pipeline)
+        materializer.mark_shared(stage.full_signature)
+        outputs = stage.execute([sa_inputs[0]])
+        materializer.store(stage, [sa_inputs[0]], outputs)
+        cached = materializer.lookup(stage, [sa_inputs[0]])
+        assert cached is not None
+        assert len(cached) == len(outputs)
+
+    def test_disabled_materializer_never_caches(self, sa_pipeline, sa_inputs):
+        store = ObjectStore()
+        materializer = SubPlanMaterializer(store, enabled=False)
+        stage = self._stage(sa_pipeline)
+        materializer.mark_shared(stage.full_signature)
+        materializer.store(stage, [sa_inputs[0]], stage.execute([sa_inputs[0]]))
+        assert materializer.lookup(stage, [sa_inputs[0]]) is None
+
+    def test_predictor_stages_never_cached(self, sa_pipeline):
+        from repro.core.flour import flour_from_pipeline
+        from repro.core.oven.compiler import ModelPlanCompiler
+        from repro.core.oven.optimizer import OvenOptimizer
+
+        plan = ModelPlanCompiler().compile(
+            OvenOptimizer().optimize(flour_from_pipeline(sa_pipeline).to_transform_graph())
+        )
+        scoring_stage = plan.sink_stage().physical
+        store = ObjectStore()
+        materializer = SubPlanMaterializer(store, enabled=True)
+        materializer.mark_shared(scoring_stage.full_signature)
+        assert not materializer.is_candidate(scoring_stage)

@@ -1,0 +1,218 @@
+"""Integration tests: all three serving systems agree and exhibit the paper's shape."""
+
+import pytest
+
+from repro.clipper.frontend import ClipperFrontEnd
+from repro.core.config import PretzelConfig
+from repro.core.frontend import PretzelFrontEnd
+from repro.core.runtime import PretzelRuntime
+from repro.mlnet.runtime import MLNetRuntime
+from repro.workloads.attendee import build_attendee_family
+from repro.workloads.sentiment import build_sentiment_family
+
+
+@pytest.fixture(scope="module")
+def sa_family(small_corpus):
+    return build_sentiment_family(
+        n_pipelines=8, corpus=small_corpus, n_char_versions=2, n_word_versions=2, seed=29
+    )
+
+
+@pytest.fixture(scope="module")
+def ac_family(small_events):
+    return build_attendee_family(
+        n_pipelines=8,
+        dataset=small_events,
+        n_pca_versions=2,
+        n_kmeans_versions=2,
+        n_tree_featurizer_versions=2,
+        n_configurations=3,
+        tree_featurizer_trees=3,
+        tree_featurizer_depth=3,
+        seed=31,
+    )
+
+
+class TestPredictionEquivalence:
+    """The three serving systems must produce identical predictions."""
+
+    def test_sa_equivalence(self, sa_family):
+        texts = sa_family.sample_inputs(3)
+        mlnet = MLNetRuntime()
+        pretzel = PretzelRuntime(PretzelConfig(enable_subplan_materialization=True))
+        clipper = ClipperFrontEnd()
+        try:
+            plan_ids = {}
+            for generated in sa_family.pipelines:
+                mlnet.load(generated.pipeline)
+                clipper.deploy(generated.pipeline)
+                plan_ids[generated.name] = pretzel.register(generated.pipeline, stats=generated.stats)
+            for generated in sa_family.pipelines:
+                for text in texts:
+                    reference = generated.pipeline.predict(text)
+                    assert mlnet.predict(generated.name, text) == pytest.approx(reference)
+                    assert pretzel.predict(plan_ids[generated.name], text) == pytest.approx(reference)
+                    assert clipper.predict(generated.name, [text]).outputs[0] == pytest.approx(reference)
+        finally:
+            pretzel.shutdown()
+
+    def test_ac_equivalence(self, ac_family):
+        records = ac_family.sample_inputs(3)
+        mlnet = MLNetRuntime()
+        pretzel = PretzelRuntime(PretzelConfig())
+        try:
+            plan_ids = {}
+            for generated in ac_family.pipelines:
+                mlnet.load(generated.pipeline)
+                plan_ids[generated.name] = pretzel.register(generated.pipeline, stats=generated.stats)
+            for generated in ac_family.pipelines:
+                for record in records:
+                    reference = generated.pipeline.predict(record)
+                    assert mlnet.predict(generated.name, record) == pytest.approx(reference)
+                    assert pretzel.predict(plan_ids[generated.name], record) == pytest.approx(reference)
+        finally:
+            pretzel.shutdown()
+
+    def test_batch_engine_equivalence(self, sa_family):
+        texts = sa_family.sample_inputs(4)
+        pretzel = PretzelRuntime(PretzelConfig(num_executors=2))
+        try:
+            generated = sa_family.pipelines[0]
+            plan_id = pretzel.register(generated.pipeline)
+            batched = pretzel.predict_batch(plan_id, texts)
+            assert batched == pytest.approx([generated.pipeline.predict(t) for t in texts])
+        finally:
+            pretzel.shutdown()
+
+
+class TestMemoryShape:
+    """White box < black box < containerized (the Figure 8 ordering)."""
+
+    def test_sa_memory_ordering(self, sa_family):
+        mlnet = MLNetRuntime()
+        pretzel = PretzelRuntime(PretzelConfig())
+        pretzel_nostore = PretzelRuntime(PretzelConfig(enable_object_store=False))
+        clipper = ClipperFrontEnd()
+        try:
+            for generated in sa_family.pipelines:
+                mlnet.load(generated.pipeline)
+                clipper.deploy(generated.pipeline)
+                pretzel.register(generated.pipeline)
+                pretzel_nostore.register(generated.pipeline)
+            assert pretzel.memory_bytes() < mlnet.memory_bytes()
+            assert mlnet.memory_bytes() < clipper.memory_bytes()
+            assert pretzel.memory_bytes() < pretzel_nostore.memory_bytes()
+        finally:
+            pretzel.shutdown()
+            pretzel_nostore.shutdown()
+
+    def test_pretzel_registration_faster_than_blackbox_init(self, sa_family):
+        """PRETZEL pays loading off-line; the black box pays it per first call."""
+        texts = sa_family.sample_inputs(1)
+        mlnet = MLNetRuntime()
+        pretzel = PretzelRuntime(PretzelConfig())
+        try:
+            for generated in sa_family.pipelines:
+                mlnet.load(generated.pipeline)
+                pretzel.register(generated.pipeline, stats=generated.stats)
+            for generated in sa_family.pipelines:
+                mlnet.predict(generated.name, texts[0])
+            for plan_id in pretzel.plan_ids():
+                pretzel.predict(plan_id, texts[0])
+            assert mlnet.initialization_seconds() > 0
+        finally:
+            pretzel.shutdown()
+
+
+class TestLatencyShape:
+    def test_hot_latency_ordering(self, sa_family):
+        """PRETZEL's hot path must not be slower than the black box."""
+        import numpy as np
+
+        texts = sa_family.sample_inputs(4)
+        mlnet = MLNetRuntime()
+        pretzel = PretzelRuntime(PretzelConfig())
+        try:
+            generated = sa_family.pipelines[0]
+            mlnet.load(generated.pipeline)
+            plan_id = pretzel.register(generated.pipeline, stats=generated.stats)
+            # warm both
+            for text in texts:
+                mlnet.predict(generated.name, text)
+                pretzel.predict(plan_id, text)
+            mlnet_samples, pretzel_samples = [], []
+            for _ in range(15):
+                for text in texts:
+                    mlnet_samples.append(mlnet.timed_predict(generated.name, text)[1])
+                    pretzel_samples.append(pretzel.timed_predict(plan_id, text)[1])
+            assert np.median(pretzel_samples) < np.median(mlnet_samples)
+        finally:
+            pretzel.shutdown()
+
+    def test_cold_gap_smaller_for_pretzel(self, sa_family):
+        """Cold/hot degradation must be worse for the black box than PRETZEL."""
+        import numpy as np
+
+        text = sa_family.sample_inputs(1)[0]
+        mlnet = MLNetRuntime()
+        pretzel = PretzelRuntime(PretzelConfig())
+        try:
+            mlnet_cold, mlnet_hot, pretzel_cold, pretzel_hot = [], [], [], []
+            for generated in sa_family.pipelines:
+                mlnet.load(generated.pipeline)
+                plan_id = pretzel.register(generated.pipeline, stats=generated.stats)
+                mlnet_cold.append(mlnet.timed_predict(generated.name, text)[1])
+                pretzel_cold.append(pretzel.timed_predict(plan_id, text)[1])
+                for _ in range(5):
+                    mlnet_hot.append(mlnet.timed_predict(generated.name, text)[1])
+                    pretzel_hot.append(pretzel.timed_predict(plan_id, text)[1])
+            mlnet_ratio = np.median(mlnet_cold) / np.median(mlnet_hot)
+            pretzel_ratio = np.median(pretzel_cold) / np.median(pretzel_hot)
+            assert mlnet_ratio > pretzel_ratio
+        finally:
+            pretzel.shutdown()
+
+    def test_end_to_end_frontend_overheads(self, sa_family):
+        """Client-observed latency exceeds prediction latency for both systems,
+        and the Clipper hop costs more than the PRETZEL front-end hop."""
+        text = sa_family.sample_inputs(1)[0]
+        generated = sa_family.pipelines[0]
+        pretzel = PretzelRuntime(PretzelConfig())
+        clipper = ClipperFrontEnd()
+        try:
+            plan_id = pretzel.register(generated.pipeline)
+            frontend = PretzelFrontEnd(pretzel)
+            clipper.deploy(generated.pipeline)
+            pretzel_response = frontend.predict(plan_id, [text])
+            clipper_response = clipper.predict(generated.name, [text])
+            assert pretzel_response.end_to_end_seconds > pretzel_response.prediction_seconds
+            assert clipper_response.network_seconds > pretzel_response.network_seconds
+        finally:
+            pretzel.shutdown()
+
+
+class TestMaterializationShape:
+    def test_shared_featurization_speeds_up_sibling_pipelines(self, sa_family):
+        """With sub-plan materialization, scoring the same input on a sibling
+        pipeline that shares featurizers must hit the cache."""
+        pretzel = PretzelRuntime(PretzelConfig(enable_subplan_materialization=True))
+        try:
+            # Find two pipelines with the same featurizer versions.
+            by_components = {}
+            pair = None
+            for generated in sa_family.pipelines:
+                key = (generated.components["charngram"], generated.components["wordngram"])
+                if key in by_components:
+                    pair = (by_components[key], generated)
+                    break
+                by_components[key] = generated
+            assert pair is not None, "family must contain sibling pipelines"
+            first_id = pretzel.register(pair[0].pipeline, stats=pair[0].stats)
+            second_id = pretzel.register(pair[1].pipeline, stats=pair[1].stats)
+            text = sa_family.sample_inputs(1)[0]
+            pretzel.predict(first_id, text)
+            hits_before = pretzel.materializer.stats()["hits"]
+            pretzel.predict(second_id, text)
+            assert pretzel.materializer.stats()["hits"] > hits_before
+        finally:
+            pretzel.shutdown()

@@ -1,0 +1,101 @@
+"""Tests for the black-box pipeline DAG and its execution models."""
+
+import pytest
+
+from repro.mlnet.pipeline import Pipeline, PipelineValidationError
+from repro.operators import LogisticRegressionClassifier, Tokenizer, WordNgramFeaturizer
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, sa_pipeline):
+        with pytest.raises(PipelineValidationError):
+            sa_pipeline.add("tokenizer", Tokenizer(), ["input"])
+
+    def test_unknown_upstream_rejected(self):
+        pipeline = Pipeline("p")
+        with pytest.raises(PipelineValidationError):
+            pipeline.add("a", Tokenizer(), ["missing"])
+
+    def test_reserved_input_name(self):
+        pipeline = Pipeline("p")
+        with pytest.raises(PipelineValidationError):
+            pipeline.add("input", Tokenizer(), ["input"])
+
+    def test_node_without_inputs_rejected(self):
+        pipeline = Pipeline("p")
+        with pytest.raises(PipelineValidationError):
+            pipeline.add("a", Tokenizer(), [])
+
+    def test_sink_detection(self, sa_pipeline):
+        assert sa_pipeline.sink() == "classifier"
+
+    def test_multiple_sinks_detected(self):
+        pipeline = Pipeline("p")
+        pipeline.add("a", Tokenizer(), ["input"])
+        pipeline.add("b", Tokenizer(), ["input"])
+        with pytest.raises(PipelineValidationError):
+            pipeline.sink()
+
+
+class TestValidation:
+    def test_valid_pipeline_passes(self, sa_pipeline):
+        sa_pipeline.validate()
+
+    def test_schema_mismatch_detected(self):
+        pipeline = Pipeline("bad")
+        pipeline.add("tokenizer", Tokenizer(), ["input"])
+        # WordNgram after WordNgram: vector fed where tokens are expected.
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a"]])
+        second = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4, dictionary=featurizer.dictionary)
+        pipeline.add("w1", featurizer, ["tokenizer"])
+        pipeline.add("w2", second, ["w1"])
+        with pytest.raises(PipelineValidationError):
+            pipeline.validate()
+
+
+class TestExecution:
+    def test_predict_returns_probability(self, sa_pipeline, sa_inputs):
+        for text in sa_inputs:
+            prediction = sa_pipeline.predict(text)
+            assert 0.0 <= prediction <= 1.0
+
+    def test_predict_batch_matches_single(self, sa_pipeline, sa_inputs):
+        batch = sa_pipeline.predict_batch(sa_inputs)
+        singles = [sa_pipeline.predict(text) for text in sa_inputs]
+        assert batch == pytest.approx(singles)
+
+    def test_dataview_is_lazy(self, sa_pipeline, sa_inputs):
+        view = sa_pipeline.build_dataview(iter(sa_inputs))
+        cursor = view.cursor()
+        first = next(cursor)
+        assert 0.0 <= first <= 1.0
+
+    def test_latency_breakdown_covers_all_nodes(self, sa_pipeline, sa_inputs):
+        breakdown = sa_pipeline.latency_breakdown(sa_inputs[0], repetitions=2)
+        assert set(breakdown) == set(sa_pipeline.topological_order())
+        assert all(value >= 0 for value in breakdown.values())
+
+    def test_ac_pipeline_predicts_counts(self, ac_pipeline, ac_inputs):
+        for record in ac_inputs:
+            prediction = ac_pipeline.predict(record)
+            assert isinstance(prediction, float)
+
+    def test_memory_bytes_positive(self, sa_pipeline):
+        assert sa_pipeline.memory_bytes() > 0
+
+    def test_describe_lists_nodes(self, sa_pipeline):
+        description = sa_pipeline.describe()
+        assert len(description["nodes"]) == 5
+
+
+class TestTraining:
+    def test_fit_trains_all_operators(self, small_corpus):
+        pipeline = Pipeline("train-test")
+        pipeline.add("tokenizer", Tokenizer(), ["input"])
+        pipeline.add(
+            "word", WordNgramFeaturizer(ngram_range=(1, 1), max_features=50), ["tokenizer"]
+        )
+        pipeline.add("clf", LogisticRegressionClassifier(epochs=3), ["word"])
+        pipeline.fit(small_corpus.texts, small_corpus.labels)
+        assert pipeline.nodes["word"].operator.dictionary is not None
+        assert pipeline.nodes["clf"].operator.weights is not None

@@ -1,0 +1,139 @@
+"""Tests for the linear predictors (including the weight-splitting rewrite hook)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.linear import (
+    LinearRegressor,
+    LogisticRegressionClassifier,
+    PoissonRegressor,
+)
+from repro.operators.vectors import DenseVector, SparseVector
+
+
+def _linear_data(n=80, d=5, seed=3, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    weights = rng.normal(size=d)
+    y = X @ weights + 1.5 + rng.normal(scale=noise, size=n)
+    return [DenseVector(row) for row in X], y, weights
+
+
+class TestLinearRegressor:
+    def test_recovers_linear_relationship(self):
+        records, labels, true_weights = _linear_data()
+        model = LinearRegressor(l2=1e-6).fit(records, labels)
+        assert np.allclose(model.weights, true_weights, atol=0.1)
+        assert model.bias == pytest.approx(1.5, abs=0.1)
+
+    def test_prediction_matches_formula(self):
+        records, labels, _ = _linear_data()
+        model = LinearRegressor().fit(records, labels)
+        record = records[0]
+        expected = record.dot(model.weights) + model.bias
+        assert model.transform(record) == pytest.approx(expected)
+
+    def test_requires_labels(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit([DenseVector([1.0])])
+
+    def test_requires_fit_before_predict(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().transform(DenseVector([1.0]))
+
+    def test_batch_matches_single(self):
+        records, labels, _ = _linear_data(n=20)
+        model = LinearRegressor().fit(records, labels)
+        batch = model.transform_batch(records[:5])
+        singles = [model.transform(r) for r in records[:5]]
+        assert batch == pytest.approx(singles)
+
+
+class TestLogisticRegression:
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = LogisticRegressionClassifier(epochs=30, learning_rate=0.5).fit(
+            [DenseVector(row) for row in X], y
+        )
+        predictions = [model.predict_label(DenseVector(row)) for row in X]
+        accuracy = np.mean(np.asarray(predictions) == y)
+        assert accuracy > 0.85
+
+    def test_output_is_probability(self):
+        records, labels, _ = _linear_data(n=30)
+        binary = (np.asarray(labels) > np.median(labels)).astype(float)
+        model = LogisticRegressionClassifier(epochs=5).fit(records, binary)
+        for record in records[:10]:
+            assert 0.0 <= model.transform(record) <= 1.0
+
+    def test_sparse_input_supported(self):
+        model = LogisticRegressionClassifier(weights=np.array([1.0, -1.0, 0.5]), bias=0.0)
+        sparse = SparseVector([0, 2], [2.0, 2.0], 3)
+        assert model.decision_value(sparse) == pytest.approx(3.0)
+
+
+class TestPoissonRegressor:
+    def test_outputs_positive_rates(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 3))
+        y = np.exp(0.5 * X[:, 0] + 0.2) + rng.normal(scale=0.01, size=60)
+        model = PoissonRegressor(epochs=20, learning_rate=0.1).fit(
+            [DenseVector(row) for row in X], y
+        )
+        for row in X[:10]:
+            assert model.transform(DenseVector(row)) > 0.0
+
+
+class TestWeightSplitting:
+    def test_split_preserves_margin(self):
+        """Splitting a model across Concat branches must not change the score."""
+        weights = np.arange(10, dtype=np.float64)
+        model = LogisticRegressionClassifier(weights=weights, bias=0.7)
+        parts = model.split([4, 6])
+        left = DenseVector(np.ones(4))
+        right = DenseVector(np.ones(6))
+        combined = DenseVector(np.ones(10))
+        partial_sum = parts[0].decision_value(left) + parts[1].decision_value(right)
+        assert partial_sum == pytest.approx(model.decision_value(combined))
+
+    def test_split_bias_only_on_first_part(self):
+        model = LinearRegressor(weights=np.ones(4), bias=2.0)
+        parts = model.split([2, 2])
+        assert parts[0].bias == 2.0
+        assert parts[1].bias == 0.0
+
+    def test_split_size_mismatch_rejected(self):
+        model = LinearRegressor(weights=np.ones(4), bias=0.0)
+        with pytest.raises(ValueError):
+            model.split([3, 3])
+
+    def test_split_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().split([1, 1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    total=st.integers(2, 30),
+)
+def test_split_margin_equivalence_property(data, total):
+    """For any split point and any input, partial margins sum to the original."""
+    split_point = data.draw(st.integers(1, total - 1))
+    weights = np.asarray(
+        data.draw(st.lists(st.floats(-5, 5), min_size=total, max_size=total))
+    )
+    bias = data.draw(st.floats(-3, 3))
+    values = np.asarray(
+        data.draw(st.lists(st.floats(-5, 5), min_size=total, max_size=total))
+    )
+    model = LinearRegressor(weights=weights, bias=bias)
+    parts = model.split([split_point, total - split_point])
+    left = DenseVector(values[:split_point])
+    right = DenseVector(values[split_point:])
+    partial = parts[0].decision_value(left) + parts[1].decision_value(right)
+    assert partial == pytest.approx(model.decision_value(DenseVector(values)), rel=1e-9, abs=1e-9)

@@ -1,0 +1,157 @@
+"""Tests for the text featurization operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.text import (
+    CharNgramFeaturizer,
+    NgramDictionary,
+    Tokenizer,
+    WordNgramFeaturizer,
+)
+from repro.operators.vectors import SparseVector
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert Tokenizer().transform("Hello, World!") == ["hello", "world"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert Tokenizer().transform("it's 2 good") == ["it's", "2", "good"]
+
+    def test_none_input(self):
+        assert Tokenizer().transform(None) == []
+
+    def test_no_lowercase_option(self):
+        tokens = Tokenizer(lowercase=False, pattern=r"[A-Za-z]+").transform("Hello World")
+        assert tokens == ["Hello", "World"]
+
+    def test_signature_depends_on_config(self):
+        assert Tokenizer().signature() == Tokenizer().signature()
+        assert Tokenizer().signature() != Tokenizer(lowercase=False).signature()
+
+    def test_parameters_present(self):
+        assert len(Tokenizer().parameters()) == 1
+
+
+class TestNgramDictionary:
+    def test_train_word_unigrams(self):
+        dictionary = NgramDictionary.train([["a", "b", "a"], ["b", "c"]], (1, 1), 10)
+        assert dictionary.size == 3
+        assert set(dictionary.ngram_to_index) == {"a", "b", "c"}
+
+    def test_train_respects_max_features(self):
+        tokens = [["a", "b", "c", "d", "e"]] * 3
+        dictionary = NgramDictionary.train(tokens, (1, 1), 2)
+        assert dictionary.size == 2
+
+    def test_train_bigrams(self):
+        dictionary = NgramDictionary.train([["a", "b", "c"]], (2, 2), 10)
+        assert set(dictionary.ngram_to_index) == {"a b", "b c"}
+
+    def test_lookup_missing(self):
+        dictionary = NgramDictionary.train([["a"]], (1, 1), 10)
+        assert dictionary.lookup("zzz") is None
+
+    def test_equality(self):
+        a = NgramDictionary({"x": 0}, (1, 1))
+        b = NgramDictionary({"x": 0}, (1, 1))
+        c = NgramDictionary({"x": 0}, (1, 2))
+        assert a == b
+        assert a != c
+
+
+class TestWordNgram:
+    def test_fit_transform_counts(self):
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=10)
+        featurizer.fit([["good", "product"], ["bad", "product"]])
+        vec = featurizer.transform(["good", "good", "product"])
+        assert isinstance(vec, SparseVector)
+        dense = vec.to_dense().values
+        good_index = featurizer.dictionary.lookup("good")
+        product_index = featurizer.dictionary.lookup("product")
+        assert dense[good_index] == 2.0
+        assert dense[product_index] == 1.0
+
+    def test_unknown_tokens_ignored(self):
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=10)
+        featurizer.fit([["known"]])
+        vec = featurizer.transform(["unknown", "tokens"])
+        assert vec.nnz() == 0
+        assert vec.size == featurizer.dictionary.size
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            WordNgramFeaturizer().transform(["a"])
+
+    def test_rejects_raw_string(self):
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a"]])
+        with pytest.raises(TypeError):
+            featurizer.transform("a raw string")
+
+    def test_binary_weighting(self):
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=10, weighting="binary")
+        featurizer.fit([["a", "b"]])
+        vec = featurizer.transform(["a", "a", "a"])
+        assert vec.to_dense().values.max() == 1.0
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            WordNgramFeaturizer(ngram_range=(2, 1))
+        with pytest.raises(ValueError):
+            WordNgramFeaturizer(weighting="nope")
+
+    def test_parameters_include_dictionary(self):
+        featurizer = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a", "b"]])
+        names = [param.name for param in featurizer.parameters()]
+        assert "wordngram.dictionary" in names
+
+    def test_same_dictionary_same_signature(self):
+        proto = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a", "b"]])
+        clone = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4, dictionary=proto.dictionary)
+        assert proto.signature() == clone.signature()
+
+
+class TestCharNgram:
+    def test_fit_transform(self):
+        featurizer = CharNgramFeaturizer(ngram_range=(2, 2), max_features=50)
+        featurizer.fit([["ab", "bc"]])
+        vec = featurizer.transform(["ab"])
+        assert vec.nnz() >= 1
+
+    def test_accepts_string_input(self):
+        featurizer = CharNgramFeaturizer(ngram_range=(2, 2), max_features=50).fit([["abc"]])
+        vec = featurizer.transform("abc")
+        assert vec.nnz() >= 1
+
+    def test_output_size_matches_dictionary(self):
+        featurizer = CharNgramFeaturizer(ngram_range=(2, 3), max_features=30).fit([["hello world"]])
+        assert featurizer.output_size() == featurizer.dictionary.size
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    texts=st.lists(
+        st.text(alphabet="abcde ", min_size=1, max_size=30), min_size=1, max_size=10
+    )
+)
+def test_ngram_output_dimension_is_stable_property(texts):
+    """Every transform output has the trained dictionary's dimensionality."""
+    tokenizer = Tokenizer()
+    token_lists = [tokenizer.transform(t) for t in texts]
+    featurizer = WordNgramFeaturizer(ngram_range=(1, 2), max_features=100).fit(token_lists)
+    for tokens in token_lists:
+        vec = featurizer.transform(tokens)
+        assert vec.size == featurizer.dictionary.size
+        assert vec.nnz() <= max(2 * len(tokens), 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(text=st.text(alphabet="abcdefg hij", min_size=0, max_size=60))
+def test_tokenizer_is_deterministic_and_lowercase_property(text):
+    tokens_a = Tokenizer().transform(text)
+    tokens_b = Tokenizer().transform(text)
+    assert tokens_a == tokens_b
+    assert all(token == token.lower() for token in tokens_a)

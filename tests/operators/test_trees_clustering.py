@@ -1,0 +1,163 @@
+"""Tests for tree-based operators, KMeans and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.operators.clustering import KMeans
+from repro.operators.decomposition import PCA
+from repro.operators.trees import (
+    DecisionTree,
+    RandomForest,
+    TreeEnsembleClassifier,
+    TreeFeaturizer,
+)
+from repro.operators.vectors import DenseVector, SparseVector
+
+
+def _step_data(n=120, seed=2):
+    """Labels depend on a threshold over one feature (a tree-friendly target)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 4))
+    y = np.where(X[:, 1] > 0.2, 10.0, -5.0) + rng.normal(scale=0.1, size=n)
+    return [DenseVector(row) for row in X], y
+
+
+class TestDecisionTree:
+    def test_learns_threshold(self):
+        records, labels = _step_data()
+        tree = DecisionTree(max_depth=3, min_leaf=4).fit(records, labels)
+        high = tree.transform(DenseVector([0.0, 0.9, 0.0, 0.0]))
+        low = tree.transform(DenseVector([0.0, -0.9, 0.0, 0.0]))
+        assert high > 5.0
+        assert low < 0.0
+
+    def test_leaf_index_within_bounds(self):
+        records, labels = _step_data()
+        tree = DecisionTree(max_depth=3).fit(records, labels)
+        for record in records[:20]:
+            assert 0 <= tree.leaf_index(record) < tree.n_nodes
+
+    def test_max_depth_limits_nodes(self):
+        records, labels = _step_data()
+        shallow = DecisionTree(max_depth=1).fit(records, labels)
+        deep = DecisionTree(max_depth=5).fit(records, labels)
+        assert shallow.n_nodes <= 3
+        assert deep.n_nodes >= shallow.n_nodes
+
+    def test_constant_labels_single_leaf(self):
+        records, _ = _step_data(n=30)
+        tree = DecisionTree(max_depth=4).fit(records, np.ones(30))
+        assert tree.n_nodes == 1
+        assert tree.transform(records[0]) == pytest.approx(1.0)
+
+    def test_requires_labels(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([DenseVector([1.0])])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().transform(DenseVector([1.0]))
+
+
+class TestRandomForest:
+    def test_regression_quality(self):
+        records, labels = _step_data()
+        forest = RandomForest(n_trees=5, max_depth=3, seed=1).fit(records, labels)
+        predictions = np.array([forest.transform(r) for r in records])
+        # The forest should at least separate the two regimes.
+        high = predictions[np.asarray(labels) > 0].mean()
+        low = predictions[np.asarray(labels) < 0].mean()
+        assert high > low + 5.0
+
+    def test_parameters_contain_all_trees(self):
+        records, labels = _step_data(n=60)
+        forest = RandomForest(n_trees=3, max_depth=2).fit(records, labels)
+        tree_params = [p for p in forest.parameters() if "nodes" in p.name]
+        assert len(tree_params) == 3
+
+
+class TestTreeEnsembleClassifier:
+    def test_predicts_reasonable_classes(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(150, 3))
+        y = (X[:, 0] > 0).astype(int) + (X[:, 1] > 0.5).astype(int)  # classes 0..2
+        records = [DenseVector(row) for row in X]
+        clf = TreeEnsembleClassifier(n_classes=3, max_depth=4).fit(records, y)
+        predictions = [clf.predict_class(r) for r in records]
+        accuracy = np.mean(np.asarray(predictions) == y)
+        assert accuracy > 0.6
+
+    def test_output_vector_length(self):
+        records, labels = _step_data(n=60)
+        classes = (np.asarray(labels) > 0).astype(int)
+        clf = TreeEnsembleClassifier(n_classes=2, max_depth=2).fit(records, classes)
+        assert clf.transform(records[0]).size == 2
+        assert clf.output_size() == 2
+
+
+class TestTreeFeaturizer:
+    def test_one_hot_leaf_encoding(self):
+        records, labels = _step_data()
+        featurizer = TreeFeaturizer(n_trees=3, max_depth=3).fit(records, labels)
+        vec = featurizer.transform(records[0])
+        assert isinstance(vec, SparseVector)
+        assert vec.nnz() == 3  # one active leaf per tree
+        assert vec.size == featurizer.output_size()
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TreeFeaturizer().transform(DenseVector([1.0]))
+
+
+class TestKMeans:
+    def test_clusters_separated_blobs(self):
+        rng = np.random.default_rng(6)
+        blob_a = rng.normal(loc=0.0, scale=0.2, size=(40, 2))
+        blob_b = rng.normal(loc=5.0, scale=0.2, size=(40, 2))
+        records = [DenseVector(row) for row in np.vstack([blob_a, blob_b])]
+        model = KMeans(n_clusters=2, seed=0).fit(records)
+        cluster_a = model.predict_cluster(DenseVector([0.0, 0.0]))
+        cluster_b = model.predict_cluster(DenseVector([5.0, 5.0]))
+        assert cluster_a != cluster_b
+
+    def test_output_is_distance_vector(self):
+        records = [DenseVector([float(i), 0.0]) for i in range(10)]
+        model = KMeans(n_clusters=3, seed=1).fit(records)
+        distances = model.transform(DenseVector([0.0, 0.0]))
+        assert distances.size == 3
+        assert (distances.values >= 0).all()
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit([DenseVector([0.0])])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans().transform(DenseVector([0.0]))
+
+
+class TestPCA:
+    def test_projects_to_requested_dimension(self):
+        rng = np.random.default_rng(8)
+        records = [DenseVector(row) for row in rng.normal(size=(50, 6))]
+        pca = PCA(n_components=2).fit(records)
+        assert pca.transform(records[0]).size == 2
+
+    def test_captures_dominant_direction(self):
+        rng = np.random.default_rng(9)
+        latent = rng.normal(size=100)
+        X = np.outer(latent, np.array([1.0, 1.0, 0.0])) + rng.normal(scale=0.01, size=(100, 3))
+        pca = PCA(n_components=1).fit([DenseVector(row) for row in X])
+        # The first component must align with (1, 1, 0) / sqrt(2).
+        component = np.abs(pca.components[0])
+        assert component[0] == pytest.approx(component[1], abs=0.05)
+        assert component[2] < 0.1
+
+    def test_too_many_components_rejected(self):
+        records = [DenseVector([1.0, 2.0]), DenseVector([2.0, 1.0])]
+        with pytest.raises(ValueError):
+            PCA(n_components=5).fit(records)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PCA(n_components=1).transform(DenseVector([1.0, 2.0]))

@@ -1,0 +1,148 @@
+"""Tests for the virtual-time queueing simulator and its calibration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.mlnet.runtime import MLNetRuntime
+from repro.simulation.calibrate import calibrate_blackbox, calibrate_plan_stages
+from repro.simulation.queueing import (
+    Arrival,
+    ArrivalProcess,
+    simulate_stage_scheduler,
+    simulate_thread_per_request,
+)
+
+
+def _constant_arrivals(n, rate, model="m"):
+    return ArrivalProcess.constant_rate([model], requests_per_second=rate, duration_seconds=n / rate)
+
+
+class TestArrivalProcess:
+    def test_constant_rate_spacing(self):
+        arrivals = ArrivalProcess.constant_rate(["a"], 100.0, 0.1)
+        assert len(arrivals) == 10
+        assert arrivals[1].time - arrivals[0].time == pytest.approx(0.01)
+
+    def test_from_model_sequence(self):
+        arrivals = ArrivalProcess.from_model_sequence(["a", "b", "a"], 10.0, batch_sizes={"b": 4})
+        assert [a.model for a in arrivals] == ["a", "b", "a"]
+        assert arrivals[1].batch_size == 4
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess.constant_rate(["a"], 0.0, 1.0)
+
+
+class TestThreadPerRequestSimulation:
+    def test_throughput_saturates_at_capacity(self):
+        service = 0.01  # 10 ms per request -> 100 QPS per core
+        arrivals = _constant_arrivals(500, rate=1000.0)
+        result = simulate_thread_per_request(arrivals, lambda m, b: service, n_cores=2)
+        assert result.throughput_qps == pytest.approx(200.0, rel=0.1)
+
+    def test_underload_latency_equals_service_time(self):
+        arrivals = _constant_arrivals(50, rate=10.0)
+        result = simulate_thread_per_request(arrivals, lambda m, b: 0.001, n_cores=4)
+        assert result.mean_latency == pytest.approx(0.001, rel=0.05)
+
+    def test_more_cores_more_throughput(self):
+        arrivals = _constant_arrivals(400, rate=10000.0)
+        few = simulate_thread_per_request(arrivals, lambda m, b: 0.005, n_cores=1)
+        many = simulate_thread_per_request(arrivals, lambda m, b: 0.005, n_cores=4)
+        assert many.throughput_qps > 3.0 * few.throughput_qps
+
+    def test_contention_slows_scaling(self):
+        arrivals = _constant_arrivals(400, rate=10000.0)
+        ideal = simulate_thread_per_request(arrivals, lambda m, b: 0.005, n_cores=8)
+        contended = simulate_thread_per_request(
+            arrivals, lambda m, b: 0.005, n_cores=8, contention_per_core=0.05
+        )
+        assert contended.throughput_qps < ideal.throughput_qps
+
+    def test_switch_penalty_applied(self):
+        arrivals = [Arrival(time=0.0, model="a"), Arrival(time=0.0, model="b")]
+        result = simulate_thread_per_request(
+            arrivals, lambda m, b: 0.001, n_cores=1, model_switch_penalty=0.01
+        )
+        assert result.makespan_seconds > 0.02
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            simulate_thread_per_request([], lambda m, b: 0.1, n_cores=0)
+
+
+class TestStageSchedulerSimulation:
+    def test_matches_thread_model_for_single_stage(self):
+        arrivals = _constant_arrivals(200, rate=5000.0)
+        stage = simulate_stage_scheduler(arrivals, lambda m, b: [0.002], n_cores=2, event_overhead=0.0)
+        thread = simulate_thread_per_request(arrivals, lambda m, b: 0.002, n_cores=2)
+        assert stage.throughput_qps == pytest.approx(thread.throughput_qps, rel=0.05)
+
+    def test_multi_stage_pipeline_parallelism(self):
+        """Two stages on two cores should overlap across requests."""
+        arrivals = _constant_arrivals(200, rate=10000.0)
+        result = simulate_stage_scheduler(
+            arrivals, lambda m, b: [0.001, 0.001], n_cores=2, event_overhead=0.0
+        )
+        # With perfect pipelining the makespan approaches n * 1ms, not n * 2ms.
+        assert result.makespan_seconds < 200 * 0.0015
+
+    def test_scales_with_cores(self):
+        arrivals = _constant_arrivals(300, rate=50000.0)
+        one = simulate_stage_scheduler(arrivals, lambda m, b: [0.001, 0.001], n_cores=1)
+        four = simulate_stage_scheduler(arrivals, lambda m, b: [0.001, 0.001], n_cores=4)
+        assert four.throughput_qps > 3.0 * one.throughput_qps
+
+    def test_reservation_isolates_model(self):
+        """A reserved model keeps low latency while the shared queue is overloaded."""
+        background = [
+            Arrival(time=i * 0.0001, model="busy", latency_sensitive=False) for i in range(300)
+        ]
+        reserved = [
+            Arrival(time=i * 0.01, model="vip", latency_sensitive=True) for i in range(10)
+        ]
+        without = simulate_stage_scheduler(
+            background + reserved, lambda m, b: [0.002], n_cores=2
+        )
+        with_reservation = simulate_stage_scheduler(
+            background + reserved, lambda m, b: [0.002], n_cores=2, reservations={"vip": 0}
+        )
+        assert with_reservation.completed == without.completed
+        # The reserved run must serve the vip requests with far lower latency
+        # than the overloaded shared run does.
+        assert with_reservation.mean_latency_sensitive < 0.5 * without.mean_latency_sensitive
+        assert with_reservation.mean_latency_sensitive == pytest.approx(0.002, rel=0.5)
+
+    def test_batch_size_scales_work(self):
+        arrivals = [Arrival(time=0.0, model="m", batch_size=10)]
+        result = simulate_stage_scheduler(arrivals, lambda m, b: [0.001 * b], n_cores=1)
+        assert result.makespan_seconds == pytest.approx(0.01, rel=0.1)
+        assert result.completed == 10
+
+    def test_invalid_reservation_core(self):
+        with pytest.raises(ValueError):
+            simulate_stage_scheduler([], lambda m, b: [0.001], n_cores=1, reservations={"x": 5})
+
+
+class TestCalibration:
+    def test_plan_stage_calibration(self, sa_pipeline, sa_inputs):
+        runtime = PretzelRuntime(PretzelConfig())
+        try:
+            plan_id = runtime.register(sa_pipeline)
+            calibrated = calibrate_plan_stages(runtime, plan_id, sa_inputs[:2], repetitions=2)
+            plan = runtime.plan(plan_id)
+            assert len(calibrated.stage_seconds) == plan.stage_count()
+            assert all(seconds > 0 for seconds in calibrated.stage_seconds)
+            assert calibrated.stage_times(batch_size=3)[0] == pytest.approx(
+                3 * calibrated.stage_seconds[0]
+            )
+        finally:
+            runtime.shutdown()
+
+    def test_blackbox_calibration(self, sa_pipeline, sa_inputs):
+        runtime = MLNetRuntime()
+        runtime.load(sa_pipeline)
+        per_request = calibrate_blackbox(runtime, sa_pipeline.name, sa_inputs[:2], repetitions=2)
+        assert per_request > 0
