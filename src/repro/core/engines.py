@@ -9,19 +9,28 @@ PRETZEL serves predictions through two engines (Section 4.2.1):
   events through the Scheduler onto shared Executors.
 
 Both engines share :func:`execute_plan_stage`, which layers sub-plan
-materialization and vector pooling around the physical stage call.
+materialization and vector pooling around the physical stage call.  The batch
+engine additionally uses :func:`execute_plan_stage_batch` to serve a whole
+:class:`~repro.core.scheduler.StageBatch` -- stage events coalesced across
+requests (and plans) because they share one physical stage -- with a single
+vectorized stage execution.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.materialization import SubPlanMaterializer
 from repro.core.oven.plan import ModelPlan, PlanStage
 from repro.core.vector_pool import VectorPool
 
-__all__ = ["execute_plan_stage", "execute_plan", "RequestResponseEngine"]
+__all__ = [
+    "execute_plan_stage",
+    "execute_plan_stage_batch",
+    "execute_plan",
+    "RequestResponseEngine",
+]
 
 
 def execute_plan_stage(
@@ -56,6 +65,69 @@ def execute_plan_stage(
         for position, key in enumerate(stage.output_keys):
             values[key] = outputs[position]
         return outputs[stage.physical.final_position()]
+    finally:
+        if buffer is not None and pool is not None:
+            pool.release(buffer)
+
+
+def execute_plan_stage_batch(
+    items: Sequence[Tuple[PlanStage, Any, Dict[Tuple[str, str], Any]]],
+    materializer: Optional[SubPlanMaterializer] = None,
+    pool: Optional[VectorPool] = None,
+) -> List[Any]:
+    """Execute one *shared* plan stage for many requests at once.
+
+    ``items`` holds one ``(stage, record, values)`` triple per request; every
+    stage must wrap the same physical stage (same ``full_signature``) -- the
+    invariant :meth:`Scheduler.next_batch` establishes.  The plan-level
+    wrappers may still differ (each plan names its stages and exports its own
+    keys), so externals are gathered and outputs scattered per request, while
+    the stage itself runs once over the whole batch.
+
+    Records with a materialization-cache hit are excluded from the batched
+    execution; misses are stored back, exactly as the scalar path does.
+    Returns each request's final stage output, in ``items`` order.
+    """
+    if not items:
+        return []
+    physical = items[0][0].physical
+    buffer = None
+    if pool is not None and physical.max_vector_size:
+        buffer = pool.acquire(physical.max_vector_size)
+    try:
+        externals_per_item: List[List[Any]] = []
+        outputs_per_item: List[Optional[List[Any]]] = [None] * len(items)
+        misses: List[int] = []
+        for index, (stage, record, values) in enumerate(items):
+            externals = [
+                record if upstream is None else values[(upstream, transform_id)]
+                for upstream, transform_id in stage.external_refs
+            ]
+            externals_per_item.append(externals)
+            if materializer is not None and materializer.enabled:
+                cached = materializer.lookup(stage.physical, externals)
+                if cached is not None:
+                    outputs_per_item[index] = cached
+                    continue
+            misses.append(index)
+        if misses:
+            batch_outputs = physical.execute_batch(
+                [externals_per_item[index] for index in misses]
+            )
+            for position, index in enumerate(misses):
+                outputs = batch_outputs[position]
+                outputs_per_item[index] = outputs
+                if materializer is not None and materializer.enabled:
+                    stage = items[index][0]
+                    materializer.store(stage.physical, externals_per_item[index], outputs)
+        results: List[Any] = []
+        for index, (stage, _record, values) in enumerate(items):
+            outputs = outputs_per_item[index]
+            assert outputs is not None
+            for position, key in enumerate(stage.output_keys):
+                values[key] = outputs[position]
+            results.append(outputs[stage.physical.final_position()])
+        return results
     finally:
         if buffer is not None and pool is not None:
             pool.release(buffer)

@@ -4,6 +4,15 @@ Each executor owns a vector pool (allocated per executor to improve locality,
 as in the paper) and pulls stage events from the Scheduler when free.  The
 pool of executors is created once at runtime initialization so no thread is
 ever spawned on the prediction path.
+
+When the scheduler has stage-level batching enabled, a free executor pulls a
+:class:`~repro.core.scheduler.StageBatch` -- every queued event whose next
+stage shares one physical-stage signature, possibly from different requests
+and different model plans -- and serves the whole batch through a single
+vectorized :func:`~repro.core.engines.execute_plan_stage_batch` call.  If the
+batched path raises, the executor falls back to per-event scalar execution so
+errors are attributed to the request that caused them and healthy requests in
+the same batch still complete.
 """
 
 from __future__ import annotations
@@ -11,9 +20,9 @@ from __future__ import annotations
 import threading
 from typing import List, Optional
 
-from repro.core.engines import execute_plan_stage
+from repro.core.engines import execute_plan_stage, execute_plan_stage_batch
 from repro.core.materialization import SubPlanMaterializer
-from repro.core.scheduler import Scheduler, StageEvent
+from repro.core.scheduler import Scheduler, StageBatch, StageEvent
 from repro.core.vector_pool import VectorPool
 
 __all__ = ["Executor", "ExecutorPool"]
@@ -36,15 +45,23 @@ class Executor(threading.Thread):
         self.materializer = materializer
         self.vector_pool = VectorPool(enabled=vector_pooling, entries_per_class=pool_entries)
         self.stages_executed = 0
+        self.batches_executed = 0
         self.busy_seconds = 0.0
         self._stop_event = threading.Event()
 
     def run(self) -> None:  # pragma: no cover - exercised via integration tests
+        batching = self.scheduler.enable_stage_batching
         while not self._stop_event.is_set() and not self.scheduler.is_shut_down:
-            event = self.scheduler.next_event(self.executor_id)
-            if event is None:
-                continue
-            self.execute_event(event)
+            if batching:
+                batch = self.scheduler.next_batch(self.executor_id)
+                if batch is None:
+                    continue
+                self.execute_batch(batch)
+            else:
+                event = self.scheduler.next_event(self.executor_id)
+                if event is None:
+                    continue
+                self.execute_event(event)
 
     def execute_event(self, event: StageEvent) -> None:
         """Run one stage event (also callable synchronously from tests)."""
@@ -63,6 +80,37 @@ class Executor(threading.Thread):
             return
         self.stages_executed += 1
         self.scheduler.on_stage_complete(event, output)
+
+    def execute_batch(self, batch: StageBatch) -> None:
+        """Run one coalesced stage batch (also callable synchronously from tests).
+
+        A failure inside the vectorized path cannot be attributed to a single
+        member, so the batch is retried event by event through the scalar
+        path; only the offending request fails.
+        """
+        if len(batch) == 1:
+            self.execute_event(batch.events[0])
+            return
+        items = [
+            (
+                event.request.plan.stages[event.stage_index],
+                event.request.record,
+                event.request.values,
+            )
+            for event in batch.events
+        ]
+        try:
+            outputs = execute_plan_stage_batch(
+                items, materializer=self.materializer, pool=self.vector_pool
+            )
+        except BaseException:  # noqa: BLE001 - re-run members to isolate the fault
+            for event in batch.events:
+                self.execute_event(event)
+            return
+        self.stages_executed += len(batch)
+        self.batches_executed += 1
+        for event, output in zip(batch.events, outputs):
+            self.scheduler.on_stage_complete(event, output)
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -93,10 +141,13 @@ class ExecutorPool:
             for index in range(num_executors)
         ]
         self._started = False
+        self._shut_down = False
 
     def start(self) -> None:
         if self._started:
             return
+        if self._shut_down:
+            raise RuntimeError("executor pool is shut down")
         for executor in self.executors:
             executor.start()
         self._started = True
@@ -111,6 +162,7 @@ class ExecutorPool:
 
     def shutdown(self) -> None:
         self.scheduler.shutdown()
+        self._shut_down = True
         for executor in self.executors:
             executor.stop()
         if self._started:

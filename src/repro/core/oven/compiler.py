@@ -89,13 +89,23 @@ class ModelPlanCompiler:
                 node.operator = self.object_store.intern_operator(node.operator)
 
     def _physical_for(self, logical: LogicalStage) -> PhysicalStage:
-        """Reuse a catalogued physical stage or build (and AOT-compile) a new one."""
+        """Reuse a catalogued physical stage or build (and AOT-compile) a new one.
+
+        With AOT compilation disabled the catalog is bypassed entirely: a
+        shared stage object would let every plan after the first skip the cold
+        interpretation and specialization cost the no-AOT configuration is
+        supposed to pay (the Section 5.2.1 ablation), regardless of whether
+        plans are registered before or after the first prediction.  Each plan
+        receives its own fresh, uncompiled stage; parameters stay deduplicated
+        through the Object Store and materialization still shares results (the
+        cache is keyed by the stage *signature*, not by object identity).
+        """
+        if not self.config.enable_aot_compilation:
+            return PhysicalStage(logical, compile_ahead_of_time=False)
         signature = logical.full_signature()
         if self.config.enable_object_store and signature in self.stage_catalog:
             return self.stage_catalog[signature]
-        physical = PhysicalStage(
-            logical, compile_ahead_of_time=self.config.enable_aot_compilation
-        )
+        physical = PhysicalStage(logical, compile_ahead_of_time=True)
         if self.config.enable_object_store:
             self.stage_catalog[signature] = physical
         return physical

@@ -71,6 +71,16 @@ class ModelPlan:
     def physical_stages(self) -> List[PhysicalStage]:
         return [stage.physical for stage in self.stages]
 
+    def stage_signature(self, index: int) -> str:
+        """Full signature of the physical stage at ``index``.
+
+        This is the key the batch engine coalesces on: two plans whose stages
+        report the same signature share the physical stage (same operators,
+        same trained state), so their queued events can be served by one
+        vectorized execution.
+        """
+        return self.stages[index].physical.full_signature
+
     def memory_bytes(self) -> int:
         """Parameter bytes referenced by this plan (ignoring cross-plan sharing)."""
         return sum(stage.physical.memory_bytes() for stage in self.stages)

@@ -62,7 +62,10 @@ class PretzelRuntime:
         )
         self.compiler = ModelPlanCompiler(object_store=self.object_store, config=self.config)
         self.optimizer = OvenOptimizer()
-        self.scheduler = Scheduler()
+        self.scheduler = Scheduler(
+            enable_stage_batching=self.config.enable_stage_batching,
+            max_stage_batch_size=self.config.max_stage_batch_size,
+        )
         self.executor_pool = ExecutorPool(
             self.scheduler,
             num_executors=self.config.num_executors,
@@ -260,6 +263,7 @@ class PretzelRuntime:
             "materialization": self.materializer.stats(),
             "scheduler_events": self.scheduler.scheduled_events,
             "completed_requests": self.scheduler.completed_requests,
+            "stage_batching": self.scheduler.batching.snapshot(),
         }
 
     # -- lifecycle -----------------------------------------------------------------------

@@ -11,6 +11,21 @@ the two queues.
 Reservation-based scheduling (Section 4.2.2, "Reservation-based Scheduling")
 gives a plan a dedicated executor and a private queue, emulating
 container-style isolation while still sharing parameters and physical stages.
+
+**Cross-plan stage-level batching.**  Because plans compiled against the same
+Object Store point at the *same* physical stages, events queued by different
+requests -- even requests for different model plans -- frequently wait to run
+an identical physical stage.  With ``enable_stage_batching`` on, a free
+executor pulls a :class:`StageBatch` instead of a single event: the first
+runnable event plus every other queued event whose next stage shares its
+``physical.full_signature``, up to ``max_stage_batch_size``.  Latency-sensitive
+requests always bypass coalescing (they run alone, preserving the
+request-response latency profile), and reserved executors only coalesce within
+their private queue, so reservation isolation is preserved.  Observed batch
+sizes are recorded in :class:`repro.telemetry.batching.StageBatchTelemetry`.
+
+Shutting the scheduler down fails every still-queued request fast (instead of
+leaving callers blocked in :meth:`InferenceRequest.wait` until their timeout).
 """
 
 from __future__ import annotations
@@ -23,8 +38,9 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.oven.plan import ModelPlan
+from repro.telemetry.batching import StageBatchTelemetry
 
-__all__ = ["InferenceRequest", "StageEvent", "Scheduler"]
+__all__ = ["InferenceRequest", "StageEvent", "StageBatch", "Scheduler"]
 
 
 class InferenceRequest:
@@ -95,11 +111,51 @@ class StageEvent:
     def is_last(self) -> bool:
         return self.stage_index == len(self.request.plan.stages) - 1
 
+    @property
+    def signature(self) -> str:
+        """Signature of the physical stage this event will execute."""
+        return self.request.plan.stage_signature(self.stage_index)
+
+
+@dataclass
+class StageBatch:
+    """A coalesced group of stage events sharing one physical stage.
+
+    Every member's next stage has the same ``physical.full_signature``, so the
+    whole batch can be served by a single (possibly vectorized)
+    :meth:`~repro.core.oven.physical.PhysicalStage.execute_batch` call.
+    """
+
+    events: List[StageEvent]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("a StageBatch needs at least one event")
+
+    @property
+    def signature(self) -> str:
+        return self.events[0].signature
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
 
 class Scheduler:
     """Shared queues + reservation bookkeeping; executors pull events from it."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        enable_stage_batching: bool = False,
+        max_stage_batch_size: int = 16,
+    ) -> None:
+        if max_stage_batch_size < 1:
+            raise ValueError("max_stage_batch_size must be >= 1")
+        self.enable_stage_batching = enable_stage_batching
+        self.max_stage_batch_size = max_stage_batch_size
+        self.batching = StageBatchTelemetry()
         self._low: Deque[StageEvent] = deque()
         self._high: Deque[StageEvent] = deque()
         #: plan id -> executor id holding the reservation
@@ -128,11 +184,21 @@ class Scheduler:
     # -- submission --------------------------------------------------------------
 
     def submit(self, request: InferenceRequest) -> InferenceRequest:
-        """Enqueue the first stage of a request on the low-priority queue."""
+        """Enqueue the first stage of a request on the low-priority queue.
+
+        Submissions against a shut-down scheduler fail the request immediately
+        rather than queueing work that will never be served.
+        """
         event = StageEvent(request, 0)
         with self._condition:
-            self._enqueue(event)
-            self._condition.notify_all()
+            if self._shutdown:
+                shut_down = True
+            else:
+                shut_down = False
+                self._enqueue(event)
+                self._condition.notify_all()
+        if shut_down:
+            request.fail(RuntimeError("scheduler is shut down"))
         return request
 
     def _enqueue(self, event: StageEvent) -> None:
@@ -158,23 +224,91 @@ class Scheduler:
         deadline = time.perf_counter() + timeout
         with self._condition:
             while not self._shutdown:
-                reserved = self._reserved_queues.get(executor_id)
-                if reserved is not None:
-                    if reserved:
-                        return reserved.popleft()
-                else:
-                    if self._high:
-                        return self._high.popleft()
-                    if self._low:
-                        return self._low.popleft()
+                event = self._pop_event(executor_id)
+                if event is not None:
+                    return event
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     return None
                 self._condition.wait(remaining)
             return None
 
+    def next_batch(self, executor_id: int, timeout: float = 0.05) -> Optional[StageBatch]:
+        """Pull the next runnable event plus every coalescible peer.
+
+        The first runnable event is chosen exactly as :meth:`next_event` would;
+        when stage batching is enabled and the event is not latency-sensitive,
+        every other queued event visible to this executor whose next stage has
+        the same physical signature is folded into the batch (up to
+        ``max_stage_batch_size``).  Queue order of non-coalesced events is
+        preserved.
+        """
+        deadline = time.perf_counter() + timeout
+        with self._condition:
+            while not self._shutdown:
+                event = self._pop_event(executor_id)
+                if event is not None:
+                    events = [event]
+                    if self.enable_stage_batching and not event.request.latency_sensitive:
+                        self._coalesce_into(events, executor_id)
+                    self.batching.record(event.signature, len(events))
+                    return StageBatch(events)
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return None
+                self._condition.wait(remaining)
+            return None
+
+    def _pop_event(self, executor_id: int) -> Optional[StageEvent]:
+        """Pop the next runnable event for this executor (condition held)."""
+        reserved = self._reserved_queues.get(executor_id)
+        if reserved is not None:
+            if reserved:
+                return reserved.popleft()
+            return None
+        if self._high:
+            return self._high.popleft()
+        if self._low:
+            return self._low.popleft()
+        return None
+
+    def _coalesce_into(self, events: List[StageEvent], executor_id: int) -> None:
+        """Move same-signature events from this executor's queues into ``events``.
+
+        A reserved executor only coalesces from its private queue (isolation);
+        shared executors scan the high-priority queue before the low-priority
+        one, mirroring the pull order.  Latency-sensitive events are skipped.
+        """
+        signature = events[0].signature
+        reserved = self._reserved_queues.get(executor_id)
+        queues = [reserved] if reserved is not None else [self._high, self._low]
+        limit = self.max_stage_batch_size
+        for queue in queues:
+            if len(events) >= limit:
+                break
+            matched = False
+            remaining: Deque[StageEvent] = deque()
+            for event in queue:
+                if (
+                    len(events) < limit
+                    and not event.request.latency_sensitive
+                    and event.signature == signature
+                ):
+                    events.append(event)
+                    matched = True
+                else:
+                    remaining.append(event)
+            if matched:
+                queue.clear()
+                queue.extend(remaining)
+
     def on_stage_complete(self, event: StageEvent, output: Any) -> None:
-        """Advance the request: schedule the next stage or complete it."""
+        """Advance the request: schedule the next stage or complete it.
+
+        Requeueing into a shut-down scheduler (an executor finishing its
+        current stage while the pool is stopping) fails the request fast
+        instead of stranding it in a queue nobody will ever drain.
+        """
         request = event.request
         if event.is_last:
             request.complete(output)
@@ -184,8 +318,14 @@ class Scheduler:
             return
         next_event = StageEvent(request, event.stage_index + 1)
         with self._condition:
-            self._enqueue(next_event)
-            self._condition.notify_all()
+            if self._shutdown:
+                shut_down = True
+            else:
+                shut_down = False
+                self._enqueue(next_event)
+                self._condition.notify_all()
+        if shut_down:
+            request.fail(RuntimeError("scheduler shut down before request completed"))
 
     def on_stage_error(self, event: StageEvent, error: BaseException) -> None:
         event.request.fail(error)
@@ -195,9 +335,27 @@ class Scheduler:
     # -- lifecycle -------------------------------------------------------------------
 
     def shutdown(self) -> None:
+        """Stop serving events and fail every still-queued request fast.
+
+        Without this, a request whose events were queued but never pulled would
+        block its caller in :meth:`InferenceRequest.wait` until the timeout.
+        """
         with self._condition:
             self._shutdown = True
+            abandoned = list(self._low) + list(self._high)
+            self._low.clear()
+            self._high.clear()
+            for queue in self._reserved_queues.values():
+                abandoned.extend(queue)
+                queue.clear()
             self._condition.notify_all()
+        for event in abandoned:
+            if not event.request.done:
+                event.request.fail(
+                    RuntimeError(
+                        f"scheduler shut down with request {event.request.request_id} pending"
+                    )
+                )
 
     @property
     def is_shut_down(self) -> bool:

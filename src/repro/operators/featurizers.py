@@ -234,6 +234,18 @@ class MinMaxNormalizer(Operator):
         safe_span = np.where(span == 0.0, 1.0, span)
         return DenseVector(np.clip((arr - self.minima) / safe_span, 0.0, 1.0))
 
+    def transform_batch(self, values: Sequence[Any]) -> List[DenseVector]:
+        """Vectorized scaling: one clip over the stacked batch matrix."""
+        if self.minima is None or self.maxima is None:
+            raise RuntimeError("MinMaxNormalizer used before fit()")
+        if not values:
+            return []
+        matrix = np.vstack([as_vector(value).to_numpy() for value in values])
+        span = self.maxima - self.minima
+        safe_span = np.where(span == 0.0, 1.0, span)
+        scaled = np.clip((matrix - self.minima) / safe_span, 0.0, 1.0)
+        return [DenseVector(row.copy()) for row in scaled]
+
     def parameters(self) -> List[Parameter]:
         params: List[Parameter] = []
         if self.minima is not None:
@@ -266,6 +278,18 @@ class L2Normalizer(Operator):
         if norm == 0.0:
             return vec
         return vec.scale(1.0 / norm)
+
+    def transform_batch(self, values: Sequence[Any]) -> List[Vector]:
+        """Vectorized normalization for all-dense batches (one norm pass)."""
+        vectors = [as_vector(value) for value in values]
+        if not vectors or not all(isinstance(vector, DenseVector) for vector in vectors):
+            return [self.transform(vector) for vector in vectors]
+        matrix = np.vstack([vector.to_numpy() for vector in vectors])
+        norms = np.linalg.norm(matrix, axis=1)
+        return [
+            vector if norm == 0.0 else DenseVector(row * (1.0 / norm))
+            for vector, row, norm in zip(vectors, matrix, norms)
+        ]
 
     def parameters(self) -> List[Parameter]:
         return [Parameter("l2norm.config", {"norm": "l2"})]

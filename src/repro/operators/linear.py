@@ -23,7 +23,7 @@ from repro.operators.base import (
     Parameter,
     ValueKind,
 )
-from repro.operators.vectors import Vector, as_vector
+from repro.operators.vectors import DenseVector, Vector, as_vector
 
 __all__ = ["LinearModel", "LinearRegressor", "LogisticRegressionClassifier", "PoissonRegressor"]
 
@@ -115,9 +115,25 @@ class LinearModel(Operator):
         return float(self._link(np.asarray(margin)))
 
     def transform_batch(self, values: Sequence[Any]) -> List[float]:
+        """Vectorized batch scoring: one matrix product for dense batches.
+
+        Sparse inputs keep the per-record sparse dot (densifying them would
+        cost more than it saves) but still share a single vectorized link.
+        """
         if self.weights is None:
             raise RuntimeError(f"{self.name} used before fit()")
-        margins = np.array([self.decision_value(v) for v in values])
+        if not values:
+            return []
+        vectors = [value if isinstance(value, Vector) else as_vector(value) for value in values]
+        if all(isinstance(vector, DenseVector) for vector in vectors):
+            matrix = np.vstack([vector.to_numpy() for vector in vectors])
+            if matrix.shape[1] != self.weights.shape[0]:
+                raise ValueError(
+                    f"weight length {self.weights.shape[0]} != vector size {matrix.shape[1]}"
+                )
+            margins = matrix @ self.weights + self.bias
+        else:
+            margins = np.array([vector.dot(self.weights) + self.bias for vector in vectors])
         return [float(p) for p in self._link(margins)]
 
     # -- model splitting (push-through-Concat) ----------------------------

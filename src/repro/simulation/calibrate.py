@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.clipper.container import ModelContainer
-from repro.core.engines import execute_plan_stage
+from repro.core.engines import execute_plan_stage, execute_plan_stage_batch
 from repro.core.oven.plan import ModelPlan
 from repro.core.runtime import PretzelRuntime
 from repro.mlnet.runtime import MLNetRuntime
@@ -24,6 +24,7 @@ from repro.mlnet.runtime import MLNetRuntime
 __all__ = [
     "CalibratedPlan",
     "calibrate_plan_stages",
+    "calibrate_plan_stage_batches",
     "calibrate_blackbox",
     "calibrate_container",
 ]
@@ -78,6 +79,43 @@ def calibrate_plan_stages(
     if samples == 0:
         raise ValueError("calibration needs at least one record")
     return CalibratedPlan(plan_id=plan_id, stage_seconds=[total / samples for total in totals])
+
+
+def calibrate_plan_stage_batches(
+    runtime: PretzelRuntime,
+    plan_id: str,
+    records: Sequence[Any],
+    batch_size: int = 100,
+    repetitions: int = 3,
+) -> CalibratedPlan:
+    """Measure *per-record* per-stage times of the vectorized batch path.
+
+    Each stage is executed through
+    :func:`~repro.core.engines.execute_plan_stage_batch` over ``batch_size``
+    records (the sample records tiled as needed), the way an executor serves a
+    coalesced :class:`StageBatch`.  The returned times are per record, so they
+    are directly comparable to :func:`calibrate_plan_stages`.
+    """
+    if not records:
+        raise ValueError("calibration needs at least one record")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    plan = runtime.plan(plan_id)
+    tiled = (list(records) * ((batch_size + len(records) - 1) // len(records)))[:batch_size]
+    totals = [0.0] * len(plan.stages)
+    for _ in range(repetitions):
+        values_list: List[Dict[Tuple[str, str], Any]] = [{} for _ in tiled]
+        for index, stage in enumerate(plan.stages):
+            items = [(stage, record, values) for record, values in zip(tiled, values_list)]
+            start = time.perf_counter()
+            execute_plan_stage_batch(
+                items, materializer=runtime.materializer, pool=runtime._inline_pool
+            )
+            totals[index] += time.perf_counter() - start
+    samples = repetitions * batch_size
+    return CalibratedPlan(
+        plan_id=plan_id, stage_seconds=[total / samples for total in totals]
+    )
 
 
 def calibrate_blackbox(

@@ -189,6 +189,7 @@ def simulate_stage_scheduler(
     n_cores: int,
     event_overhead: float = 5e-6,
     reservations: Optional[Dict[str, int]] = None,
+    max_stage_batch: Optional[int] = None,
 ) -> SimulationResult:
     """Simulate PRETZEL's batch engine over ``n_cores`` executors.
 
@@ -198,6 +199,14 @@ def simulate_stage_scheduler(
     when free.  ``reservations`` maps model names to a dedicated core index;
     reserved cores only serve their own models, and reserved models only run
     on their core.
+
+    ``max_stage_batch`` enables stage-level batch coalescing: when a core
+    pulls an event, every other already-ready event in the same queue waiting
+    for the same ``(model, stage)`` -- the simulator's stand-in for the
+    physical-stage signature the real scheduler coalesces on -- is folded into
+    one service whose time is the sum of the members' stage times plus a
+    single per-event overhead.  Latency-sensitive requests are never
+    coalesced, matching the real scheduler's bypass.
     """
     if n_cores < 1:
         raise ValueError("need at least one core")
@@ -284,26 +293,51 @@ def simulate_stage_scheduler(
             continue
         ready_time, _seq, request = heapq.heappop(queue)
         start = max(now, ready_time)
-        service = request.stage_times[request.next_stage] + event_overhead
+        members = [request]
+        if (
+            max_stage_batch is not None
+            and max_stage_batch > 1
+            and not request.arrival.latency_sensitive
+        ):
+            batch_key = (request.arrival.model, request.next_stage)
+            kept: List[Tuple[float, int, _SimRequest]] = []
+            for entry in queue:
+                entry_ready, _entry_seq, entry_request = entry
+                if (
+                    len(members) < max_stage_batch
+                    and not entry_request.arrival.latency_sensitive
+                    and (entry_request.arrival.model, entry_request.next_stage) == batch_key
+                    and entry_ready <= start
+                ):
+                    members.append(entry_request)
+                else:
+                    kept.append(entry)
+            if len(members) > 1:
+                queue[:] = kept
+                heapq.heapify(queue)
+        service = (
+            sum(member.stage_times[member.next_stage] for member in members) + event_overhead
+        )
         finish = start + service
         core_free_at[core] = finish
         core_busy[core] += service
-        request.next_stage += 1
-        if request.next_stage >= len(request.stage_times):
-            latency = finish - request.arrival.time
-            latencies.append(latency)
-            if request.arrival.latency_sensitive:
-                latencies_sensitive.append(latency)
-            completed += request.arrival.batch_size
-            makespan = max(makespan, finish)
-        else:
-            entry = (finish, sequence, request)
-            sequence += 1
-            core_of_model = reservations.get(request.arrival.model)
-            if core_of_model is not None:
-                heapq.heappush(reserved_queues[core_of_model], entry)
+        for member in members:
+            member.next_stage += 1
+            if member.next_stage >= len(member.stage_times):
+                latency = finish - member.arrival.time
+                latencies.append(latency)
+                if member.arrival.latency_sensitive:
+                    latencies_sensitive.append(latency)
+                completed += member.arrival.batch_size
+                makespan = max(makespan, finish)
             else:
-                heapq.heappush(high, entry)
+                entry = (finish, sequence, member)
+                sequence += 1
+                core_of_model = reservations.get(member.arrival.model)
+                if core_of_model is not None:
+                    heapq.heappush(reserved_queues[core_of_model], entry)
+                else:
+                    heapq.heappush(high, entry)
     return SimulationResult(
         completed=completed,
         makespan_seconds=makespan,

@@ -1,10 +1,17 @@
 """Measurement infrastructure: latency recorders, throughput, memory, reports."""
 
+from repro.telemetry.batching import StageBatchTelemetry
 from repro.telemetry.latency import LatencyRecorder, percentile, summarize_latencies
 from repro.telemetry.memory import MemoryReport, cumulative_memory_curve, format_bytes
-from repro.telemetry.reporting import format_table, format_cdf, ExperimentReport
+from repro.telemetry.reporting import (
+    ExperimentReport,
+    format_batching_report,
+    format_cdf,
+    format_table,
+)
 
 __all__ = [
+    "StageBatchTelemetry",
     "LatencyRecorder",
     "percentile",
     "summarize_latencies",
@@ -13,5 +20,6 @@ __all__ = [
     "format_bytes",
     "format_table",
     "format_cdf",
+    "format_batching_report",
     "ExperimentReport",
 ]

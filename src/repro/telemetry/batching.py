@@ -1,0 +1,106 @@
+"""Stage-batching telemetry: batch-size and occupancy counters.
+
+The batch engine coalesces queued stage events that share a physical-stage
+signature into one :class:`~repro.core.scheduler.StageBatch`.  This module
+counts, per physical stage, how many batches were formed and how many events
+they carried, so experiments can report the *observed* mean batch size and the
+occupancy against the configured ``max_stage_batch_size`` cap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["StageBatchTelemetry"]
+
+
+class StageBatchTelemetry:
+    """Thread-safe per-signature counters for stage-level batching."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: signature -> number of batches formed for that stage
+        self._batches: Dict[str, int] = {}
+        #: signature -> total events carried by those batches
+        self._events: Dict[str, int] = {}
+        #: signature -> largest batch observed
+        self._max_observed: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, signature: str, batch_size: int) -> None:
+        """Record one formed batch of ``batch_size`` events for ``signature``."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        with self._lock:
+            self._batches[signature] = self._batches.get(signature, 0) + 1
+            self._events[signature] = self._events.get(signature, 0) + batch_size
+            if batch_size > self._max_observed.get(signature, 0):
+                self._max_observed[signature] = batch_size
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_batches(self) -> int:
+        with self._lock:
+            return sum(self._batches.values())
+
+    @property
+    def total_events(self) -> int:
+        with self._lock:
+            return sum(self._events.values())
+
+    def mean_batch_size(self, signature: Optional[str] = None) -> float:
+        """Observed mean events per batch, overall or for one stage."""
+        with self._lock:
+            if signature is not None:
+                batches = self._batches.get(signature, 0)
+                events = self._events.get(signature, 0)
+            else:
+                batches = sum(self._batches.values())
+                events = sum(self._events.values())
+        if batches == 0:
+            return 0.0
+        return events / batches
+
+    def occupancy(self, max_batch_size: int, signature: Optional[str] = None) -> float:
+        """Observed mean batch size as a fraction of the configured cap."""
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        return self.mean_batch_size(signature) / max_batch_size
+
+    # -- reporting -----------------------------------------------------------
+
+    def per_stage_rows(self) -> List[Dict[str, Any]]:
+        """One report row per stage signature (for ``format_table``)."""
+        with self._lock:
+            rows = [
+                {
+                    "stage": signature[:12],
+                    "batches": self._batches[signature],
+                    "events": self._events[signature],
+                    "mean_batch_size": self._events[signature] / self._batches[signature],
+                    "max_batch_size": self._max_observed[signature],
+                }
+                for signature in sorted(self._batches)
+            ]
+        return rows
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Aggregate counters as a plain dict (embedded in runtime stats)."""
+        with self._lock:
+            batches = sum(self._batches.values())
+            events = sum(self._events.values())
+            return {
+                "batches": batches,
+                "events": events,
+                "mean_batch_size": (events / batches) if batches else 0.0,
+                "stages": len(self._batches),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._batches.clear()
+            self._events.clear()
+            self._max_observed.clear()

@@ -146,3 +146,72 @@ class TestCalibration:
         runtime.load(sa_pipeline)
         per_request = calibrate_blackbox(runtime, sa_pipeline.name, sa_inputs[:2], repetitions=2)
         assert per_request > 0
+
+
+class TestStageBatchingSimulation:
+    """Coverage for the simulator's stage-level coalescing (max_stage_batch)."""
+
+    def _arrivals(self, n, latency_sensitive=False):
+        return [
+            Arrival(time=0.0, model="m", batch_size=1, latency_sensitive=latency_sensitive)
+            for _ in range(n)
+        ]
+
+    def test_coalescing_amortizes_event_overhead(self):
+        """Four same-stage requests ready together: one overhead, not four."""
+        overhead = 1e-3
+        stage = 0.01
+        unbatched = simulate_stage_scheduler(
+            self._arrivals(4), lambda m, b: [stage], n_cores=1, event_overhead=overhead
+        )
+        batched = simulate_stage_scheduler(
+            self._arrivals(4), lambda m, b: [stage], n_cores=1,
+            event_overhead=overhead, max_stage_batch=4,
+        )
+        assert unbatched.makespan_seconds == pytest.approx(4 * stage + 4 * overhead)
+        assert batched.makespan_seconds == pytest.approx(4 * stage + overhead)
+        assert batched.completed == unbatched.completed == 4
+        assert batched.throughput_qps > unbatched.throughput_qps
+
+    def test_max_stage_batch_truncates(self):
+        """A cap of 2 forms two batches of two, paying two overheads."""
+        overhead = 1e-3
+        stage = 0.01
+        result = simulate_stage_scheduler(
+            self._arrivals(4), lambda m, b: [stage], n_cores=1,
+            event_overhead=overhead, max_stage_batch=2,
+        )
+        assert result.makespan_seconds == pytest.approx(4 * stage + 2 * overhead)
+
+    def test_latency_sensitive_not_coalesced(self):
+        overhead = 1e-3
+        stage = 0.01
+        result = simulate_stage_scheduler(
+            self._arrivals(4, latency_sensitive=True), lambda m, b: [stage], n_cores=1,
+            event_overhead=overhead, max_stage_batch=4,
+        )
+        # Every latency-sensitive event runs alone: four overheads paid.
+        assert result.makespan_seconds == pytest.approx(4 * stage + 4 * overhead)
+
+    def test_different_models_not_coalesced(self):
+        overhead = 1e-3
+        arrivals = [
+            Arrival(time=0.0, model=name, batch_size=1, latency_sensitive=False)
+            for name in ("a", "b", "a", "b")
+        ]
+        result = simulate_stage_scheduler(
+            arrivals, lambda m, b: [0.01], n_cores=1,
+            event_overhead=overhead, max_stage_batch=4,
+        )
+        # Only same-(model, stage) events coalesce: a+a and b+b, two overheads.
+        assert result.makespan_seconds == pytest.approx(4 * 0.01 + 2 * overhead)
+
+    def test_multi_stage_batches_preserve_latency_accounting(self):
+        """Members of a coalesced multi-stage pipeline all finish and count."""
+        result = simulate_stage_scheduler(
+            self._arrivals(6), lambda m, b: [0.01, 0.02], n_cores=2,
+            event_overhead=1e-4, max_stage_batch=3,
+        )
+        assert result.completed == 6
+        assert len(result.latencies) == 6
+        assert all(latency > 0 for latency in result.latencies)

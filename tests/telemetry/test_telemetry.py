@@ -102,3 +102,49 @@ def test_percentiles_bounded_by_extremes_property(samples):
     assert min(samples) <= p99 <= max(samples)
     summary = recorder.summary()
     assert summary["best"] <= summary["p50"] <= summary["worst"]
+
+
+class TestStageBatchTelemetry:
+    def _telemetry(self):
+        from repro.telemetry.batching import StageBatchTelemetry
+
+        telemetry = StageBatchTelemetry()
+        telemetry.record("sig-a", 4)
+        telemetry.record("sig-a", 2)
+        telemetry.record("sig-b", 1)
+        return telemetry
+
+    def test_counters_and_means(self):
+        telemetry = self._telemetry()
+        assert telemetry.total_batches == 3
+        assert telemetry.total_events == 7
+        assert telemetry.mean_batch_size() == pytest.approx(7 / 3)
+        assert telemetry.mean_batch_size("sig-a") == pytest.approx(3.0)
+        assert telemetry.mean_batch_size("missing") == 0.0
+        assert telemetry.occupancy(4, "sig-a") == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            telemetry.occupancy(0)
+        with pytest.raises(ValueError):
+            telemetry.record("sig-a", 0)
+
+    def test_snapshot_rows_and_reset(self):
+        telemetry = self._telemetry()
+        snapshot = telemetry.snapshot()
+        assert snapshot["batches"] == 3 and snapshot["events"] == 7
+        rows = telemetry.per_stage_rows()
+        assert [row["stage"] for row in rows] == ["sig-a", "sig-b"]
+        assert rows[0]["max_batch_size"] == 4
+        telemetry.reset()
+        assert telemetry.snapshot()["batches"] == 0
+
+    def test_format_batching_report(self):
+        from repro.telemetry.reporting import format_batching_report
+
+        telemetry = self._telemetry()
+        rendered = format_batching_report(telemetry, max_batch_size=4)
+        assert "sig-a" in rendered and "sig-b" in rendered
+        assert "overall: 3 batches, 7 events" in rendered
+        assert "occupancy 0.583" in rendered
+        from repro.telemetry.batching import StageBatchTelemetry
+
+        assert format_batching_report(StageBatchTelemetry(), 4) == "(no stage batches formed)"
