@@ -1,6 +1,5 @@
 """Figure 11: end-to-end client latency, PRETZEL front-end vs ML.Net + Clipper."""
 
-import numpy as np
 
 from conftest import write_report
 from repro.clipper.frontend import ClipperFrontEnd

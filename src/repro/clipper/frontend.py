@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.clipper.container import ContainerConfig, ModelContainer
 from repro.mlnet.pipeline import Pipeline

@@ -1,0 +1,113 @@
+"""Batch-size policies for stage-level coalescing.
+
+The scheduler's per-signature ready index (:class:`repro.core.scheduler.ReadyQueue`)
+makes the *backlog* behind every physical-stage signature observable in O(1),
+which turns the batch-size cap from a static config knob into a policy
+decision.  Two policies are provided:
+
+* :class:`FixedBatchSizer` always returns the configured
+  ``max_stage_batch_size`` -- the PR 1 behaviour, and the default
+  (``stage_batch_policy="fixed"``).
+* :class:`AdaptiveBatchSizer` (``stage_batch_policy="adaptive"``) sizes each
+  pull from what is actually waiting: it tracks a per-signature exponential
+  moving average of the backlog observed at pull time and caps the batch at
+  (leader + smoothed backlog), so sparse signatures get small batches (and
+  small worst-case added queueing delay) while a sustained backlog pushes the
+  cap toward the hard ceiling.  When
+  :class:`~repro.telemetry.batching.StageBatchTelemetry` shows past batches
+  for a signature filling most of their cap, the cap is doubled (still
+  clamped to the ceiling) so a saturated stage ramps up quickly.
+
+Both policies are deterministic and single-threaded: the scheduler calls
+``batch_cap`` with its condition lock held, and the discrete-event simulator
+reuses :class:`AdaptiveBatchSizer` verbatim with ``(model, stage)`` tuples as
+signatures, so the simulated adaptive series exercises the same code path the
+real engine runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Optional
+
+from repro.telemetry.batching import StageBatchTelemetry
+
+__all__ = ["FixedBatchSizer", "AdaptiveBatchSizer", "make_batch_sizer"]
+
+
+class FixedBatchSizer:
+    """Always allow the configured maximum batch size."""
+
+    def __init__(self, max_batch_size: int) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+
+    def batch_cap(self, signature: Hashable, backlog: int) -> int:
+        return self.max_batch_size
+
+
+class AdaptiveBatchSizer:
+    """Cap each pull at the smoothed per-signature backlog.
+
+    ``batch_cap`` returns ``clamp(1 + ceil(ema_backlog), min, max)`` where the
+    EMA is updated with the backlog observed at this pull.  The ``1 +``
+    accounts for the leader event, which the scheduler has already popped when
+    it asks for a cap.  If telemetry reports that past batches for the
+    signature fill at least ``saturation`` of the tentative cap, the cap is
+    doubled (clamped), letting a stage whose batches keep coming out full
+    escalate to the ceiling in a few pulls.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        telemetry: Optional[StageBatchTelemetry] = None,
+        min_batch_size: int = 1,
+        smoothing: float = 0.5,
+        saturation: float = 0.75,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if not 1 <= min_batch_size <= max_batch_size:
+            raise ValueError("need 1 <= min_batch_size <= max_batch_size")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.max_batch_size = max_batch_size
+        self.min_batch_size = min_batch_size
+        self.smoothing = smoothing
+        self.saturation = saturation
+        self.telemetry = telemetry
+        self._backlog_ema: Dict[Hashable, float] = {}
+
+    def batch_cap(self, signature: Hashable, backlog: int) -> int:
+        previous = self._backlog_ema.get(signature)
+        if previous is None:
+            ema = float(backlog)
+        else:
+            ema = (1.0 - self.smoothing) * previous + self.smoothing * backlog
+        self._backlog_ema[signature] = ema
+        cap = 1 + math.ceil(ema)
+        cap = max(self.min_batch_size, min(self.max_batch_size, cap))
+        if self.telemetry is not None and cap < self.max_batch_size:
+            observed = self.telemetry.mean_batch_size(signature)
+            if observed >= self.saturation * cap:
+                cap = min(self.max_batch_size, cap * 2)
+        return cap
+
+    def smoothed_backlog(self, signature: Hashable) -> float:
+        """The current EMA for ``signature`` (0.0 if never observed)."""
+        return self._backlog_ema.get(signature, 0.0)
+
+
+def make_batch_sizer(
+    policy: str,
+    max_batch_size: int,
+    telemetry: Optional[StageBatchTelemetry] = None,
+):
+    """Build the batch sizer named by ``policy`` ("fixed" or "adaptive")."""
+    if policy == "fixed":
+        return FixedBatchSizer(max_batch_size)
+    if policy == "adaptive":
+        return AdaptiveBatchSizer(max_batch_size, telemetry=telemetry)
+    raise ValueError(f"unknown stage_batch_policy {policy!r} (use 'fixed' or 'adaptive')")

@@ -7,7 +7,7 @@ series, Section 5.4.1's reservation scheduling) are produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["PretzelConfig"]
 
@@ -43,6 +43,12 @@ class PretzelConfig:
     max_stage_batch_size:
         Upper bound on the number of stage events coalesced into one
         :class:`~repro.core.scheduler.StageBatch`.
+    stage_batch_policy:
+        How the scheduler picks each pull's batch cap: ``"fixed"`` always
+        allows ``max_stage_batch_size``; ``"adaptive"`` sizes every pull from
+        the smoothed per-signature backlog reported by the scheduler's
+        signature index, using telemetry occupancy to grow toward the ceiling
+        (see :mod:`repro.core.batch_policy`).
     runtime_overhead_bytes:
         Fixed footprint of the hosting process (counted once, shared by all
         plans -- the whole point of the white-box architecture).
@@ -60,6 +66,7 @@ class PretzelConfig:
     num_executors: int = 2
     enable_stage_batching: bool = False
     max_stage_batch_size: int = 16
+    stage_batch_policy: str = "fixed"
     runtime_overhead_bytes: int = 2 * 1024 * 1024
     per_plan_overhead_bytes: int = 4 * 1024
     vector_pool_entries: int = 8

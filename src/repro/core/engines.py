@@ -12,8 +12,9 @@ Both engines share :func:`execute_plan_stage`, which layers sub-plan
 materialization and vector pooling around the physical stage call.  The batch
 engine additionally uses :func:`execute_plan_stage_batch` to serve a whole
 :class:`~repro.core.scheduler.StageBatch` -- stage events coalesced across
-requests (and plans) because they share one physical stage -- with a single
-vectorized stage execution.
+requests (and plans) because they share one physical stage, formed in
+O(batch size) from the scheduler's signature-indexed ready queues -- with a
+single vectorized stage execution.
 """
 
 from __future__ import annotations

@@ -6,13 +6,15 @@ pool of executors is created once at runtime initialization so no thread is
 ever spawned on the prediction path.
 
 When the scheduler has stage-level batching enabled, a free executor pulls a
-:class:`~repro.core.scheduler.StageBatch` -- every queued event whose next
-stage shares one physical-stage signature, possibly from different requests
-and different model plans -- and serves the whole batch through a single
-vectorized :func:`~repro.core.engines.execute_plan_stage_batch` call.  If the
-batched path raises, the executor falls back to per-event scalar execution so
-errors are attributed to the request that caused them and healthy requests in
-the same batch still complete.
+:class:`~repro.core.scheduler.StageBatch` -- queued events whose next stage
+shares one physical-stage signature, possibly from different requests and
+different model plans, taken straight from the scheduler's signature index
+(up to the cap the configured batch sizer grants for this pull) -- and serves
+the whole batch through a single vectorized
+:func:`~repro.core.engines.execute_plan_stage_batch` call.  If the batched
+path raises, the executor falls back to per-event scalar execution so errors
+are attributed to the request that caused them and healthy requests in the
+same batch still complete.
 """
 
 from __future__ import annotations

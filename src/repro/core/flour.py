@@ -10,7 +10,7 @@ pipeline that the paper's instrumented ML.Net produces.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import PretzelConfig
 from repro.core.object_store import ObjectStore

@@ -5,19 +5,38 @@ the same *external* black-box optimizations Clipper offers -- prediction
 result caching with LRU eviction and delayed batching -- and forwards work to
 the Runtime.  These techniques are orthogonal to the white-box optimizations
 and are measured separately in the end-to-end experiments (Figures 11 and 14).
+
+**Delayed batching feeds the batch engine end to end.**  ``predict_delayed``
+buffers records per plan; the buffer is flushed either when it fills
+(``max_batch_size``) or when a deadline timer armed at the first buffered
+record expires (``max_batch_delay_seconds``).  A flush submits every buffered
+record through :meth:`PretzelRuntime.submit`, so the records become scheduler
+events that the batch engine's stage-level coalescing batches -- across this
+plan's records *and* anything else queued for the same physical stages.  The
+reported ``prediction_seconds`` is the *measured* wall time from the moment
+the buffer opened until the last output arrived, so a batch that fills early
+is never charged the full configured delay.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import PretzelRuntime
 from repro.net import NetworkModel
 
 __all__ = ["FrontEndConfig", "PretzelFrontEnd", "FrontEndResponse"]
+
+#: upper bound on how long a flush waits for its submitted requests (matches
+#: the default timeout of :meth:`PretzelRuntime.predict_batch`)
+_FLUSH_WAIT_SECONDS = 60.0
+
+#: how many deadline-flush responses/errors are retained for pickup
+_AUTO_FLUSH_HISTORY = 256
 
 
 @dataclass
@@ -41,10 +60,23 @@ class FrontEndResponse:
     prediction_seconds: float
     network_seconds: float
     cache_hit: bool = False
+    #: True when ``predict_delayed`` merely buffered the records -- outputs
+    #: will arrive with a later flush (manual, fill-triggered, or deadline).
+    buffered: bool = False
 
     @property
     def end_to_end_seconds(self) -> float:
         return self.prediction_seconds + self.network_seconds
+
+
+@dataclass
+class _DelayedBuffer:
+    """Per-plan buffer of records awaiting a delayed-batching flush."""
+
+    opened_at: float
+    records: List[Any] = field(default_factory=list)
+    #: absolute perf_counter deadline for the auto-flush (None = manual only)
+    deadline: Optional[float] = None
 
 
 class PretzelFrontEnd:
@@ -56,7 +88,20 @@ class PretzelFrontEnd:
         self._cache: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
-        self._pending: Dict[str, List[Any]] = {}
+        self._pending: Dict[str, _DelayedBuffer] = {}
+        self._pending_lock = threading.Lock()
+        #: wakes the (single, lazily started) deadline-monitor thread whenever
+        #: a buffer opens with an earlier deadline than it is waiting for
+        self._deadline_changed = threading.Condition(self._pending_lock)
+        self._monitor: Optional[threading.Thread] = None
+        #: responses produced by deadline-timer flushes (clients that buffered
+        #: pick their outputs up here; tests assert on it).  Bounded: only the
+        #: most recent ``_AUTO_FLUSH_HISTORY`` survive, so a long-running
+        #: front-end does not accumulate every batch's outputs forever.
+        self.auto_flushes: "Deque[FrontEndResponse]" = deque(maxlen=_AUTO_FLUSH_HISTORY)
+        #: errors raised inside deadline-timer flushes (never propagated into
+        #: the timer thread's traceback machinery); bounded like auto_flushes
+        self.flush_errors: "Deque[BaseException]" = deque(maxlen=_AUTO_FLUSH_HISTORY)
 
     # -- caching helpers ---------------------------------------------------------
 
@@ -77,8 +122,17 @@ class PretzelFrontEnd:
     # -- serving --------------------------------------------------------------------
 
     def predict(self, plan_id: str, records: Sequence[Any], use_batch_engine: bool = False) -> FrontEndResponse:
-        """Serve one client request end-to-end."""
+        """Serve one client request end-to-end.
+
+        An empty ``records`` sequence is answered immediately with an empty
+        response (it used to fall into the single-record path and crash on
+        ``records[0]``).
+        """
         records = list(records)
+        if not records:
+            return FrontEndResponse(
+                plan_id=plan_id, outputs=[], prediction_seconds=0.0, network_seconds=0.0
+            )
         cache_key: Optional[Hashable] = None
         if self.config.enable_cache and len(records) == 1:
             cache_key = (plan_id, repr(records[0]))
@@ -113,25 +167,116 @@ class PretzelFrontEnd:
         )
 
     def predict_delayed(self, plan_id: str, records: Sequence[Any]) -> FrontEndResponse:
-        """Delayed batching: buffer requests and flush when the batch is full."""
-        queue = self._pending.setdefault(plan_id, [])
-        queue.extend(records)
-        if len(queue) < self.config.max_batch_size:
+        """Delayed batching: buffer records, flush on fill or deadline expiry.
+
+        Buffering returns a ``buffered=True`` response with no outputs.  The
+        first record buffered for a plan arms a flush deadline
+        (``max_batch_delay_seconds``, enforced by one shared monitor thread --
+        no thread is spawned per batch window); reaching ``max_batch_size``
+        flushes immediately (and returns the flush response), so a batch that
+        fills early never waits out the deadline.  An empty ``records``
+        sequence buffers nothing and is answered with ``buffered=False``.
+        The delayed path bypasses the prediction cache: its records go
+        straight to the batch engine.
+        """
+        records = list(records)
+        if not records:
             return FrontEndResponse(
                 plan_id=plan_id, outputs=[], prediction_seconds=0.0, network_seconds=0.0
             )
-        return self.flush(plan_id)
+        with self._pending_lock:
+            buffer = self._pending.get(plan_id)
+            if buffer is None:
+                opened_at = time.perf_counter()
+                buffer = _DelayedBuffer(opened_at=opened_at)
+                if self.config.max_batch_delay_seconds > 0:
+                    buffer.deadline = opened_at + self.config.max_batch_delay_seconds
+                self._pending[plan_id] = buffer
+            buffer.records.extend(records)
+            full = len(buffer.records) >= self.config.max_batch_size
+            if full:
+                # Pop while still holding the lock so the deadline monitor can
+                # never steal the buffer between the fill check and the flush
+                # (the filling caller must receive the outputs itself).
+                del self._pending[plan_id]
+            elif buffer.deadline is not None:
+                self._ensure_monitor()
+                self._deadline_changed.notify_all()
+        if full:
+            return self._flush_buffer(plan_id, buffer)
+        return FrontEndResponse(
+            plan_id=plan_id, outputs=[], prediction_seconds=0.0,
+            network_seconds=0.0, buffered=True,
+        )
 
     def flush(self, plan_id: str) -> FrontEndResponse:
-        queue = self._pending.get(plan_id, [])
-        if not queue:
+        """Flush the plan's delayed-batching buffer through the batch engine."""
+        with self._pending_lock:
+            buffer = self._pending.pop(plan_id, None)
+        if buffer is None or not buffer.records:
             return FrontEndResponse(
                 plan_id=plan_id, outputs=[], prediction_seconds=0.0, network_seconds=0.0
             )
-        self._pending[plan_id] = []
-        response = self.predict(plan_id, queue, use_batch_engine=True)
-        response.prediction_seconds += self.config.max_batch_delay_seconds
-        return response
+        return self._flush_buffer(plan_id, buffer)
+
+    def _flush_buffer(self, plan_id: str, buffer: _DelayedBuffer) -> FrontEndResponse:
+        # Submit record by record: stage-level coalescing inside the scheduler
+        # re-forms the batch (possibly merged with other plans' events sharing
+        # the same physical stages), which is the whole point of routing the
+        # delayed path through the batch engine.
+        requests = [self.runtime.submit(plan_id, record) for record in buffer.records]
+        outputs = [request.wait(_FLUSH_WAIT_SECONDS) for request in requests]
+        # Measured wait: buffer-open to last output, not a flat surcharge.
+        prediction_seconds = time.perf_counter() - buffer.opened_at
+        network, _rq, _rs = self.config.client_network.round_trip(
+            {"plan": plan_id, "records": buffer.records}, {"outputs": outputs}
+        )
+        return FrontEndResponse(
+            plan_id=plan_id,
+            outputs=outputs,
+            prediction_seconds=prediction_seconds,
+            network_seconds=network,
+        )
+
+    def _ensure_monitor(self) -> None:
+        """Start the single deadline-monitor thread (caller holds the lock)."""
+        if self._monitor is None or not self._monitor.is_alive():
+            self._monitor = threading.Thread(
+                target=self._deadline_loop, name="pretzel-frontend-flush", daemon=True
+            )
+            self._monitor.start()
+
+    def _deadline_loop(self) -> None:
+        """Flush buffers whose deadline passed; sleep until the next one."""
+        while True:
+            expired: List[Tuple[str, _DelayedBuffer]] = []
+            with self._deadline_changed:
+                now = time.perf_counter()
+                next_deadline: Optional[float] = None
+                for plan_id, buffer in list(self._pending.items()):
+                    if buffer.deadline is None:
+                        continue
+                    if buffer.deadline <= now:
+                        expired.append((plan_id, buffer))
+                        del self._pending[plan_id]
+                    elif next_deadline is None or buffer.deadline < next_deadline:
+                        next_deadline = buffer.deadline
+                if not expired:
+                    timeout = None if next_deadline is None else next_deadline - now
+                    self._deadline_changed.wait(timeout=timeout)
+                    continue
+            for plan_id, buffer in expired:
+                try:
+                    response = self._flush_buffer(plan_id, buffer)
+                except Exception as error:  # noqa: BLE001 - the monitor must not die loudly
+                    self.flush_errors.append(error)
+                    continue
+                self.auto_flushes.append(response)
+
+    def pending_counts(self) -> Dict[str, int]:
+        """Buffered (not yet flushed) record counts per plan."""
+        with self._pending_lock:
+            return {plan_id: len(buffer.records) for plan_id, buffer in self._pending.items()}
 
     # -- accounting ---------------------------------------------------------------------
 

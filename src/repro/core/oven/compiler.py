@@ -13,11 +13,11 @@ The MPC maps an optimized stage graph to a :class:`~repro.core.oven.plan.ModelPl
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.config import PretzelConfig
 from repro.core.object_store import ObjectStore
-from repro.core.oven.logical import LogicalStage, StageGraph, StageInput
+from repro.core.oven.logical import LogicalStage, StageGraph
 from repro.core.oven.physical import PhysicalStage
 from repro.core.oven.plan import ModelPlan, PlanStage
 from repro.operators.base import ValueKind

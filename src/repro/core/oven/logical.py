@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.statistics import TransformStats
-from repro.operators.base import Annotation, Operator, OperatorKind, ValueKind
+from repro.operators.base import Annotation, Operator, ValueKind
 
 __all__ = [
     "SOURCE",

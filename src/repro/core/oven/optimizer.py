@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.oven.logical import StageGraph, TransformGraph
 from repro.core.oven.steps import (

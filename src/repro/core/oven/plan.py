@@ -11,9 +11,8 @@ is what enables both parameter sharing and sub-plan materialization.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.oven.logical import StageInput
 from repro.core.oven.physical import PhysicalStage
 from repro.operators.base import ValueKind
 

@@ -14,18 +14,17 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import PretzelConfig
-from repro.core.engines import RequestResponseEngine, execute_plan
+from repro.core.engines import RequestResponseEngine
 from repro.core.executors import ExecutorPool
 from repro.core.flour import FlourContext, FlourProgram, flour_from_pipeline
 from repro.core.materialization import SubPlanMaterializer
 from repro.core.object_store import ObjectStore
 from repro.core.oven.compiler import ModelPlanCompiler
 from repro.core.oven.optimizer import OvenOptimizer
-from repro.core.oven.physical import PhysicalStage
 from repro.core.oven.plan import ModelPlan
 from repro.core.scheduler import InferenceRequest, Scheduler
 from repro.core.statistics import TransformStats
@@ -65,6 +64,7 @@ class PretzelRuntime:
         self.scheduler = Scheduler(
             enable_stage_batching=self.config.enable_stage_batching,
             max_stage_batch_size=self.config.max_stage_batch_size,
+            stage_batch_policy=self.config.stage_batch_policy,
         )
         self.executor_pool = ExecutorPool(
             self.scheduler,
@@ -264,6 +264,8 @@ class PretzelRuntime:
             "scheduler_events": self.scheduler.scheduled_events,
             "completed_requests": self.scheduler.completed_requests,
             "stage_batching": self.scheduler.batching.snapshot(),
+            "queue_depths": self.scheduler.queue_depths(),
+            "signature_backlog": self.scheduler.signature_depths(),
         }
 
     # -- lifecycle -----------------------------------------------------------------------

@@ -1,16 +1,22 @@
 """Event-based, late-binding scheduling of stage executions (Section 4.2.2).
 
 The Scheduler never pushes work to a specific executor.  Instead it maintains
-a shared pair of queues -- a *low priority* queue for the first stage of newly
-submitted requests and a *high priority* queue for stages of requests that are
-already in flight -- and executors *pull* the next event when they become
-free.  Started pipelines therefore finish (and return their pooled vectors)
-before new pipelines are admitted, which is exactly the paper's rationale for
-the two queues.
+shared :class:`ReadyQueue` instances -- a *low priority* queue for the first
+stage of newly submitted requests and a *high priority* queue for stages of
+requests that are already in flight -- and executors *pull* the next event
+when they become free.  Started pipelines therefore finish (and return their
+pooled vectors) before new pipelines are admitted, which is exactly the
+paper's rationale for the two queues.
 
-Reservation-based scheduling (Section 4.2.2, "Reservation-based Scheduling")
-gives a plan a dedicated executor and a private queue, emulating
-container-style isolation while still sharing parameters and physical stages.
+**The ready queues are signature-indexed.**  A :class:`ReadyQueue` preserves
+strict FIFO order (pops are byte-identical to a plain deque) but additionally
+indexes its queued events by the ``physical.full_signature`` of the stage
+each event will run.  Batch formation therefore never scans a queue: the
+leader is popped FIFO, and its coalescible peers are popped straight out of
+the leader signature's bucket, in FIFO order, at O(1) per event -- so
+:meth:`Scheduler.next_batch` costs O(batch size) instead of O(queue depth),
+and :meth:`Scheduler.signature_depths` reports the per-signature backlog for
+free.
 
 **Cross-plan stage-level batching.**  Because plans compiled against the same
 Object Store point at the *same* physical stages, events queued by different
@@ -18,11 +24,22 @@ requests -- even requests for different model plans -- frequently wait to run
 an identical physical stage.  With ``enable_stage_batching`` on, a free
 executor pulls a :class:`StageBatch` instead of a single event: the first
 runnable event plus every other queued event whose next stage shares its
-``physical.full_signature``, up to ``max_stage_batch_size``.  Latency-sensitive
-requests always bypass coalescing (they run alone, preserving the
-request-response latency profile), and reserved executors only coalesce within
-their private queue, so reservation isolation is preserved.  Observed batch
-sizes are recorded in :class:`repro.telemetry.batching.StageBatchTelemetry`.
+``physical.full_signature``, up to the cap chosen by the configured batch
+sizer.  Latency-sensitive requests always bypass coalescing (they run alone,
+preserving the request-response latency profile), and reserved executors only
+coalesce within their private queue, so reservation isolation is preserved.
+Observed batch sizes and the backlog behind each pull are recorded in
+:class:`repro.telemetry.batching.StageBatchTelemetry`.
+
+**Adaptive batch sizing.**  The per-pull cap comes from a policy object
+(:mod:`repro.core.batch_policy`): ``stage_batch_policy="fixed"`` (default)
+always allows ``max_stage_batch_size``; ``"adaptive"`` sizes each pull from
+the smoothed per-signature backlog the index exposes, growing toward the
+ceiling only while telemetry shows batches actually filling.
+
+Reservation-based scheduling (Section 4.2.2, "Reservation-based Scheduling")
+gives a plan a dedicated executor and a private queue, emulating
+container-style isolation while still sharing parameters and physical stages.
 
 Shutting the scheduler down fails every still-queued request fast (instead of
 leaving callers blocked in :meth:`InferenceRequest.wait` until their timeout).
@@ -33,14 +50,15 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.batch_policy import make_batch_sizer
 from repro.core.oven.plan import ModelPlan
 from repro.telemetry.batching import StageBatchTelemetry
 
-__all__ = ["InferenceRequest", "StageEvent", "StageBatch", "Scheduler"]
+__all__ = ["InferenceRequest", "StageEvent", "StageBatch", "ReadyQueue", "Scheduler"]
 
 
 class InferenceRequest:
@@ -143,25 +161,126 @@ class StageBatch:
         return iter(self.events)
 
 
+class ReadyQueue:
+    """A FIFO event queue with a per-signature index of its contents.
+
+    Pops (:meth:`popleft`) come out in exact insertion order, byte-identical
+    to the flat deques the seed scheduler used.  On top of that the queue
+    maintains, per ``physical.full_signature``:
+
+    * a *coalescible* bucket -- an ordered map of the queued events that stage
+      batching may fold into a batch (latency-sensitive events are excluded,
+      they only ever leave through :meth:`popleft`); and
+    * a total depth counter covering **all** queued events of the signature,
+      so :meth:`signature_depths` sums exactly to ``len(queue)``.
+
+    Every operation is O(1) per event touched: :meth:`pop_matching` pops
+    members straight off the signature's bucket, so batch formation costs
+    O(batch size) regardless of how deep the queue is.
+    """
+
+    def __init__(self) -> None:
+        self._events: "OrderedDict[int, StageEvent]" = OrderedDict()
+        self._coalescible: Dict[str, "OrderedDict[int, StageEvent]"] = {}
+        self._depths: Dict[str, int] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __iter__(self):
+        return iter(self._events.values())
+
+    def append(self, event: StageEvent) -> None:
+        seq = next(self._counter)
+        signature = event.signature
+        self._events[seq] = event
+        self._depths[signature] = self._depths.get(signature, 0) + 1
+        if not event.request.latency_sensitive:
+            self._coalescible.setdefault(signature, OrderedDict())[seq] = event
+
+    def popleft(self) -> Optional[StageEvent]:
+        """Pop the oldest event (None when empty)."""
+        if not self._events:
+            return None
+        seq, event = self._events.popitem(last=False)
+        self._forget(seq, event.signature)
+        return event
+
+    def pop_matching(self, signature: str, limit: int) -> List[StageEvent]:
+        """Pop up to ``limit`` coalescible events of ``signature``, oldest first.
+
+        Latency-sensitive events are never returned; they stay queued for
+        :meth:`popleft`.  Cost is O(number of events returned).
+        """
+        taken: List[StageEvent] = []
+        bucket = self._coalescible.get(signature)
+        if bucket is None or limit <= 0:
+            return taken
+        while bucket and len(taken) < limit:
+            seq, event = bucket.popitem(last=False)
+            del self._events[seq]
+            self._forget(seq, signature)
+            taken.append(event)
+        return taken
+
+    def coalescible_depth(self, signature: str) -> int:
+        """How many queued events of ``signature`` a batch could absorb."""
+        bucket = self._coalescible.get(signature)
+        return len(bucket) if bucket else 0
+
+    def signature_depths(self) -> Dict[str, int]:
+        """Total queued events per signature (including latency-sensitive)."""
+        return dict(self._depths)
+
+    def drain(self) -> List[StageEvent]:
+        """Remove and return every queued event, oldest first (for shutdown)."""
+        events = list(self._events.values())
+        self._events.clear()
+        self._coalescible.clear()
+        self._depths.clear()
+        return events
+
+    def _forget(self, seq: int, signature: str) -> None:
+        remaining = self._depths[signature] - 1
+        if remaining:
+            self._depths[signature] = remaining
+        else:
+            del self._depths[signature]
+        bucket = self._coalescible.get(signature)
+        if bucket is not None:
+            bucket.pop(seq, None)
+            if not bucket:
+                del self._coalescible[signature]
+
+
 class Scheduler:
-    """Shared queues + reservation bookkeeping; executors pull events from it."""
+    """Signature-indexed ready queues + reservation bookkeeping; executors pull from it."""
 
     def __init__(
         self,
         enable_stage_batching: bool = False,
         max_stage_batch_size: int = 16,
+        stage_batch_policy: str = "fixed",
     ) -> None:
         if max_stage_batch_size < 1:
             raise ValueError("max_stage_batch_size must be >= 1")
         self.enable_stage_batching = enable_stage_batching
         self.max_stage_batch_size = max_stage_batch_size
+        self.stage_batch_policy = stage_batch_policy
         self.batching = StageBatchTelemetry()
-        self._low: Deque[StageEvent] = deque()
-        self._high: Deque[StageEvent] = deque()
+        self.batch_sizer = make_batch_sizer(
+            stage_batch_policy, max_stage_batch_size, telemetry=self.batching
+        )
+        self._low = ReadyQueue()
+        self._high = ReadyQueue()
         #: plan id -> executor id holding the reservation
         self._reservations: Dict[str, int] = {}
         #: executor id -> private queue of events for its reserved plans
-        self._reserved_queues: Dict[int, Deque[StageEvent]] = {}
+        self._reserved_queues: Dict[int, ReadyQueue] = {}
         self._condition = threading.Condition()
         self._shutdown = False
         self.scheduled_events = 0
@@ -173,7 +292,7 @@ class Scheduler:
         """Dedicate ``executor_id`` to ``plan_id`` (container-like isolation)."""
         with self._condition:
             self._reservations[plan_id] = executor_id
-            self._reserved_queues.setdefault(executor_id, deque())
+            self._reserved_queues.setdefault(executor_id, ReadyQueue())
 
     def reservation_for(self, plan_id: str) -> Optional[int]:
         return self._reservations.get(plan_id)
@@ -238,10 +357,10 @@ class Scheduler:
 
         The first runnable event is chosen exactly as :meth:`next_event` would;
         when stage batching is enabled and the event is not latency-sensitive,
-        every other queued event visible to this executor whose next stage has
-        the same physical signature is folded into the batch (up to
-        ``max_stage_batch_size``).  Queue order of non-coalesced events is
-        preserved.
+        queued events visible to this executor whose next stage has the same
+        physical signature are popped straight off the signature index (up to
+        the batch sizer's cap for this pull).  Queue order of non-coalesced
+        events is preserved, and formation cost is O(batch size).
         """
         deadline = time.perf_counter() + timeout
         with self._condition:
@@ -249,9 +368,10 @@ class Scheduler:
                 event = self._pop_event(executor_id)
                 if event is not None:
                     events = [event]
+                    backlog = 0
                     if self.enable_stage_batching and not event.request.latency_sensitive:
-                        self._coalesce_into(events, executor_id)
-                    self.batching.record(event.signature, len(events))
+                        backlog = self._coalesce_into(events, executor_id)
+                    self.batching.record(event.signature, len(events), backlog=backlog)
                     return StageBatch(events)
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
@@ -263,44 +383,31 @@ class Scheduler:
         """Pop the next runnable event for this executor (condition held)."""
         reserved = self._reserved_queues.get(executor_id)
         if reserved is not None:
-            if reserved:
-                return reserved.popleft()
-            return None
+            return reserved.popleft()
         if self._high:
             return self._high.popleft()
-        if self._low:
-            return self._low.popleft()
-        return None
+        return self._low.popleft()
 
-    def _coalesce_into(self, events: List[StageEvent], executor_id: int) -> None:
-        """Move same-signature events from this executor's queues into ``events``.
+    def _coalesce_into(self, events: List[StageEvent], executor_id: int) -> int:
+        """Pop same-signature peers from this executor's queues into ``events``.
 
         A reserved executor only coalesces from its private queue (isolation);
-        shared executors scan the high-priority queue before the low-priority
-        one, mirroring the pull order.  Latency-sensitive events are skipped.
+        shared executors drain the high-priority bucket before the low-priority
+        one, mirroring the pull order.  Latency-sensitive events are never
+        indexed as coalescible, so they are skipped by construction.  Returns
+        the coalescible backlog observed behind the leader (for telemetry and
+        the adaptive sizer).
         """
         signature = events[0].signature
         reserved = self._reserved_queues.get(executor_id)
         queues = [reserved] if reserved is not None else [self._high, self._low]
-        limit = self.max_stage_batch_size
+        backlog = sum(queue.coalescible_depth(signature) for queue in queues)
+        limit = self.batch_sizer.batch_cap(signature, backlog)
         for queue in queues:
             if len(events) >= limit:
                 break
-            matched = False
-            remaining: Deque[StageEvent] = deque()
-            for event in queue:
-                if (
-                    len(events) < limit
-                    and not event.request.latency_sensitive
-                    and event.signature == signature
-                ):
-                    events.append(event)
-                    matched = True
-                else:
-                    remaining.append(event)
-            if matched:
-                queue.clear()
-                queue.extend(remaining)
+            events.extend(queue.pop_matching(signature, limit - len(events)))
+        return backlog
 
     def on_stage_complete(self, event: StageEvent, output: Any) -> None:
         """Advance the request: schedule the next stage or complete it.
@@ -342,12 +449,9 @@ class Scheduler:
         """
         with self._condition:
             self._shutdown = True
-            abandoned = list(self._low) + list(self._high)
-            self._low.clear()
-            self._high.clear()
+            abandoned = self._low.drain() + self._high.drain()
             for queue in self._reserved_queues.values():
-                abandoned.extend(queue)
-                queue.clear()
+                abandoned.extend(queue.drain())
             self._condition.notify_all()
         for event in abandoned:
             if not event.request.done:
@@ -367,3 +471,18 @@ class Scheduler:
             for executor_id, queue in self._reserved_queues.items():
                 depths[f"reserved[{executor_id}]"] = len(queue)
             return depths
+
+    def signature_depths(self) -> Dict[str, int]:
+        """Queued events per physical-stage signature, across every queue.
+
+        The per-signature index makes this a dictionary merge -- no queue is
+        scanned -- so telemetry can sample the backlog shape cheaply even
+        under deep queues.
+        """
+        with self._condition:
+            totals: Dict[str, int] = {}
+            queues = [self._low, self._high, *self._reserved_queues.values()]
+            for queue in queues:
+                for signature, depth in queue.signature_depths().items():
+                    totals[signature] = totals.get(signature, 0) + depth
+            return totals

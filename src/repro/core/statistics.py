@@ -9,7 +9,7 @@ pick physical implementations and that the Runtime uses to size vector pools
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, Sequence
 
 import numpy as np
 

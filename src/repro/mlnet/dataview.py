@@ -9,7 +9,7 @@ the-data-path behaviour PRETZEL's fused stages avoid.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, List, Sequence
 
 __all__ = ["DataView", "SourceView", "TransformView", "MultiInputView"]
 

@@ -11,7 +11,7 @@ Figure 5 latency-breakdown experiment can be reproduced directly.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.operators.base import Operator, OperatorKind, Parameter, ValueKind
 from repro.mlnet.dataview import DataView, MultiInputView, SourceView, TransformView

@@ -13,7 +13,7 @@ materializes its output into a fresh immutable buffer on each prediction.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,7 +21,7 @@ import numpy as np
 from repro.mlnet.model_file import load_model, operator_from_state, operator_state
 from repro.mlnet.pipeline import Pipeline
 from repro.operators.base import _nbytes_of
-from repro.operators.vectors import DenseVector, SparseVector, Vector
+from repro.operators.vectors import DenseVector, SparseVector
 
 __all__ = ["MLNetRuntimeConfig", "MLNetRuntime", "LoadedModel", "ModelInitializer", "clone_pipeline"]
 

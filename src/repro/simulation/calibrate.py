@@ -10,14 +10,12 @@ relative costs of the systems under test.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.clipper.container import ModelContainer
 from repro.core.engines import execute_plan_stage, execute_plan_stage_batch
-from repro.core.oven.plan import ModelPlan
 from repro.core.runtime import PretzelRuntime
 from repro.mlnet.runtime import MLNetRuntime
 

@@ -13,15 +13,29 @@ Two execution models are simulated:
 
 All times are virtual; service times come from calibration against the real
 implementations (:mod:`repro.simulation.calibrate`).
+
+Stage-level batch coalescing mirrors the real scheduler's *signature-indexed*
+semantics: each simulated queue keeps a per-``(model, stage)`` index of its
+coalescible entries (the simulator's stand-in for the physical-stage
+signature), and batch members are taken from that index in FIFO order --
+exactly what :class:`repro.core.scheduler.ReadyQueue` does -- rather than by
+scanning the queue.  The adaptive batch-size policy is the *same*
+:class:`repro.core.batch_policy.AdaptiveBatchSizer` object the real engine
+runs, fed by a :class:`repro.telemetry.batching.StageBatchTelemetry`, so the
+fig12/fig13 calibration stays honest across both implementations.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.core.batch_policy import AdaptiveBatchSizer
+from repro.telemetry.batching import StageBatchTelemetry
 
 __all__ = [
     "ArrivalProcess",
@@ -98,6 +112,15 @@ class SimulationResult:
     latencies: List[float]
     latencies_sensitive: List[float]
     per_core_busy: List[float]
+    #: stage batches formed / events they carried (0 when coalescing is off)
+    batches_formed: int = 0
+    batch_events: int = 0
+
+    @property
+    def mean_stage_batch(self) -> float:
+        if self.batches_formed == 0:
+            return 0.0
+        return self.batch_events / self.batches_formed
 
     @property
     def throughput_qps(self) -> float:
@@ -183,6 +206,92 @@ class _SimRequest:
     next_stage: int = 0
 
 
+class _SimQueue:
+    """A ready-time-ordered event queue with a per-``(model, stage)`` index.
+
+    The heap preserves the pop order of the seed simulator (earliest ready
+    time, FIFO-by-sequence within a tie).  The index mirrors
+    :class:`repro.core.scheduler.ReadyQueue`: coalescible entries (those of
+    non-latency-sensitive requests) are bucketed by the ``(model, stage)``
+    key they will run next, in insertion order, so batch members are taken
+    FIFO from the leader's bucket instead of scanning the queue.  Entries
+    coalesced out of band leave a tombstone that the heap skips lazily.
+
+    A queued request has exactly one live entry, and ``next_stage`` only
+    advances after the entry is popped or coalesced, so the key computed at
+    push time is still valid at removal time.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, _SimRequest]] = []
+        self._removed: set = set()
+        self._index: Dict[Tuple[str, int], "OrderedDict[int, Tuple[float, _SimRequest]]"] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @staticmethod
+    def _key(request: _SimRequest) -> Tuple[str, int]:
+        return (request.arrival.model, request.next_stage)
+
+    def push(self, ready: float, seq: int, request: _SimRequest) -> None:
+        heapq.heappush(self._heap, (ready, seq, request))
+        if not request.arrival.latency_sensitive:
+            self._index.setdefault(self._key(request), OrderedDict())[seq] = (ready, request)
+        self._size += 1
+
+    def _compact_front(self) -> None:
+        while self._heap and self._heap[0][1] in self._removed:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._removed.discard(seq)
+
+    def peek_ready(self) -> float:
+        """Earliest ready time in the queue (``inf`` when empty)."""
+        self._compact_front()
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def pop(self) -> Tuple[float, int, _SimRequest]:
+        self._compact_front()
+        ready, seq, request = heapq.heappop(self._heap)
+        if not request.arrival.latency_sensitive:
+            key = self._key(request)
+            bucket = self._index.get(key)
+            if bucket is not None:
+                bucket.pop(seq, None)
+                if not bucket:
+                    del self._index[key]
+        self._size -= 1
+        return ready, seq, request
+
+    def queued_for(self, key: Tuple[str, int]) -> int:
+        """Coalescible entries queued for ``key`` (the sim's backlog gauge)."""
+        bucket = self._index.get(key)
+        return len(bucket) if bucket else 0
+
+    def coalesce(self, key: Tuple[str, int], start: float, limit: int) -> List[_SimRequest]:
+        """Take up to ``limit`` ready entries for ``key``, oldest first."""
+        bucket = self._index.get(key)
+        if not bucket or limit <= 0:
+            return []
+        taken: List[Tuple[int, _SimRequest]] = []
+        for seq, (ready, request) in bucket.items():
+            if len(taken) >= limit:
+                break
+            if ready <= start:
+                taken.append((seq, request))
+        for seq, _request in taken:
+            del bucket[seq]
+            self._removed.add(seq)
+            self._size -= 1
+        if not bucket:
+            self._index.pop(key, None)
+        return [request for _seq, request in taken]
+
+
 def simulate_stage_scheduler(
     arrivals: Sequence[Arrival],
     stage_times_fn: Callable[[str, int], List[float]],
@@ -190,6 +299,7 @@ def simulate_stage_scheduler(
     event_overhead: float = 5e-6,
     reservations: Optional[Dict[str, int]] = None,
     max_stage_batch: Optional[int] = None,
+    stage_batch_policy: str = "fixed",
 ) -> SimulationResult:
     """Simulate PRETZEL's batch engine over ``n_cores`` executors.
 
@@ -201,27 +311,36 @@ def simulate_stage_scheduler(
     on their core.
 
     ``max_stage_batch`` enables stage-level batch coalescing: when a core
-    pulls an event, every other already-ready event in the same queue waiting
-    for the same ``(model, stage)`` -- the simulator's stand-in for the
-    physical-stage signature the real scheduler coalesces on -- is folded into
-    one service whose time is the sum of the members' stage times plus a
-    single per-event overhead.  Latency-sensitive requests are never
-    coalesced, matching the real scheduler's bypass.
+    pulls an event, already-ready entries in the same queue waiting for the
+    same ``(model, stage)`` -- the simulator's stand-in for the physical-stage
+    signature the real scheduler coalesces on -- are folded FIFO from the
+    queue's signature index into one service whose time is the sum of the
+    members' stage times plus a single per-event overhead.  Latency-sensitive
+    requests are never coalesced, matching the real scheduler's bypass.
+
+    ``stage_batch_policy="adaptive"`` sizes each pull with the *same*
+    :class:`~repro.core.batch_policy.AdaptiveBatchSizer` the real scheduler
+    uses (fed by a private :class:`StageBatchTelemetry`), instead of always
+    allowing ``max_stage_batch`` members.
     """
     if n_cores < 1:
         raise ValueError("need at least one core")
+    if stage_batch_policy not in ("fixed", "adaptive"):
+        raise ValueError(f"unknown stage_batch_policy {stage_batch_policy!r}")
     reservations = reservations or {}
     for core in reservations.values():
         if not 0 <= core < n_cores:
             raise ValueError(f"reserved core {core} out of range for {n_cores} cores")
+    coalescing = max_stage_batch is not None and max_stage_batch > 1
+    sizer: Optional[AdaptiveBatchSizer] = None
+    if coalescing and stage_batch_policy == "adaptive":
+        sizer = AdaptiveBatchSizer(max_stage_batch, telemetry=StageBatchTelemetry())
 
     pending = sorted(arrivals, key=lambda a: a.time)
     pending_index = 0
-    low: List[Tuple[float, int, _SimRequest]] = []  # (ready_time, seq, request)
-    high: List[Tuple[float, int, _SimRequest]] = []
-    reserved_queues: Dict[int, List[Tuple[float, int, _SimRequest]]] = {
-        core: [] for core in set(reservations.values())
-    }
+    low = _SimQueue()
+    high = _SimQueue()
+    reserved_queues: Dict[int, _SimQueue] = {core: _SimQueue() for core in set(reservations.values())}
     core_free_at = [0.0] * n_cores
     core_busy = [0.0] * n_cores
     sequence = 0
@@ -229,6 +348,8 @@ def simulate_stage_scheduler(
     latencies_sensitive: List[float] = []
     completed = 0
     makespan = 0.0
+    batches_formed = 0
+    batch_events = 0
 
     def admit_until(time_limit: float) -> None:
         nonlocal pending_index, sequence
@@ -239,13 +360,10 @@ def simulate_stage_scheduler(
                 arrival=arrival,
                 stage_times=stage_times_fn(arrival.model, arrival.batch_size),
             )
-            entry = (arrival.time, sequence, request)
-            sequence += 1
             core = reservations.get(arrival.model)
-            if core is not None:
-                heapq.heappush(reserved_queues[core], entry)
-            else:
-                heapq.heappush(low, entry)
+            target = reserved_queues[core] if core is not None else low
+            target.push(arrival.time, sequence, request)
+            sequence += 1
 
     admit_until(pending[0].time if pending else 0.0)
     while True:
@@ -262,7 +380,7 @@ def simulate_stage_scheduler(
         core = int(np.argmin(core_free_at))
         now = core_free_at[core]
         admit_until(max(now, 0.0))
-        queue: Optional[List[Tuple[float, int, _SimRequest]]] = None
+        queue: Optional[_SimQueue] = None
         if core in reserved_queues:
             if reserved_queues[core]:
                 queue = reserved_queues[core]
@@ -279,7 +397,7 @@ def simulate_stage_scheduler(
             # Prefer the high-priority queue (in-flight pipelines holding
             # pooled vectors), but never idle waiting for a not-yet-ready
             # high-priority event while a new pipeline could start right away.
-            if high and (not low or high[0][0] <= max(now, low[0][0])):
+            if high and (not low or high.peek_ready() <= max(now, low.peek_ready())):
                 queue = high
             else:
                 queue = low
@@ -291,30 +409,27 @@ def simulate_stage_scheduler(
             else:
                 core_free_at[core] = max(now + 1e-9, next_arrival_time)
             continue
-        ready_time, _seq, request = heapq.heappop(queue)
+        ready_time, _seq, request = queue.pop()
         start = max(now, ready_time)
         members = [request]
-        if (
-            max_stage_batch is not None
-            and max_stage_batch > 1
-            and not request.arrival.latency_sensitive
-        ):
+        if coalescing:
+            # Mirror Scheduler.next_batch exactly: every pull is recorded --
+            # latency-sensitive leaders as singleton batches with zero backlog
+            # -- so the occupancy the adaptive sizer reads is diluted by LS
+            # traffic the same way in both implementations.
             batch_key = (request.arrival.model, request.next_stage)
-            kept: List[Tuple[float, int, _SimRequest]] = []
-            for entry in queue:
-                entry_ready, _entry_seq, entry_request = entry
-                if (
-                    len(members) < max_stage_batch
-                    and not entry_request.arrival.latency_sensitive
-                    and (entry_request.arrival.model, entry_request.next_stage) == batch_key
-                    and entry_ready <= start
-                ):
-                    members.append(entry_request)
+            backlog = 0
+            if not request.arrival.latency_sensitive:
+                backlog = queue.queued_for(batch_key)
+                if sizer is not None:
+                    cap = sizer.batch_cap(batch_key, backlog)
                 else:
-                    kept.append(entry)
-            if len(members) > 1:
-                queue[:] = kept
-                heapq.heapify(queue)
+                    cap = max_stage_batch
+                members.extend(queue.coalesce(batch_key, start, cap - 1))
+            batches_formed += 1
+            batch_events += len(members)
+            if sizer is not None and sizer.telemetry is not None:
+                sizer.telemetry.record(batch_key, len(members), backlog=backlog)
         service = (
             sum(member.stage_times[member.next_stage] for member in members) + event_overhead
         )
@@ -331,17 +446,16 @@ def simulate_stage_scheduler(
                 completed += member.arrival.batch_size
                 makespan = max(makespan, finish)
             else:
-                entry = (finish, sequence, member)
-                sequence += 1
                 core_of_model = reservations.get(member.arrival.model)
-                if core_of_model is not None:
-                    heapq.heappush(reserved_queues[core_of_model], entry)
-                else:
-                    heapq.heappush(high, entry)
+                target = reserved_queues[core_of_model] if core_of_model is not None else high
+                target.push(finish, sequence, member)
+                sequence += 1
     return SimulationResult(
         completed=completed,
         makespan_seconds=makespan,
         latencies=latencies,
         latencies_sensitive=latencies_sensitive,
         per_core_busy=core_busy,
+        batches_formed=batches_formed,
+        batch_events=batch_events,
     )

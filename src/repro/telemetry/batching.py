@@ -26,11 +26,19 @@ class StageBatchTelemetry:
         self._events: Dict[str, int] = {}
         #: signature -> largest batch observed
         self._max_observed: Dict[str, int] = {}
+        #: signature -> summed coalescible backlog observed at pull time
+        self._backlog_sum: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
 
-    def record(self, signature: str, batch_size: int) -> None:
-        """Record one formed batch of ``batch_size`` events for ``signature``."""
+    def record(self, signature: str, batch_size: int, backlog: Optional[int] = None) -> None:
+        """Record one formed batch of ``batch_size`` events for ``signature``.
+
+        ``backlog`` is the coalescible queue depth the scheduler's signature
+        index observed behind the batch leader at pull time; the per-signature
+        mean backlog feeds adaptive batch sizing and the backlog column of
+        :meth:`per_stage_rows`.
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         with self._lock:
@@ -38,6 +46,8 @@ class StageBatchTelemetry:
             self._events[signature] = self._events.get(signature, 0) + batch_size
             if batch_size > self._max_observed.get(signature, 0):
                 self._max_observed[signature] = batch_size
+            if backlog is not None:
+                self._backlog_sum[signature] = self._backlog_sum.get(signature, 0) + backlog
 
     # -- aggregates ----------------------------------------------------------
 
@@ -70,6 +80,19 @@ class StageBatchTelemetry:
             raise ValueError("max_batch_size must be >= 1")
         return self.mean_batch_size(signature) / max_batch_size
 
+    def mean_backlog(self, signature: Optional[str] = None) -> float:
+        """Mean coalescible backlog observed behind batch leaders at pull time."""
+        with self._lock:
+            if signature is not None:
+                batches = self._batches.get(signature, 0)
+                backlog = self._backlog_sum.get(signature, 0)
+            else:
+                batches = sum(self._batches.values())
+                backlog = sum(self._backlog_sum.values())
+        if batches == 0:
+            return 0.0
+        return backlog / batches
+
     # -- reporting -----------------------------------------------------------
 
     def per_stage_rows(self) -> List[Dict[str, Any]]:
@@ -82,8 +105,11 @@ class StageBatchTelemetry:
                     "events": self._events[signature],
                     "mean_batch_size": self._events[signature] / self._batches[signature],
                     "max_batch_size": self._max_observed[signature],
+                    "mean_backlog": (
+                        self._backlog_sum.get(signature, 0) / self._batches[signature]
+                    ),
                 }
-                for signature in sorted(self._batches)
+                for signature in sorted(self._batches, key=str)
             ]
         return rows
 
@@ -104,3 +130,4 @@ class StageBatchTelemetry:
             self._batches.clear()
             self._events.clear()
             self._max_observed.clear()
+            self._backlog_sum.clear()

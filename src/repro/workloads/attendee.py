@@ -20,7 +20,7 @@ materialization has little to cache for AC (again matching the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from repro.operators import (
     ColumnSelector,
     ConcatFeaturizer,
     KMeans,
-    LinearRegressor,
     LogisticRegressionClassifier,
     MinMaxNormalizer,
     MissingValueImputer,

@@ -1,0 +1,106 @@
+"""Batch-size policy tests: fixed vs adaptive caps, and scheduler integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch_policy import AdaptiveBatchSizer, FixedBatchSizer, make_batch_sizer
+from repro.core.scheduler import InferenceRequest, Scheduler
+from repro.testing import StubPlan
+from repro.telemetry.batching import StageBatchTelemetry
+
+
+class TestFixedBatchSizer:
+    def test_always_returns_the_cap(self):
+        sizer = FixedBatchSizer(16)
+        assert sizer.batch_cap("sig", 0) == 16
+        assert sizer.batch_cap("sig", 1000) == 16
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError):
+            FixedBatchSizer(0)
+
+
+class TestAdaptiveBatchSizer:
+    def test_zero_backlog_means_singleton_cap(self):
+        sizer = AdaptiveBatchSizer(16)
+        assert sizer.batch_cap("sig", 0) == 1
+
+    def test_cap_tracks_backlog_and_clamps_to_ceiling(self):
+        sizer = AdaptiveBatchSizer(16)
+        assert sizer.batch_cap("sig", 3) == 4  # leader + backlog
+        assert sizer.batch_cap("sig", 100) == 16
+        assert sizer.batch_cap("sig", 100) == 16
+
+    def test_backlog_is_smoothed_not_instant(self):
+        sizer = AdaptiveBatchSizer(64, smoothing=0.5)
+        sizer.batch_cap("sig", 40)
+        # A sudden drop only halves the EMA: cap stays well above the new
+        # instantaneous backlog, avoiding cap thrash.
+        assert sizer.batch_cap("sig", 0) == 21
+        assert sizer.smoothed_backlog("sig") == pytest.approx(20.0)
+        assert sizer.smoothed_backlog("never-seen") == 0.0
+
+    def test_per_signature_state_is_independent(self):
+        sizer = AdaptiveBatchSizer(32)
+        assert sizer.batch_cap("deep", 20) == 21
+        assert sizer.batch_cap("shallow", 1) == 2
+
+    def test_occupancy_feedback_doubles_a_saturated_cap(self):
+        telemetry = StageBatchTelemetry()
+        sizer = AdaptiveBatchSizer(16, telemetry=telemetry, smoothing=1.0)
+        # Past batches for the signature came out full (mean batch size 4
+        # against a tentative cap of 4), so the cap escalates to 8.
+        telemetry.record("hot", 4)
+        telemetry.record("hot", 4)
+        assert sizer.batch_cap("hot", 3) == 8
+        # Without saturation the tentative cap stands.
+        telemetry.record("cold", 1)
+        assert sizer.batch_cap("cold", 3) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchSizer(0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchSizer(4, min_batch_size=5)
+        with pytest.raises(ValueError):
+            AdaptiveBatchSizer(4, smoothing=0.0)
+
+
+class TestMakeBatchSizer:
+    def test_builds_both_policies(self):
+        assert isinstance(make_batch_sizer("fixed", 8), FixedBatchSizer)
+        adaptive = make_batch_sizer("adaptive", 8, telemetry=StageBatchTelemetry())
+        assert isinstance(adaptive, AdaptiveBatchSizer)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="stage_batch_policy"):
+            make_batch_sizer("bogus", 8)
+
+
+class TestSchedulerWithAdaptivePolicy:
+    def test_adaptive_scheduler_batches_what_is_waiting(self):
+        scheduler = Scheduler(
+            enable_stage_batching=True,
+            max_stage_batch_size=16,
+            stage_batch_policy="adaptive",
+        )
+        plan = StubPlan("tok")
+        for i in range(10):
+            scheduler.submit(InferenceRequest(f"p{i}", plan, "x"))
+        # Leader popped, backlog 9 behind it: adaptive cap = 1 + 9 = 10, so
+        # the whole backlog coalesces in one pull even though 10 < 16.
+        batch = scheduler.next_batch(0, timeout=0.0)
+        assert len(batch) == 10
+        assert scheduler.batching.mean_backlog("tok") == pytest.approx(9.0)
+
+    def test_unknown_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="stage_batch_policy"):
+            Scheduler(enable_stage_batching=True, stage_batch_policy="bogus")
+
+    def test_fixed_policy_still_caps_at_max(self):
+        scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=4)
+        plan = StubPlan("tok")
+        for i in range(10):
+            scheduler.submit(InferenceRequest(f"p{i}", plan, "x"))
+        assert len(scheduler.next_batch(0, timeout=0.0)) == 4

@@ -11,10 +11,7 @@ from repro.core.oven.logical import GraphValidationError, SOURCE, TransformGraph
 from repro.core.oven.optimizer import OvenOptimizer
 from repro.core.oven.rewrite_ops import LINK_FUNCTIONS, MarginCombiner, PartialLinearScorer
 from repro.core.oven.rules import PushLinearModelThroughConcatRule
-from repro.mlnet.pipeline import Pipeline
 from repro.operators import (
-    ConcatFeaturizer,
-    LogisticRegressionClassifier,
     Tokenizer,
     WordNgramFeaturizer,
 )

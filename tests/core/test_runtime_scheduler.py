@@ -1,7 +1,5 @@
 """Tests for the PRETZEL runtime, scheduler, executors, engines and front-end."""
 
-import threading
-import time
 
 import pytest
 
@@ -9,7 +7,7 @@ from repro.core.config import PretzelConfig
 from repro.core.engines import execute_plan
 from repro.core.frontend import FrontEndConfig, PretzelFrontEnd
 from repro.core.runtime import PretzelRuntime
-from repro.core.scheduler import InferenceRequest, Scheduler, StageEvent
+from repro.core.scheduler import InferenceRequest, Scheduler
 from repro.core.executors import Executor, ExecutorPool
 
 
@@ -230,12 +228,21 @@ class TestFrontEnd:
 
     def test_delayed_batching_flush(self, runtime, sa_pipeline, sa_inputs):
         plan_id = runtime.register(sa_pipeline)
-        frontend = PretzelFrontEnd(runtime, FrontEndConfig(max_batch_size=4))
+        # A deadline far in the future so only the manual flush fires here.
+        frontend = PretzelFrontEnd(
+            runtime, FrontEndConfig(max_batch_size=4, max_batch_delay_seconds=60.0)
+        )
         for text in sa_inputs[:3]:
             response = frontend.predict_delayed(plan_id, [text])
             assert response.outputs == []
+            assert response.buffered
+        assert frontend.pending_counts() == {plan_id: 3}
         flushed = frontend.flush(plan_id)
         assert len(flushed.outputs) == 3
+        assert not flushed.buffered
+        # The measured wait replaces the old flat max_batch_delay surcharge.
+        assert flushed.prediction_seconds < 60.0
+        assert frontend.pending_counts() == {}
 
     def test_memory_includes_runtime(self, runtime, sa_pipeline):
         runtime.register(sa_pipeline)

@@ -10,28 +10,12 @@ import pytest
 
 from repro.core.executors import ExecutorPool
 from repro.core.scheduler import InferenceRequest, Scheduler
-
-
-class _StubStage:
-    class _StubPhysical:
-        def __init__(self, signature: str):
-            self.full_signature = signature
-
-    def __init__(self, signature: str):
-        self.physical = self._StubPhysical(signature)
-
-
-class _StubPlan:
-    def __init__(self, *signatures: str):
-        self.stages = [_StubStage(signature) for signature in signatures]
-
-    def stage_signature(self, index: int) -> str:
-        return self.stages[index].physical.full_signature
+from repro.testing import StubPlan
 
 
 def _submit(scheduler, plan_id="plan", plan=None, latency_sensitive=False):
     request = InferenceRequest(
-        plan_id, plan or _StubPlan("a", "b"), "record", latency_sensitive=latency_sensitive
+        plan_id, plan or StubPlan("a", "b"), "record", latency_sensitive=latency_sensitive
     )
     scheduler.submit(request)
     return request

@@ -16,7 +16,8 @@ import repro.core.scheduler as scheduler_module
 from repro.core.config import PretzelConfig
 from repro.core.executors import Executor
 from repro.core.runtime import PretzelRuntime
-from repro.core.scheduler import InferenceRequest, Scheduler, StageBatch, StageEvent
+from repro.core.scheduler import InferenceRequest, Scheduler, StageBatch
+from repro.testing import StubPlan
 from repro.mlnet.pipeline import Pipeline
 from repro.operators import (
     CharNgramFeaturizer,
@@ -26,27 +27,6 @@ from repro.operators import (
     Tokenizer,
     WordNgramFeaturizer,
 )
-
-
-class _StubStage:
-    """The minimum a scheduler-side stage needs: a physical signature."""
-
-    class _StubPhysical:
-        def __init__(self, signature: str):
-            self.full_signature = signature
-
-    def __init__(self, signature: str):
-        self.physical = self._StubPhysical(signature)
-
-
-class _StubPlan:
-    """A plan skeleton: a list of stage signatures, no executable code."""
-
-    def __init__(self, *signatures: str):
-        self.stages = [_StubStage(signature) for signature in signatures]
-
-    def stage_signature(self, index: int) -> str:
-        return self.stages[index].physical.full_signature
 
 
 def _submit(scheduler, plan_id, plan, latency_sensitive=False, record="x"):
@@ -72,8 +52,8 @@ class TestCoalescing:
     def test_coalesces_same_signature_across_plans(self):
         """Events of *different* plans batch together when stages are shared."""
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=16)
-        shared_a = _StubPlan("tok", "model-a")
-        shared_b = _StubPlan("tok", "model-b")
+        shared_a = StubPlan("tok", "model-a")
+        shared_b = StubPlan("tok", "model-b")
         requests = [
             _submit(scheduler, "plan-a", shared_a),
             _submit(scheduler, "plan-b", shared_b),
@@ -87,8 +67,8 @@ class TestCoalescing:
 
     def test_non_matching_signature_left_in_queue_order(self):
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=16)
-        plan_x = _StubPlan("x")
-        plan_y = _StubPlan("y")
+        plan_x = StubPlan("x")
+        plan_y = StubPlan("y")
         first = _submit(scheduler, "x1", plan_x)
         other = _submit(scheduler, "y1", plan_y)
         second = _submit(scheduler, "x2", plan_x)
@@ -100,7 +80,7 @@ class TestCoalescing:
 
     def test_max_stage_batch_size_truncates(self):
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=2)
-        plan = _StubPlan("tok")
+        plan = StubPlan("tok")
         requests = [_submit(scheduler, f"p{i}", plan) for i in range(5)]
         batch = scheduler.next_batch(0, timeout=0.0)
         assert [event.request for event in batch] == requests[:2]
@@ -111,11 +91,11 @@ class TestCoalescing:
     def test_high_priority_coalesced_before_low(self):
         """In-flight (high-queue) events join a batch ahead of new admissions."""
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=3)
-        plan = _StubPlan("a", "b")
+        plan = StubPlan("a", "b")
         inflight = _submit(scheduler, "inflight", plan)
         first_event = scheduler.next_batch(0, timeout=0.0).events[0]
         scheduler.on_stage_complete(first_event, output=None)  # -> high queue, stage "b"
-        fresh = _StubPlan("b")
+        fresh = StubPlan("b")
         new_request = _submit(scheduler, "new", fresh)
         batch = scheduler.next_batch(0, timeout=0.0)
         # The in-flight stage-1 event leads, and the new plan's same-signature
@@ -125,7 +105,7 @@ class TestCoalescing:
 
     def test_batching_disabled_returns_singleton_batches(self):
         scheduler = Scheduler(enable_stage_batching=False)
-        plan = _StubPlan("tok")
+        plan = StubPlan("tok")
         _submit(scheduler, "a", plan)
         _submit(scheduler, "b", plan)
         assert len(scheduler.next_batch(0, timeout=0.0)) == 1
@@ -135,7 +115,7 @@ class TestCoalescing:
 class TestLatencySensitiveBypass:
     def test_latency_sensitive_leader_runs_alone(self):
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=16)
-        plan = _StubPlan("tok")
+        plan = StubPlan("tok")
         leader = _submit(scheduler, "ls", plan, latency_sensitive=True)
         _submit(scheduler, "bulk", plan)
         batch = scheduler.next_batch(0, timeout=0.0)
@@ -143,7 +123,7 @@ class TestLatencySensitiveBypass:
 
     def test_latency_sensitive_member_not_pulled_into_batch(self):
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=16)
-        plan = _StubPlan("tok")
+        plan = StubPlan("tok")
         bulk_one = _submit(scheduler, "b1", plan)
         sensitive = _submit(scheduler, "ls", plan, latency_sensitive=True)
         bulk_two = _submit(scheduler, "b2", plan)
@@ -157,7 +137,7 @@ class TestReservationIsolation:
     def test_reserved_executor_never_batches_foreign_events(self):
         """A reserved executor's batch only ever holds its own plans' events."""
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=16)
-        plan = _StubPlan("tok")  # same signature everywhere: max temptation
+        plan = StubPlan("tok")  # same signature everywhere: max temptation
         scheduler.reserve("mine", executor_id=1)
         reserved_requests = [_submit(scheduler, "mine", plan) for _ in range(2)]
         shared_requests = [_submit(scheduler, "other", plan) for _ in range(3)]
@@ -170,7 +150,7 @@ class TestReservationIsolation:
 
     def test_shared_executor_never_drains_reserved_queue(self):
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=16)
-        plan = _StubPlan("tok")
+        plan = StubPlan("tok")
         scheduler.reserve("mine", executor_id=1)
         _submit(scheduler, "mine", plan)
         assert scheduler.next_batch(0, timeout=0.0) is None
@@ -190,7 +170,7 @@ class TestFakeClockTimeout:
 
     def test_telemetry_counts_batches(self):
         scheduler = Scheduler(enable_stage_batching=True, max_stage_batch_size=4)
-        plan = _StubPlan("tok")
+        plan = StubPlan("tok")
         for index in range(6):
             _submit(scheduler, f"p{index}", plan)
         assert len(scheduler.next_batch(0, timeout=0.0)) == 4

@@ -7,7 +7,6 @@ import pytest
 from repro.mlnet.model_file import load_model, operator_from_state, operator_state, save_model
 from repro.operators import (
     KMeans,
-    LinearRegressor,
     LogisticRegressionClassifier,
     PCA,
     TreeFeaturizer,

@@ -1,7 +1,6 @@
 """Tests for the operator/parameter base abstractions (checksums, sharing identity)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the virtual-time queueing simulator and its calibration helpers."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import PretzelConfig
