@@ -1,9 +1,12 @@
 """Figure 13 + Section 5.4.1: PRETZEL under heavy, skewed load (and reservation)."""
 
+import threading
+import time
 
 from conftest import write_report
 from repro.core.config import PretzelConfig
 from repro.core.runtime import PretzelRuntime
+from repro.serving import BackpressureError, PretzelCluster
 from repro.simulation.calibrate import calibrate_plan_stages
 from repro.simulation.queueing import ArrivalProcess, simulate_stage_scheduler
 from repro.telemetry.reporting import ExperimentReport
@@ -115,6 +118,101 @@ def test_fig13_heavy_load(benchmark, sa_family, ac_family, sa_inputs, ac_inputs)
     top = rows[-1]
     assert top["adaptive_mean_batch"] > 1.0
     assert top["batched_ls_ms"] <= top["mean_latency_sensitive_ms"] * 1.05
+
+
+# -- cluster series: admission control under synthetic overload ----------------
+
+#: concurrent clients offered to a 2-worker cluster with 1 in-flight slot per
+#: worker; past 2 clients the router must shed instead of queueing.
+CLUSTER_CONCURRENCIES = [1, 2, 4, 8]
+CLUSTER_OVERLOAD_BATCH = 300
+CLUSTER_BATCHES_PER_CLIENT = 2
+
+
+def test_fig13_cluster_overload(sa_family, sa_inputs):
+    """Real heavy load on a real 2-worker cluster: the fig13 analogue of
+    saturation.  Capacity is two in-flight batches (2 workers x 1 slot);
+    every client beyond that must be shed with the typed backpressure error
+    -- never queued -- and the shed counts must show up in cluster stats."""
+    config = PretzelConfig(
+        num_workers=2,
+        placement_replicas=2,
+        max_inflight_per_worker=1,
+        shm_min_parameter_bytes=1024,
+    )
+    batch = (sa_inputs * (CLUSTER_OVERLOAD_BATCH // len(sa_inputs) + 1))[:CLUSTER_OVERLOAD_BATCH]
+    rows = []
+    with PretzelCluster(config) as cluster:
+        plan_id = cluster.register(
+            sa_family.pipelines[0].pipeline, stats=sa_family.pipelines[0].stats
+        )
+        cluster.predict_batch(plan_id, batch)  # warm
+        for concurrency in CLUSTER_CONCURRENCIES:
+            shed_counts = [0] * concurrency
+            completed_counts = [0] * concurrency
+            gate = threading.Barrier(concurrency)
+
+            def client(slot):
+                gate.wait()
+                attempts = 0
+                while completed_counts[slot] < CLUSTER_BATCHES_PER_CLIENT and attempts < 2000:
+                    attempts += 1
+                    try:
+                        cluster.predict_batch(plan_id, batch)
+                        completed_counts[slot] += 1
+                    except BackpressureError:
+                        shed_counts[slot] += 1
+                        # The error is retryable by contract: back off briefly
+                        # instead of spinning (which would starve the workers
+                        # of CPU on small hosts).
+                        time.sleep(0.005)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,)) for slot in range(concurrency)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            rows.append(
+                {
+                    "clients": concurrency,
+                    "completed_batches": sum(completed_counts),
+                    "shed_requests": sum(shed_counts),
+                    "inflight_after": sum(cluster.router.stats()["inflight"].values()),
+                }
+            )
+        stats = cluster.stats()
+    report = ExperimentReport(
+        "Figure 13 (cluster overload)",
+        "2-worker cluster, 1 in-flight slot per worker, batch=300: completed vs shed "
+        "as offered concurrency grows past the 2-slot capacity.",
+    )
+    report.rows = rows
+    report.add_note(
+        f"cluster stats: shed={stats['shed']}, served={stats['served_predictions']} records"
+    )
+    write_report("fig13_cluster_overload", report.render())
+
+    by_clients = {row["clients"]: row for row in rows}
+    # Within capacity nothing is shed; past capacity the router sheds with
+    # the typed error (counted above) instead of queueing without bound.
+    assert by_clients[1]["shed_requests"] == 0
+    assert by_clients[2]["shed_requests"] == 0
+    assert by_clients[4]["shed_requests"] > 0
+    assert by_clients[8]["shed_requests"] > 0
+    # Every client eventually completed its batches (shedding is retryable).
+    for concurrency in CLUSTER_CONCURRENCIES:
+        expected = concurrency * CLUSTER_BATCHES_PER_CLIENT
+        assert by_clients[concurrency]["completed_batches"] == expected
+    # The shed accounting is surfaced cluster-wide, and admission control kept
+    # the in-flight population bounded by capacity throughout.
+    assert stats["shed"] == sum(row["shed_requests"] for row in rows)
+    assert all(row["inflight_after"] == 0 for row in rows)
+    assert all(
+        count <= config.max_inflight_per_worker
+        for count in stats["router"]["inflight"].values()
+    )
 
 
 def test_reservation_scheduling_keeps_latency_flat(benchmark, sa_family, ac_family, sa_inputs, ac_inputs):

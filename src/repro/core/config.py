@@ -8,6 +8,7 @@ series, Section 5.4.1's reservation scheduling) are produced.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["PretzelConfig"]
 
@@ -56,6 +57,32 @@ class PretzelConfig:
         Small per-plan bookkeeping footprint (plan metadata, stage bindings).
     vector_pool_entries:
         Number of pre-allocated buffers per size class per executor.
+    num_workers:
+        Worker processes of the multi-process serving tier
+        (:class:`~repro.serving.cluster.PretzelCluster`).  Each worker hosts a
+        full :class:`~repro.core.runtime.PretzelRuntime`; the single-process
+        runtime ignores this knob.
+    shm_budget_bytes:
+        Size of the shared-memory arena backing deduplicated parameter
+        buffers across worker processes.  ``0`` disables the arena (workers
+        keep private parameter copies, the "no shared arena" ablation).
+    shm_min_parameter_bytes:
+        Parameters below this size are not worth a shared-memory slab (the
+        slab header and page granularity would dominate); they stay private.
+    max_inflight_per_worker:
+        Admission control: the router sheds load (raises
+        :class:`~repro.serving.router.BackpressureError`) instead of queueing
+        more than this many in-flight dispatches on one worker.
+    placement_replicas:
+        How many workers each plan is placed on by the cluster's
+        consistent-hash ring (capped at ``num_workers``).
+    mp_start_method:
+        ``multiprocessing`` start method for cluster workers; ``None`` picks
+        ``"fork"`` where available (fast, Linux) and ``"spawn"`` elsewhere.
+    worker_timeout_seconds:
+        Upper bound on any single cluster <-> worker round trip (register,
+        predict chunk, stats, shutdown); a worker that stays silent longer is
+        treated as failed so callers never hang on a stuck process.
     """
 
     enable_object_store: bool = True
@@ -70,6 +97,13 @@ class PretzelConfig:
     runtime_overhead_bytes: int = 2 * 1024 * 1024
     per_plan_overhead_bytes: int = 4 * 1024
     vector_pool_entries: int = 8
+    num_workers: int = 2
+    shm_budget_bytes: int = 64 * 1024 * 1024
+    shm_min_parameter_bytes: int = 4096
+    max_inflight_per_worker: int = 32
+    placement_replicas: int = 2
+    mp_start_method: Optional[str] = None
+    worker_timeout_seconds: float = 60.0
 
     def clone(self, **overrides: object) -> "PretzelConfig":
         """Copy the config with some fields replaced (used by ablation benches)."""

@@ -8,17 +8,61 @@ the registering plan is rewritten to point at the existing copy.
 
 The store also hosts the LRU byte-budgeted cache used by sub-plan
 materialization (Section 4.3).
+
+**Parameter backing.**  A store may be constructed with a *parameter backing*
+(:class:`ParameterBacking`) -- the hook the multi-process serving tier uses to
+map parameter buffers out of the hosting process.  On registration every new
+parameter is offered to the backing via :meth:`ParameterBacking.adopt`, which
+may rebind its value to externally shared storage (a
+:class:`~repro.serving.shm_store.SharedMemoryArena` slab).  Backed parameters
+are excluded from :meth:`ObjectStore.memory_bytes` -- their bytes live in the
+shared segment and are accounted exactly once by whoever owns it -- and
+reported separately via :meth:`shared_parameter_bytes`.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.operators.base import Operator, Parameter
 
-__all__ = ["ObjectStore", "LruByteCache"]
+__all__ = ["ObjectStore", "LruByteCache", "ParameterBacking"]
+
+
+class ParameterBacking:
+    """Hook for mapping parameter values onto storage outside this process.
+
+    The default implementation is a no-op (every parameter stays process
+    local).  The serving tier's :class:`~repro.serving.shm_store.ArenaClient`
+    overrides :meth:`adopt` to rebind numpy-array parameters to read-only
+    views of a shared-memory arena, and :meth:`is_shared` so the store can
+    account those bytes as mapped-once instead of owned.
+    """
+
+    def adopt(self, parameter: Parameter) -> Parameter:
+        """Return the parameter to store (possibly rebound to shared storage)."""
+        return parameter
+
+    def adopt_operator(self, operator: Operator) -> None:
+        """Rebind a new canonical operator's state onto shared storage.
+
+        Called once per operator, right before the store keeps it as the
+        canonical instance every plan will execute.  Plan compilation may
+        rewrite trained state into new arrays (e.g. the linear push-through
+        rule splits a model's weights per concat branch), so attribute-level
+        rebinding must happen *here*, on the post-rewrite operator -- not
+        only on the raw pipeline the model file carried.
+        """
+
+    def is_shared(self, parameter: Parameter) -> bool:
+        """True when the parameter's bytes live in shared storage."""
+        return False
+
+    def stats(self) -> Dict[str, Any]:
+        """Backing-specific counters merged into the store's stats."""
+        return {}
 
 
 class LruByteCache:
@@ -80,15 +124,29 @@ class ObjectStore:
     registrations of functionally identical operators are rewritten to the
     stored one.  ``intern_parameter`` provides the same service at the
     granularity of a single parameter.
+
+    Dedup hits and misses are counted per granularity (``parameter_hits``/
+    ``parameter_misses``, ``operator_hits``/``operator_misses``) so serving
+    telemetry can report cache health per runtime.
     """
 
-    def __init__(self, enabled: bool = True, materialization_budget_bytes: int = 32 * 1024 * 1024):
+    def __init__(
+        self,
+        enabled: bool = True,
+        materialization_budget_bytes: int = 32 * 1024 * 1024,
+        parameter_backing: Optional[ParameterBacking] = None,
+    ):
         self.enabled = enabled
+        self.parameter_backing = parameter_backing
         self._parameters: Dict[str, Parameter] = {}
         self._operators: Dict[str, Operator] = {}
         self._operator_refcount: Dict[str, int] = {}
         self._lock = threading.Lock()
         self.materialization_cache = LruByteCache(materialization_budget_bytes)
+        self.parameter_hits = 0
+        self.parameter_misses = 0
+        self.operator_hits = 0
+        self.operator_misses = 0
 
     # -- parameters ---------------------------------------------------------
 
@@ -100,9 +158,17 @@ class ObjectStore:
         with self._lock:
             existing = self._parameters.get(key)
             if existing is not None:
+                self.parameter_hits += 1
                 return existing
-            self._parameters[key] = parameter
-            return parameter
+            self.parameter_misses += 1
+            return self._store_parameter(key, parameter)
+
+    def _store_parameter(self, key: str, parameter: Parameter) -> Parameter:
+        """Store a new parameter, offering it to the backing first (lock held)."""
+        if self.parameter_backing is not None:
+            parameter = self.parameter_backing.adopt(parameter)
+        self._parameters[key] = parameter
+        return parameter
 
     def has_parameter(self, parameter: Parameter) -> bool:
         return f"{parameter.name}:{parameter.checksum}" in self._parameters
@@ -122,14 +188,22 @@ class ObjectStore:
             existing = self._operators.get(signature)
             if existing is not None:
                 self._operator_refcount[signature] += 1
+                self.operator_hits += 1
                 return existing
+            if self.parameter_backing is not None:
+                self.parameter_backing.adopt_operator(operator)
             self._operators[signature] = operator
             self._operator_refcount[signature] = 1
+            self.operator_misses += 1
             # Register the operator's parameters as well so parameter-level
             # queries (and memory accounting) see them.
             for parameter in operator.parameters():
                 key = f"{parameter.name}:{parameter.checksum}"
-                self._parameters.setdefault(key, parameter)
+                if key not in self._parameters:
+                    self.parameter_misses += 1
+                    self._store_parameter(key, parameter)
+                else:
+                    self.parameter_hits += 1
             return operator
 
     def operator_refcount(self, operator: Operator) -> int:
@@ -144,18 +218,52 @@ class ObjectStore:
     def unique_parameter_count(self) -> int:
         return len(self._parameters)
 
+    def parameters(self) -> List[Parameter]:
+        """Snapshot of every stored parameter (post plan-compilation state)."""
+        with self._lock:
+            return list(self._parameters.values())
+
+    def _is_shared(self, parameter: Parameter) -> bool:
+        backing = self.parameter_backing
+        return backing is not None and backing.is_shared(parameter)
+
     def memory_bytes(self) -> int:
-        """Bytes held by unique parameters plus the materialization cache."""
-        total = sum(param.nbytes for param in self._parameters.values())
+        """Bytes *owned* by this store: local parameters + materialization cache.
+
+        Parameters adopted by the backing live in shared storage mapped by
+        potentially many processes; their bytes are reported by
+        :meth:`shared_parameter_bytes` and counted once by the arena owner.
+        """
+        total = sum(
+            param.nbytes for param in self._parameters.values() if not self._is_shared(param)
+        )
         return total + self.materialization_cache.used_bytes
 
+    def shared_parameter_bytes(self) -> int:
+        """Bytes of registered parameters whose storage is externally shared."""
+        if self.parameter_backing is None:
+            return 0
+        return sum(
+            param.nbytes for param in self._parameters.values() if self._is_shared(param)
+        )
+
     def stats(self) -> Dict[str, Any]:
-        return {
+        cache = self.materialization_cache
+        stats = {
             "enabled": self.enabled,
             "unique_operators": self.unique_operator_count(),
             "unique_parameters": self.unique_parameter_count(),
             "memory_bytes": self.memory_bytes(),
-            "materialization_entries": len(self.materialization_cache),
-            "materialization_hits": self.materialization_cache.hits,
-            "materialization_misses": self.materialization_cache.misses,
+            "shared_parameter_bytes": self.shared_parameter_bytes(),
+            "parameter_hits": self.parameter_hits,
+            "parameter_misses": self.parameter_misses,
+            "operator_hits": self.operator_hits,
+            "operator_misses": self.operator_misses,
+            "materialization_entries": len(cache),
+            "materialization_hits": cache.hits,
+            "materialization_misses": cache.misses,
+            "materialization_evictions": cache.evictions,
         }
+        if self.parameter_backing is not None:
+            stats["parameter_backing"] = self.parameter_backing.stats()
+        return stats

@@ -22,7 +22,7 @@ from repro.core.engines import RequestResponseEngine
 from repro.core.executors import ExecutorPool
 from repro.core.flour import FlourContext, FlourProgram, flour_from_pipeline
 from repro.core.materialization import SubPlanMaterializer
-from repro.core.object_store import ObjectStore
+from repro.core.object_store import ObjectStore, ParameterBacking
 from repro.core.oven.compiler import ModelPlanCompiler
 from repro.core.oven.optimizer import OvenOptimizer
 from repro.core.oven.plan import ModelPlan
@@ -50,11 +50,20 @@ class RegisteredPlan:
 class PretzelRuntime:
     """Host many model plans on shared memory and CPU resources."""
 
-    def __init__(self, config: Optional[PretzelConfig] = None):
+    def __init__(
+        self,
+        config: Optional[PretzelConfig] = None,
+        parameter_backing: Optional[ParameterBacking] = None,
+    ):
         self.config = config or PretzelConfig()
+        #: optional hook mapping parameter buffers onto storage shared across
+        #: processes (the serving tier's shared-memory arena); None keeps
+        #: every parameter private to this process.
+        self.parameter_backing = parameter_backing
         self.object_store = ObjectStore(
             enabled=self.config.enable_object_store,
             materialization_budget_bytes=self.config.materialization_budget_bytes,
+            parameter_backing=parameter_backing,
         )
         self.materializer = SubPlanMaterializer(
             self.object_store, enabled=self.config.enable_subplan_materialization

@@ -30,9 +30,21 @@ def deserialize_message(data: bytes) -> Any:
 
 
 def _default_encoder(value: Any) -> Any:
-    if hasattr(value, "tolist"):
-        return value.tolist()
-    return str(value)
+    """Encode the non-JSON-native values a serving payload may legitimately carry.
+
+    Numpy arrays and scalars become (nested) lists/numbers via ``tolist()``,
+    which round-trips through :func:`deserialize_message`.  Anything else is
+    rejected: silently stringifying an arbitrary object would produce a
+    payload that *decodes* fine but no longer equals what was sent, and the
+    corruption would only surface far away from the serialization call.
+    """
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    raise TypeError(
+        f"payload value of type {type(value).__name__} is not JSON-serializable; "
+        "serialize_message only round-trips JSON-native values and numpy arrays/scalars"
+    )
 
 
 @dataclass

@@ -1,0 +1,42 @@
+"""The multi-process serving tier: shard PretzelRuntimes, share parameters.
+
+This package crosses the process boundary the single-process runtime is
+capped by (the GIL) while preserving PRETZEL's white-box parameter sharing:
+
+* :mod:`repro.serving.shm_store` -- a checksum-deduplicated slab allocator
+  over ``multiprocessing.shared_memory`` so N workers map one copy of each
+  shared weight;
+* :mod:`repro.serving.worker` -- a worker process hosting a full
+  :class:`~repro.core.runtime.PretzelRuntime` behind a framed message loop;
+* :mod:`repro.serving.router` -- consistent-hash plan placement,
+  queue-depth-aware dispatch and admission control;
+* :mod:`repro.serving.cluster` -- the :class:`PretzelCluster` facade that
+  mirrors the runtime API.
+"""
+
+from repro.serving.cluster import PretzelCluster, WorkerFailure, WorkerTimeout
+from repro.serving.router import BackpressureError, ConsistentHashRing, ShardRouter
+from repro.serving.shm_store import (
+    ArenaClient,
+    ArenaExhaustedError,
+    ArenaRef,
+    SharedMemoryArena,
+)
+from repro.serving.worker import ServingWorker, decode_model, encode_model, worker_main
+
+__all__ = [
+    "PretzelCluster",
+    "WorkerFailure",
+    "WorkerTimeout",
+    "BackpressureError",
+    "ConsistentHashRing",
+    "ShardRouter",
+    "ArenaClient",
+    "ArenaExhaustedError",
+    "ArenaRef",
+    "SharedMemoryArena",
+    "ServingWorker",
+    "decode_model",
+    "encode_model",
+    "worker_main",
+]

@@ -1,0 +1,469 @@
+"""PretzelCluster: shard a PretzelRuntime across worker processes.
+
+The single-process runtime is capped by the GIL no matter how well stages
+batch; the cluster crosses the process boundary while keeping the runtime's
+API and -- through the shared-memory arena -- the Object Store's white-box
+parameter sharing:
+
+* **Workers.**  ``num_workers`` processes, each hosting a full
+  :class:`~repro.core.runtime.PretzelRuntime` (stage batching, reservations,
+  telemetry intact) behind a duplex pipe served by
+  :func:`~repro.serving.worker.worker_main`.
+* **Parameter sharing.**  When ``shm_budget_bytes > 0`` the cluster owns a
+  :class:`~repro.serving.shm_store.SharedMemoryArena`.  At registration every
+  fixed-width numpy parameter at least ``shm_min_parameter_bytes`` big is
+  copied into the arena exactly once (deduplicated by the Object Store's
+  content checksum), and workers rebind their unpickled copies onto read-only
+  views of the shared slabs -- N workers map one copy of each weight.
+* **Routing.**  Plans are placed on ``placement_replicas`` workers by a
+  consistent-hash ring; each request goes to the least-loaded placed worker
+  (the router's own in-flight count plus the queue backlog workers piggyback
+  on replies).  When every placed worker is at ``max_inflight_per_worker``
+  the request is shed with a typed
+  :class:`~repro.serving.router.BackpressureError` instead of queueing
+  without bound.
+
+The facade mirrors :class:`~repro.core.runtime.PretzelRuntime`:
+``register`` / ``predict`` / ``predict_batch`` / ``stats`` /
+``memory_bytes`` / ``shutdown`` plus the context-manager protocol, so a
+single-process deployment can be turned into a sharded one by swapping the
+constructor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import PretzelConfig
+from repro.core.statistics import TransformStats
+from repro.mlnet.pipeline import Pipeline
+from repro.net import deserialize_message, serialize_message
+from repro.serving.router import ShardRouter
+from repro.serving.shm_store import ArenaExhaustedError, SharedMemoryArena, _shareable
+from repro.serving.worker import encode_model, worker_main
+
+__all__ = ["WorkerFailure", "WorkerTimeout", "PretzelCluster"]
+
+
+class WorkerFailure(RuntimeError):
+    """A worker reported an error (or died) while handling a request."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        error: str,
+        error_type: str = "RuntimeError",
+        remote_traceback: Optional[str] = None,
+    ):
+        self.worker_id = worker_id
+        self.error_type = error_type
+        self.remote_traceback = remote_traceback
+        super().__init__(f"worker {worker_id!r} failed: [{error_type}] {error}")
+
+
+class WorkerTimeout(TimeoutError):
+    """A worker stayed silent past ``worker_timeout_seconds``."""
+
+    def __init__(self, worker_id: str, timeout: float, kind: str):
+        self.worker_id = worker_id
+        self.timeout = timeout
+        super().__init__(
+            f"worker {worker_id!r} did not answer a {kind!r} request within {timeout}s"
+        )
+
+
+class _WorkerHandle:
+    """Parent-side endpoint of one worker: process + pipe + request pairing.
+
+    One lock per worker serializes send/receive pairs on the pipe, so
+    concurrent client threads can talk to *different* workers in parallel
+    while requests to the same worker stay strictly ordered.
+    """
+
+    def __init__(self, worker_id: str, process: Any, connection: Any):
+        self.worker_id = worker_id
+        self.process = process
+        self.connection = connection
+        self.lock = threading.Lock()
+        self.requests = 0
+
+    def request(self, message: Dict[str, Any], timeout: float) -> Dict[str, Any]:
+        """One round trip; raises typed errors on failure, timeout or death."""
+        kind = str(message.get("type"))
+        with self.lock:
+            self.requests += 1
+            try:
+                self.connection.send_bytes(serialize_message(message))
+                deadline = time.monotonic() + timeout
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self.connection.poll(remaining):
+                        raise WorkerTimeout(self.worker_id, timeout, kind)
+                    reply = deserialize_message(self.connection.recv_bytes())
+                    if reply.get("msg_id") == message.get("msg_id"):
+                        break
+                    # A stale reply from a request that previously timed out:
+                    # the pipe is FIFO and msg ids are monotonic, so anything
+                    # that is not ours is older.  Discard it and keep waiting
+                    # -- this resynchronizes the connection instead of
+                    # poisoning every later request on this worker.
+            except (EOFError, BrokenPipeError, OSError) as error:
+                raise WorkerFailure(
+                    self.worker_id,
+                    f"connection lost during {kind!r} ({error!r}); the process "
+                    f"is {'alive' if self.process.is_alive() else 'dead'}",
+                    error_type=type(error).__name__,
+                ) from error
+        if not reply.get("ok", False):
+            raise WorkerFailure(
+                self.worker_id,
+                str(reply.get("error")),
+                error_type=str(reply.get("error_type", "RuntimeError")),
+                remote_traceback=reply.get("traceback"),
+            )
+        return reply
+
+
+class PretzelCluster:
+    """A multi-process serving tier with runtime semantics.
+
+    Registration accepts trained :class:`~repro.mlnet.pipeline.Pipeline`
+    objects (the off-line artifact every front-end in this repository starts
+    from); compilation to a model plan happens inside each hosting worker, so
+    workers stay white boxes with their own stage catalogs and schedulers.
+    """
+
+    def __init__(self, config: Optional[PretzelConfig] = None):
+        self.config = config or PretzelConfig()
+        num_workers = max(1, int(self.config.num_workers))
+        method = self.config.mp_start_method or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        self.arena: Optional[SharedMemoryArena] = (
+            SharedMemoryArena(self.config.shm_budget_bytes)
+            if self.config.shm_budget_bytes > 0
+            else None
+        )
+        self._workers: Dict[str, _WorkerHandle] = {}
+        self._plans: Dict[str, Dict[str, Any]] = {}
+        self._msg_ids = itertools.count()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.arena_overflows = 0
+        try:
+            for index in range(num_workers):
+                worker_id = f"worker-{index}"
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=worker_main,
+                    name=f"pretzel-{worker_id}",
+                    args=(
+                        worker_id,
+                        child_end,
+                        self.config,
+                        self.arena.name if self.arena is not None else None,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._workers[worker_id] = _WorkerHandle(worker_id, process, parent_end)
+            self.router = ShardRouter(
+                list(self._workers),
+                replicas=min(max(1, self.config.placement_replicas), num_workers),
+                max_inflight_per_worker=self.config.max_inflight_per_worker,
+            )
+            # One ping round trip per worker confirms every runtime booted
+            # (and surfaces import/attach failures as typed errors, not hangs).
+            for handle in self._workers.values():
+                handle.request(self._message("ping"), self.config.worker_timeout_seconds)
+        except BaseException:
+            self._tear_down(graceful=False)
+            raise
+
+    # -- registration ---------------------------------------------------------
+
+    def register(
+        self,
+        pipeline: Pipeline,
+        stats: Optional[Dict[str, TransformStats]] = None,
+        engine: str = "request-response",
+        plan_id: Optional[str] = None,
+        replicas: Optional[int] = None,
+    ) -> str:
+        """Place a trained pipeline on its shard and register it there.
+
+        Mirrors :meth:`PretzelRuntime.register`; ``replicas`` optionally
+        overrides ``placement_replicas`` for this plan (e.g. hot plans on
+        every worker).
+        """
+        if not isinstance(pipeline, Pipeline):
+            raise TypeError(
+                "PretzelCluster.register ships trained Pipelines to workers; "
+                f"got {type(pipeline).__name__} (compiled plans are built per worker)"
+            )
+        with self._lock:
+            self._ensure_open()
+            identifier = plan_id or f"plan-{len(self._plans)}-{pipeline.name}"
+            if identifier in self._plans:
+                raise ValueError(f"plan id {identifier!r} already registered")
+            # Reserve the id before the (lock-free) worker round trips.
+            self._plans[identifier] = {"workers": [], "engine": engine}
+        registered_on: List[str] = []
+        try:
+            arena_refs = self._share_parameters(pipeline, stats)
+            placed = self.router.place(identifier, replicas)
+            model_b64 = encode_model(pipeline, stats)
+            rebound = 0
+            for worker_id in placed:
+                reply = self._workers[worker_id].request(
+                    self._message(
+                        "register",
+                        plan_id=identifier,
+                        model_b64=model_b64,
+                        engine=engine,
+                        arena_refs=arena_refs,
+                    ),
+                    self.config.worker_timeout_seconds,
+                )
+                registered_on.append(worker_id)
+                rebound += int(reply.get("rebound_arrays", 0))
+        except BaseException:
+            # Roll back everywhere the plan already landed so the id (and its
+            # memoized placement) stays reusable after a partial failure.
+            for worker_id in registered_on:
+                try:
+                    self._workers[worker_id].request(
+                        self._message("unregister", plan_id=identifier),
+                        self.config.worker_timeout_seconds,
+                    )
+                except Exception:
+                    pass  # best effort; the worker may be the thing that died
+            self.router.forget(identifier)
+            with self._lock:
+                self._plans.pop(identifier, None)
+            raise
+        with self._lock:
+            self._plans[identifier] = {
+                "workers": placed,
+                "engine": engine,
+                "shared_parameters": len(arena_refs),
+                "rebound_arrays": rebound,
+            }
+        return identifier
+
+    def _share_parameters(
+        self, pipeline: Pipeline, stats: Optional[Dict[str, TransformStats]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Copy the plan's big array parameters into the arena (dedup'd).
+
+        Returns the (checksum -> slab ref) table shipped with the register
+        message.  The parameters are harvested from a local throwaway
+        *compilation* of the pipeline, not from the raw pipeline: Oven's
+        rewrites produce new arrays (the linear push-through rule splits a
+        model's weights per concat branch), and only the post-rewrite
+        checksums match what each worker's Object Store interns.  Dict
+        parameters (n-gram vocabularies) stay private to each worker: raw
+        shared bytes cannot back a hash table without rebuilding -- and
+        therefore duplicating -- it.
+        """
+        if self.arena is None:
+            return {}
+        refs: Dict[str, Dict[str, Any]] = {}
+        for parameter in self._compiled_parameters(pipeline, stats):
+            if parameter.checksum in refs:
+                continue
+            if not _shareable(parameter.value):
+                continue
+            if parameter.nbytes < self.config.shm_min_parameter_bytes:
+                continue
+            try:
+                ref = self.arena.put_array(parameter.checksum, parameter.value)
+            except ArenaExhaustedError:
+                # Smaller parameters may still fit a recycled slab; keep
+                # scanning but record that sharing is no longer complete.
+                self.arena_overflows += 1
+                continue
+            refs[parameter.checksum] = ref.to_dict()
+        return refs
+
+    def _compiled_parameters(
+        self, pipeline: Pipeline, stats: Optional[Dict[str, TransformStats]]
+    ) -> List[Any]:
+        """Parameters as each worker will intern them: after Oven's rewrites.
+
+        Runs the same deterministic Flour -> optimize -> compile path the
+        workers run, against a throwaway Object Store, purely to learn the
+        post-rewrite parameter set (one extra compile per registration, on
+        the registration path, never the serving path).
+        """
+        from repro.core.flour import FlourContext, flour_from_pipeline
+        from repro.core.object_store import ObjectStore
+        from repro.core.oven.compiler import ModelPlanCompiler
+        from repro.core.oven.optimizer import OvenOptimizer
+
+        store = ObjectStore(enabled=True)
+        context = FlourContext(object_store=store, name=pipeline.name)
+        program = flour_from_pipeline(pipeline, context=context, stats=stats)
+        stage_graph = OvenOptimizer().optimize(program.to_transform_graph())
+        ModelPlanCompiler(object_store=store, config=self.config).compile(stage_graph)
+        return store.parameters()
+
+    # -- serving ---------------------------------------------------------------
+
+    def predict(self, plan_id: str, record: Any, latency_sensitive: bool = False) -> Any:
+        """Serve one prediction on the least-loaded worker hosting the plan."""
+        return self._dispatch(plan_id, [record], latency_sensitive)[0]
+
+    def predict_batch(
+        self,
+        plan_id: str,
+        records: Sequence[Any],
+        latency_sensitive: bool = False,
+    ) -> List[Any]:
+        """Serve a batch with one worker round trip (amortized framing)."""
+        if not records:
+            return []
+        return self._dispatch(plan_id, list(records), latency_sensitive)
+
+    def _dispatch(self, plan_id: str, records: List[Any], latency_sensitive: bool) -> List[Any]:
+        self._ensure_open()
+        if plan_id not in self._plans:
+            raise KeyError(f"plan {plan_id!r} is not registered")
+        worker_id = self.router.acquire(plan_id)  # may raise BackpressureError
+        backlog: Optional[int] = None
+        try:
+            reply = self._workers[worker_id].request(
+                self._message(
+                    "predict",
+                    plan_id=plan_id,
+                    records=records,
+                    latency_sensitive=latency_sensitive,
+                ),
+                self.config.worker_timeout_seconds,
+            )
+            backlog = reply.get("backlog")
+            return reply["outputs"]
+        finally:
+            self.router.release(worker_id, backlog=backlog)
+
+    # -- introspection ----------------------------------------------------------
+
+    def plan_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._plans)
+
+    def placement(self, plan_id: str) -> List[str]:
+        """Worker ids hosting ``plan_id``."""
+        with self._lock:
+            if plan_id not in self._plans:
+                raise KeyError(f"plan {plan_id!r} is not registered")
+            return list(self._plans[plan_id]["workers"])
+
+    def worker_ids(self) -> List[str]:
+        return list(self._workers)
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster-wide telemetry: router + arena + every worker's runtime.
+
+        ``workers[id]["stats"]`` is the full ``PretzelRuntime.stats()`` of
+        that worker (including ``object_store`` hit/miss/eviction counters,
+        ``stage_batching``, ``queue_depths`` and ``signature_backlog``), so
+        per-worker cache health and backlog are visible from one call.
+        """
+        self._ensure_open()
+        workers: Dict[str, Any] = {}
+        for worker_id, handle in self._workers.items():
+            reply = handle.request(self._message("stats"), self.config.worker_timeout_seconds)
+            workers[worker_id] = {
+                "stats": reply["stats"],
+                "served_predictions": reply["served_predictions"],
+                "failed_requests": reply["failed_requests"],
+                "memory_bytes": reply["memory_bytes"],
+                "arena": reply["arena"],
+            }
+        router_stats = self.router.stats()
+        arena_stats = self.arena.stats() if self.arena is not None else None
+        total_worker_bytes = sum(entry["memory_bytes"] for entry in workers.values())
+        return {
+            "plans": len(self._plans),
+            "num_workers": len(self._workers),
+            "served_predictions": sum(w["served_predictions"] for w in workers.values()),
+            "failed_requests": sum(w["failed_requests"] for w in workers.values()),
+            "shed": router_stats["shed"],
+            "router": router_stats,
+            "arena": arena_stats,
+            "arena_overflows": self.arena_overflows,
+            "memory_bytes": total_worker_bytes
+            + (arena_stats["used_bytes"] if arena_stats else 0),
+            "workers": workers,
+        }
+
+    def memory_bytes(self) -> int:
+        """Cluster footprint: every worker's owned bytes + the arena once.
+
+        Workers exclude arena-adopted parameters from their own accounting
+        (see :meth:`ObjectStore.memory_bytes`), so a weight shared by N
+        workers contributes its bytes exactly once -- the sub-linear scaling
+        the serving tier exists for.
+        """
+        self._ensure_open()
+        total = 0
+        for handle in self._workers.values():
+            reply = handle.request(self._message("memory"), self.config.worker_timeout_seconds)
+            total += int(reply["memory_bytes"])
+        if self.arena is not None:
+            total += self.arena.used_bytes
+        return total
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful message, then join, then terminate)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._tear_down(graceful=True)
+
+    def _tear_down(self, graceful: bool) -> None:
+        grace = min(5.0, self.config.worker_timeout_seconds)
+        for handle in self._workers.values():
+            if graceful and handle.process.is_alive():
+                try:
+                    handle.request(self._message("shutdown"), grace)
+                except Exception:
+                    pass  # the join/terminate ladder below still applies
+        for handle in self._workers.values():
+            handle.process.join(timeout=grace)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.connection.close()
+            except OSError:
+                pass
+        if self.arena is not None:
+            self.arena.close()
+
+    def __enter__(self) -> "PretzelCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _message(self, kind: str, **payload: Any) -> Dict[str, Any]:
+        payload["type"] = kind
+        payload["msg_id"] = next(self._msg_ids)
+        return payload
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the cluster has been shut down")

@@ -1,0 +1,190 @@
+"""Shard router: plan placement, queue-depth-aware dispatch, admission control.
+
+The cluster front door never executes plans; it decides *where* each request
+runs:
+
+* **Placement** uses a consistent-hash ring (:class:`ConsistentHashRing`)
+  with virtual nodes, so each plan lands on a stable subset of workers
+  (``placement_replicas``) and adding a worker moves only ~1/N of the plans.
+* **Dispatch** picks, among a plan's placed workers, the one with the lowest
+  observed load: the router's own in-flight count plus the queue backlog the
+  worker reported on its last reply (the ``queue_depths``/``signature_backlog``
+  numbers the scheduler's signature index exposes in ``runtime.stats()``).
+* **Admission control** sheds load instead of queueing without bound: when
+  every placed worker already carries ``max_inflight_per_worker`` in-flight
+  dispatches, the router raises :class:`BackpressureError` -- a typed error
+  the client can retry against -- and counts the shed in its stats.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["BackpressureError", "ConsistentHashRing", "ShardRouter"]
+
+
+class BackpressureError(RuntimeError):
+    """The cluster is saturated; the request was shed, not queued.
+
+    Raised by the router when every worker a plan is placed on already holds
+    ``max_inflight_per_worker`` in-flight dispatches.  Carries the load the
+    router observed so clients can implement informed backoff.
+    """
+
+    def __init__(self, plan_id: str, loads: Dict[str, int], max_inflight: int):
+        self.plan_id = plan_id
+        self.loads = dict(loads)
+        self.max_inflight = max_inflight
+        super().__init__(
+            f"admission control shed a request for {plan_id!r}: every placed worker "
+            f"is at the in-flight limit ({max_inflight}); loads={self.loads}"
+        )
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (md5-based, independent of PYTHONHASHSEED)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring with virtual nodes over worker ids."""
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 64):
+        if not nodes:
+            raise ValueError("the ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes = list(dict.fromkeys(nodes))
+        points = []
+        for node in self._nodes:
+            for replica in range(vnodes):
+                points.append((_hash64(f"{node}#{replica}"), node))
+        points.sort()
+        self._hashes = [point[0] for point in points]
+        self._owners = [point[1] for point in points]
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def placement(self, key: str, replicas: int = 1) -> List[str]:
+        """The ``replicas`` distinct nodes owning ``key``, in ring order."""
+        replicas = max(1, min(replicas, len(self._nodes)))
+        start = bisect.bisect(self._hashes, _hash64(key)) % len(self._owners)
+        placed: List[str] = []
+        for step in range(len(self._owners)):
+            node = self._owners[(start + step) % len(self._owners)]
+            if node not in placed:
+                placed.append(node)
+                if len(placed) == replicas:
+                    break
+        return placed
+
+
+class ShardRouter:
+    """Route plan traffic onto workers; shed when the shard is saturated.
+
+    The router is deliberately ignorant of transport: callers ``acquire`` a
+    worker id before dispatching and ``release`` it when the reply arrives
+    (optionally reporting the queue backlog the worker piggybacked on the
+    reply).  That keeps it trivially testable and reusable by the simulator.
+    """
+
+    def __init__(
+        self,
+        worker_ids: Sequence[str],
+        replicas: int = 2,
+        max_inflight_per_worker: int = 32,
+        vnodes: int = 64,
+    ):
+        if max_inflight_per_worker < 1:
+            raise ValueError("max_inflight_per_worker must be >= 1")
+        self.ring = ConsistentHashRing(worker_ids, vnodes=vnodes)
+        self.replicas = replicas
+        self.max_inflight_per_worker = max_inflight_per_worker
+        self._lock = threading.Lock()
+        self._placements: Dict[str, List[str]] = {}
+        self._inflight: Dict[str, int] = {worker: 0 for worker in self.ring.nodes}
+        #: queue backlog each worker reported on its most recent reply
+        self._reported_backlog: Dict[str, int] = {worker: 0 for worker in self.ring.nodes}
+        self.dispatched = 0
+        self.shed = 0
+
+    # -- placement -----------------------------------------------------------
+
+    def place(self, plan_id: str, replicas: Optional[int] = None) -> List[str]:
+        """Workers hosting ``plan_id`` (memoized, consistent-hash placed)."""
+        with self._lock:
+            placed = self._placements.get(plan_id)
+            if placed is None:
+                placed = self.ring.placement(plan_id, replicas or self.replicas)
+                self._placements[plan_id] = placed
+            return list(placed)
+
+    def placements(self) -> Dict[str, List[str]]:
+        with self._lock:
+            return {plan: list(workers) for plan, workers in self._placements.items()}
+
+    def forget(self, plan_id: str) -> None:
+        """Drop a memoized placement (rollback of a failed registration)."""
+        with self._lock:
+            self._placements.pop(plan_id, None)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def acquire(self, plan_id: str) -> str:
+        """Pick the least-loaded placed worker; shed when all are saturated."""
+        if plan_id not in self._placements:
+            raise KeyError(f"plan {plan_id!r} has no placement (register it first)")
+        with self._lock:
+            candidates = self._placements[plan_id]
+            loads = {worker: self._inflight[worker] for worker in candidates}
+            eligible = [
+                worker
+                for worker in candidates
+                if self._inflight[worker] < self.max_inflight_per_worker
+            ]
+            if not eligible:
+                self.shed += 1
+                raise BackpressureError(plan_id, loads, self.max_inflight_per_worker)
+            chosen = min(
+                eligible,
+                key=lambda worker: (
+                    self._inflight[worker] + self._reported_backlog[worker],
+                    worker,
+                ),
+            )
+            self._inflight[chosen] += 1
+            self.dispatched += 1
+            return chosen
+
+    def release(self, worker_id: str, backlog: Optional[int] = None) -> None:
+        """Return a dispatch slot; record the backlog the worker reported."""
+        with self._lock:
+            if self._inflight.get(worker_id, 0) > 0:
+                self._inflight[worker_id] -= 1
+            if backlog is not None:
+                self._reported_backlog[worker_id] = backlog
+
+    def inflight(self, worker_id: str) -> int:
+        with self._lock:
+            return self._inflight.get(worker_id, 0)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "workers": list(self.ring.nodes),
+                "replicas": self.replicas,
+                "max_inflight_per_worker": self.max_inflight_per_worker,
+                "plans_placed": len(self._placements),
+                "dispatched": self.dispatched,
+                "shed": self.shed,
+                "inflight": dict(self._inflight),
+                "reported_backlog": dict(self._reported_backlog),
+            }

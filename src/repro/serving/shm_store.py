@@ -1,0 +1,440 @@
+"""Shared-memory Object Store: one copy of each parameter across processes.
+
+The single-process Object Store (Section 4.1.3) deduplicates operator
+parameters *within* one runtime.  The serving tier shards a runtime across
+worker processes, which would naively give every worker a private pickled
+copy of every weight -- N times the paper's footprint.  This module keeps the
+white-box sharing across the process boundary:
+
+* :class:`SharedMemoryArena` -- the owner-side slab allocator over one
+  ``multiprocessing.shared_memory`` segment.  Allocation and free are
+  constant time in the style of fixed-size-class allocators (Blelloch & Wei,
+  "Concurrent Fixed-Size Allocation and Free in Constant Time"): each
+  power-of-two size class keeps a free list of slab offsets, a bump pointer
+  carves fresh slabs, and both operations are a single list push/pop.
+  Parameter buffers are deduplicated by the same content checksum the
+  Object Store compares (:attr:`repro.operators.base.Parameter.checksum`), so
+  a weight array registered by every worker occupies exactly one slab.
+* :class:`ArenaRef` -- a picklable/JSON-able handle (segment, offset, dtype,
+  shape) a worker needs to map one parameter.
+* :class:`ArenaClient` -- the worker-side attachment.  It implements the
+  :class:`~repro.core.object_store.ParameterBacking` hook: parameters whose
+  checksum is in the arena are *adopted*, i.e. rebound to a read-only numpy
+  view of the shared segment, and accounted by the worker's Object Store as
+  mapped-once instead of owned.  ``rebind_operator`` additionally swaps an
+  operator's private weight arrays for the shared views right after
+  unpickling, so the private copies become garbage before the plan is
+  registered.
+
+Only numpy arrays are arena-backed: a Python dict (e.g. an n-gram
+vocabulary) cannot be mapped from raw shared bytes without rebuilding -- and
+therefore duplicating -- its hash table, so dict parameters stay private to
+each worker and are documented as the residual per-worker cost.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.object_store import ParameterBacking
+from repro.operators.base import Parameter
+
+__all__ = ["ArenaRef", "ArenaExhaustedError", "SharedMemoryArena", "ArenaClient"]
+
+#: smallest slab handed out; anything below this would be dominated by
+#: rounding and bookkeeping.
+_MIN_SLAB_BYTES = 64
+
+
+class ArenaExhaustedError(MemoryError):
+    """The arena's ``shm_budget_bytes`` cannot fit another allocation."""
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Everything a process needs to map one shared parameter buffer."""
+
+    segment: str
+    offset: int
+    nbytes: int
+    dtype: str
+    shape: Tuple[int, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (sent to workers inside register messages)."""
+        return {
+            "segment": self.segment,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ArenaRef":
+        return ArenaRef(
+            segment=data["segment"],
+            offset=int(data["offset"]),
+            nbytes=int(data["nbytes"]),
+            dtype=data["dtype"],
+            shape=tuple(int(dim) for dim in data["shape"]),
+        )
+
+
+def _size_class(nbytes: int) -> int:
+    """Round an allocation up to its power-of-two size class."""
+    size = _MIN_SLAB_BYTES
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+def _view(buffer: memoryview, ref: ArenaRef, writeable: bool) -> np.ndarray:
+    array: np.ndarray = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=buffer, offset=ref.offset
+    )
+    array.flags.writeable = writeable
+    return array
+
+
+def _shareable(array: np.ndarray) -> bool:
+    """Only plain fixed-width arrays can live as raw shared bytes."""
+    return isinstance(array, np.ndarray) and not array.dtype.hasobject
+
+
+class SharedMemoryArena:
+    """Owner side: a checksum-deduplicated slab allocator over one shm segment.
+
+    The arena is created by the cluster (or any single owner); workers attach
+    with :class:`ArenaClient` using :attr:`name`.  All allocation happens on
+    the owner -- workers only map -- so no cross-process synchronization of
+    the allocator metadata is needed.
+    """
+
+    def __init__(self, budget_bytes: int, name: Optional[str] = None):
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = budget_bytes
+        segment_name = name or f"pretzel-arena-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._shm = shared_memory.SharedMemory(create=True, size=budget_bytes, name=segment_name)
+        self._lock = threading.Lock()
+        self._bump = 0
+        #: size class -> free slab offsets (constant-time alloc/free)
+        self._free_lists: Dict[int, List[int]] = {}
+        #: checksum -> live ref
+        self._refs: Dict[str, ArenaRef] = {}
+        #: checksum -> slab size class (for :meth:`free`)
+        self._slab_class: Dict[str, int] = {}
+        self.dedup_hits = 0
+        self.allocations = 0
+        self.frees = 0
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach to."""
+        return self._shm.name
+
+    # -- allocation ----------------------------------------------------------
+
+    def _allocate(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve one slab; returns (offset, size_class).  O(1)."""
+        size = _size_class(nbytes)
+        free = self._free_lists.get(size)
+        if free:
+            return free.pop(), size
+        if self._bump + size > self.budget_bytes:
+            raise ArenaExhaustedError(
+                f"arena {self.name} exhausted: {self._bump}B used of "
+                f"{self.budget_bytes}B budget, cannot fit {size}B slab"
+            )
+        offset = self._bump
+        self._bump += size
+        return offset, size
+
+    def put_array(self, checksum: str, array: np.ndarray) -> ArenaRef:
+        """Store (or find) the shared copy of ``array``; dedup by checksum."""
+        if not _shareable(array):
+            raise TypeError("only fixed-width numpy arrays can be arena-backed")
+        contiguous = np.ascontiguousarray(array)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            existing = self._refs.get(checksum)
+            if existing is not None:
+                self.dedup_hits += 1
+                return existing
+            offset, size = self._allocate(contiguous.nbytes)
+            ref = ArenaRef(
+                segment=self.name,
+                offset=offset,
+                nbytes=int(contiguous.nbytes),
+                dtype=str(contiguous.dtype),
+                shape=tuple(contiguous.shape),
+            )
+            destination = _view(self._shm.buf, ref, writeable=True)
+            destination[...] = contiguous
+            destination.flags.writeable = False
+            self._refs[checksum] = ref
+            self._slab_class[checksum] = size
+            self.allocations += 1
+            return ref
+
+    def free(self, checksum: str) -> bool:
+        """Return a parameter's slab to its size class free list.  O(1).
+
+        Liveness contract: the owner must only free a parameter once no
+        worker still serves a plan mapping it -- a recycled slab is
+        overwritten by the next same-class ``put_array``, which would
+        silently change the bytes under any still-adopted view.  The serving
+        tier never frees while plans are registered; a reference-counted
+        unregister protocol is the arena-eviction follow-up in the ROADMAP.
+        """
+        with self._lock:
+            ref = self._refs.pop(checksum, None)
+            if ref is None:
+                return False
+            size = self._slab_class.pop(checksum)
+            self._free_lists.setdefault(size, []).append(ref.offset)
+            self.frees += 1
+            return True
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, checksum: str) -> Optional[ArenaRef]:
+        with self._lock:
+            return self._refs.get(checksum)
+
+    def refs(self) -> Dict[str, ArenaRef]:
+        """Snapshot of every live (checksum -> ref) mapping."""
+        with self._lock:
+            return dict(self._refs)
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """Read-only array over the shared bytes (owner-side convenience)."""
+        return _view(self._shm.buf, ref, writeable=False)
+
+    # -- accounting ---------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Payload bytes of live parameters (what dedup actually shares)."""
+        with self._lock:
+            return sum(ref.nbytes for ref in self._refs.values())
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes carved from the segment, including slab rounding."""
+        with self._lock:
+            return self._bump
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            used = sum(ref.nbytes for ref in self._refs.values())
+            return {
+                "segment": self.name,
+                "budget_bytes": self.budget_bytes,
+                "used_bytes": used,
+                "allocated_bytes": self._bump,
+                "parameters": len(self._refs),
+                "dedup_hits": self.dedup_hits,
+                "allocations": self.allocations,
+                "frees": self.frees,
+            }
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap and remove the segment (owner responsibility)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live views (e.g. handed to a runtime in-process) keep the
+            # mapping alive; the OS reclaims it when they are released.
+            pass
+        try:
+            # With a fork start method children share this process's resource
+            # tracker, and their attach/detach unregister (see ArenaClient)
+            # may have removed our registration; re-register so unlink()'s
+            # own unregister finds the entry instead of tripping the tracker.
+            resource_tracker.register(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedMemoryArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _rebound(parameter: Parameter, value: np.ndarray) -> Parameter:
+    """Clone a Parameter onto a new value without re-checksumming.
+
+    The shared view holds byte-identical content, so checksum and nbytes are
+    carried over verbatim (recomputing them would rehash the whole buffer).
+    """
+    clone = Parameter.__new__(Parameter)
+    clone.name = parameter.name
+    clone.value = value
+    clone.checksum = parameter.checksum
+    clone.nbytes = parameter.nbytes
+    return clone
+
+
+class ArenaClient(ParameterBacking):
+    """Worker side: attach to an arena and rebind parameters onto it.
+
+    Implements the Object Store's :class:`ParameterBacking` hook: every new
+    parameter registration whose checksum has a shared slab is rebound to a
+    read-only view of that slab, so the worker maps the weight instead of
+    owning a copy.  The (checksum -> ref) table arrives incrementally with
+    each register message (:meth:`update_refs`).
+    """
+
+    def __init__(self, segment_name: str):
+        self._shm = shared_memory.SharedMemory(name=segment_name)
+        # CPython tracks *every* attach as if it owned the segment and would
+        # unlink it when this process exits (bpo-38119); only the arena owner
+        # may unlink, so deregister our attachment from the tracker.
+        try:
+            resource_tracker.unregister(self._shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        self.segment_name = segment_name
+        self._refs: Dict[str, ArenaRef] = {}
+        self._lock = threading.Lock()
+        self.adopted_parameters = 0
+        self.adopted_bytes = 0
+        self.rebound_arrays = 0
+
+    def update_refs(self, refs: Dict[str, ArenaRef]) -> None:
+        """Merge newly shared (checksum -> ref) mappings from the owner."""
+        with self._lock:
+            self._refs.update(refs)
+
+    def view(self, ref: ArenaRef) -> np.ndarray:
+        """Read-only array mapped over the shared slab."""
+        return _view(self._shm.buf, ref, writeable=False)
+
+    def _ref_for(self, checksum: str) -> Optional[ArenaRef]:
+        with self._lock:
+            return self._refs.get(checksum)
+
+    # -- ParameterBacking protocol ---------------------------------------------
+
+    def adopt(self, parameter: Parameter) -> Parameter:
+        if not _shareable(parameter.value):
+            return parameter
+        ref = self._ref_for(parameter.checksum)
+        if ref is None:
+            return parameter
+        self.adopted_parameters += 1
+        self.adopted_bytes += parameter.nbytes
+        if self._is_arena_view(parameter.value):
+            return parameter  # already a shared view (built from a rebound operator)
+        return _rebound(parameter, self.view(ref))
+
+    def _is_arena_view(self, value: Any) -> bool:
+        """True when the array's storage is this client's shared segment.
+
+        Walks the base chain (a slice of a view has the view as its base)
+        down to the backing object; numpy records the segment's ``mmap`` --
+        the memoryview's ``.obj`` -- as the ultimate base.
+        """
+        if not isinstance(value, np.ndarray):
+            return False
+        buf = self._shm.buf
+        segment_mmap = getattr(buf, "obj", None)
+        base = value.base
+        while base is not None:
+            if base is buf or (segment_mmap is not None and base is segment_mmap):
+                return True
+            if isinstance(base, np.ndarray):
+                base = base.base
+            elif isinstance(base, memoryview):
+                base = base.obj
+            else:
+                return False
+        return False
+
+    def adopt_operator(self, operator: Any) -> None:
+        """Rebind a new canonical operator's arrays to shared views.
+
+        The Object Store calls this right before keeping the operator as the
+        canonical executing instance, i.e. *after* plan compilation rewrote
+        its trained state -- the point where attribute-level rebinding
+        actually reaches the arrays the hot path will touch.
+        """
+        self.rebind_operator(operator)
+
+    def is_shared(self, parameter: Parameter) -> bool:
+        return _shareable(parameter.value) and self._ref_for(parameter.checksum) is not None
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            known = len(self._refs)
+        return {
+            "segment": self.segment_name,
+            "known_refs": known,
+            "adopted_parameters": self.adopted_parameters,
+            "adopted_bytes": self.adopted_bytes,
+            "rebound_arrays": self.rebound_arrays,
+        }
+
+    # -- operator rebinding -------------------------------------------------------
+
+    def rebind_operator(self, operator: Any) -> int:
+        """Swap an operator's private weight arrays for shared views.
+
+        Walks the operator's attributes; every fixed-width numpy array whose
+        content checksum has a shared slab is replaced by the read-only view,
+        releasing the private copy that unpickling created.  Returns how many
+        arrays were rebound.
+        """
+        from repro.operators.base import _checksum_of
+
+        swapped = 0
+        attributes = getattr(operator, "__dict__", None)
+        if not attributes:
+            return 0
+        for attr_name, value in list(attributes.items()):
+            if not _shareable(value) or value.nbytes == 0:
+                continue
+            ref = self._ref_for(_checksum_of(value))
+            if ref is None:
+                continue
+            if np.dtype(ref.dtype) != value.dtype or ref.shape != value.shape:
+                continue
+            setattr(operator, attr_name, self.view(ref))
+            swapped += 1
+        self.rebound_arrays += swapped
+        return swapped
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:
+            # Adopted views are still referenced by registered plans; the
+            # mapping dies with the process.
+            pass

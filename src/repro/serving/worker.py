@@ -1,0 +1,224 @@
+"""A serving worker: one process hosting a full PretzelRuntime.
+
+Each worker owns a complete white-box runtime -- Object Store, stage
+batching, reservations, vector pools, telemetry -- and serves a message loop
+over the duplex connection its cluster handed it.  Messages are framed with
+:func:`repro.net.serialize_message` / :func:`repro.net.deserialize_message`
+(the same JSON wire format every front-end in this repository models), with
+one non-JSON exception: pickled model payloads travel base64-encoded inside
+the JSON envelope, exactly once per registration.
+
+Parameter sharing survives the process boundary: when the cluster runs a
+:class:`~repro.serving.shm_store.SharedMemoryArena`, the worker attaches an
+:class:`~repro.serving.shm_store.ArenaClient` and plugs it into its runtime
+as the Object Store's parameter backing.  Register messages carry the
+(checksum -> slab) table for the plan's shared parameters; the worker rebinds
+the unpickled operators' weight arrays onto read-only shared views *before*
+registration, so the private copies produced by unpickling are dropped and
+N workers map one copy of each deduplicated weight.
+
+Wire protocol (all requests carry ``msg_id``; every reply echoes it):
+
+=============  =========================================================
+``type``       payload
+=============  =========================================================
+``ping``       -> ``{"pong": true}``
+``register``   ``plan_id``, ``model_b64`` (pickled ``(pipeline, stats)``),
+               ``engine``, ``arena_refs`` -> registration summary
+``unregister`` ``plan_id`` -> ack (cluster-side rollback of partial failures)
+``predict``    ``plan_id``, ``records``, ``latency_sensitive`` ->
+               ``{"outputs": [...], "backlog": int}``
+``stats``      -> ``{"stats": runtime.stats(), ...}``
+``memory``     -> ``{"memory_bytes": int}`` (lightweight footprint probe)
+``shutdown``   -> ack, then the process exits cleanly
+=============  =========================================================
+
+Failures are replies, not crashes: any handler exception is reported as
+``{"ok": false, "error": ..., "error_type": ...}`` and the loop keeps
+serving, so one bad request cannot take a shard down.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.net import deserialize_message, serialize_message
+from repro.serving.shm_store import ArenaClient, ArenaRef
+
+__all__ = ["ServingWorker", "worker_main", "encode_model", "decode_model"]
+
+
+def encode_model(pipeline: Any, stats: Optional[Dict[str, Any]]) -> str:
+    """Pickle a model (+ its transform stats) into a JSON-safe string."""
+    return base64.b64encode(pickle.dumps((pipeline, stats))).decode("ascii")
+
+
+def decode_model(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+class ServingWorker:
+    """The in-process half of a worker: runtime + message handlers.
+
+    Split from :func:`worker_main` so tests can drive the handlers directly
+    (no subprocess) and the loop stays a thin transport shell.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        config: Optional[PretzelConfig] = None,
+        arena_segment: Optional[str] = None,
+    ):
+        self.worker_id = worker_id
+        self.config = config or PretzelConfig()
+        self.arena = ArenaClient(arena_segment) if arena_segment else None
+        self.runtime = PretzelRuntime(self.config, parameter_backing=self.arena)
+        self.served_predictions = 0
+        self.failed_requests = 0
+
+    # -- handlers ------------------------------------------------------------
+
+    def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one decoded message; always returns a reply payload."""
+        msg_id = message.get("msg_id")
+        kind = message.get("type")
+        try:
+            handler = getattr(self, f"_handle_{kind}", None)
+            if handler is None:
+                raise ValueError(f"unknown message type {kind!r}")
+            reply = handler(message)
+            reply.update({"msg_id": msg_id, "ok": True, "worker_id": self.worker_id})
+            return reply
+        except BaseException as error:  # noqa: BLE001 - reported to the caller
+            self.failed_requests += 1
+            return {
+                "msg_id": msg_id,
+                "ok": False,
+                "worker_id": self.worker_id,
+                "error": str(error) or repr(error),
+                "error_type": type(error).__name__,
+                "traceback": traceback.format_exc(limit=8),
+            }
+
+    def _handle_ping(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True}
+
+    def _handle_register(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        pipeline, stats = decode_model(message["model_b64"])
+        rebound = 0
+        if self.arena is not None:
+            refs = {
+                checksum: ArenaRef.from_dict(ref)
+                for checksum, ref in (message.get("arena_refs") or {}).items()
+            }
+            self.arena.update_refs(refs)
+            for operator in pipeline.operators():
+                rebound += self.arena.rebind_operator(operator)
+        plan_id = self.runtime.register(
+            pipeline,
+            stats=stats,
+            engine=message.get("engine", "request-response"),
+            plan_id=message.get("plan_id"),
+        )
+        return {
+            "plan_id": plan_id,
+            "rebound_arrays": rebound,
+            "memory_bytes": self.runtime.memory_bytes(),
+        }
+
+    def _handle_unregister(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Drop a plan (used by the cluster to roll back partial registration)."""
+        self.runtime.unregister(message["plan_id"])
+        return {"plan_id": message["plan_id"], "unregistered": True}
+
+    def _handle_predict(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        plan_id = message["plan_id"]
+        records = message["records"]
+        registered = self.runtime.registered(plan_id)
+        if registered.engine == "batch" and len(records) > 1:
+            outputs = self.runtime.predict_batch(
+                plan_id,
+                records,
+                latency_sensitive=bool(message.get("latency_sensitive", False)),
+                timeout=self.config.worker_timeout_seconds,
+            )
+        else:
+            outputs = [self.runtime.predict(plan_id, record) for record in records]
+        self.served_predictions += len(records)
+        # Piggyback the scheduler's queue depth so the router's dispatch
+        # stays queue-depth-aware without extra stats round trips.
+        return {"outputs": outputs, "backlog": self._backlog()}
+
+    def _handle_memory(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Footprint probe: just the number, not the full stats payload."""
+        return {"memory_bytes": self.runtime.memory_bytes()}
+
+    def _handle_stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "stats": self.runtime.stats(),
+            "served_predictions": self.served_predictions,
+            "failed_requests": self.failed_requests,
+            "memory_bytes": self.runtime.memory_bytes(),
+            "arena": self.arena.stats() if self.arena is not None else None,
+        }
+
+    def _handle_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"bye": True}
+
+    def _backlog(self) -> int:
+        return sum(self.runtime.scheduler.queue_depths().values())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self.runtime.shutdown()
+        if self.arena is not None:
+            self.arena.close()
+
+
+def worker_main(
+    worker_id: str,
+    connection: Any,
+    config: PretzelConfig,
+    arena_segment: Optional[str],
+) -> None:
+    """Process entry point: serve the message loop until shutdown/EOF."""
+    worker = ServingWorker(worker_id, config=config, arena_segment=arena_segment)
+    try:
+        while True:
+            try:
+                payload = connection.recv_bytes()
+            except (EOFError, OSError):
+                break  # cluster died or closed the pipe: exit quietly
+            message = deserialize_message(payload)
+            reply = worker.handle(message)
+            try:
+                encoded = serialize_message(reply)
+            except TypeError as error:
+                # A handler produced a non-JSON-able value (e.g. a plan whose
+                # sink emits a custom object); report instead of crashing.
+                worker.failed_requests += 1
+                encoded = serialize_message(
+                    {
+                        "msg_id": message.get("msg_id"),
+                        "ok": False,
+                        "worker_id": worker_id,
+                        "error": f"reply not serializable: {error}",
+                        "error_type": "TypeError",
+                    }
+                )
+            connection.send_bytes(encoded)
+            if message.get("type") == "shutdown":
+                break
+    finally:
+        worker.close()
+        try:
+            connection.close()
+        except OSError:
+            pass

@@ -1,0 +1,43 @@
+"""Round-trip regression tests for the wire framing in ``repro.net``."""
+
+import numpy as np
+import pytest
+
+from repro.net import deserialize_message, serialize_message
+
+
+class TestRoundTrip:
+    def test_json_native_payloads(self):
+        payload = {
+            "plan_id": "sa-0",
+            "records": ["a review", 1, 2.5, True, None],
+            "nested": {"depths": {"low": 0}, "list": [[1], [2, 3]]},
+        }
+        assert deserialize_message(serialize_message(payload)) == payload
+
+    def test_numpy_arrays_and_scalars_round_trip_as_lists(self):
+        payload = {
+            "vector": np.arange(4, dtype=np.float64),
+            "matrix": np.ones((2, 2), dtype=np.int64),
+            "score": np.float64(0.25),
+            "count": np.int64(7),
+        }
+        decoded = deserialize_message(serialize_message(payload))
+        assert decoded == {
+            "vector": [0.0, 1.0, 2.0, 3.0],
+            "matrix": [[1, 1], [1, 1]],
+            "score": 0.25,
+            "count": 7,
+        }
+
+    def test_non_roundtrippable_values_raise_instead_of_stringifying(self):
+        """Regression: ``_default_encoder`` used to fall back to ``str(value)``,
+        silently producing a payload that decoded fine but no longer equalled
+        what was sent."""
+
+        class Opaque:
+            pass
+
+        for bad in (Opaque(), {1, 2}, b"raw-bytes", object()):
+            with pytest.raises(TypeError):
+                serialize_message({"value": bad})

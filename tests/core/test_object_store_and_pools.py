@@ -1,5 +1,7 @@
 """Tests for the Object Store, LRU cache, vector pool and materialization."""
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -56,6 +58,82 @@ class TestObjectStore:
     def test_stats_shape(self):
         stats = ObjectStore().stats()
         assert {"enabled", "unique_operators", "memory_bytes"} <= set(stats)
+
+    def test_hit_miss_counters(self):
+        store = ObjectStore()
+        store.intern_parameter(Parameter("w", np.array([1.0])))
+        store.intern_parameter(Parameter("w", np.array([1.0])))
+        store.intern_parameter(Parameter("w", np.array([2.0])))
+        proto = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4).fit([["a"]])
+        clone = WordNgramFeaturizer(ngram_range=(1, 1), max_features=4, dictionary=proto.dictionary)
+        store.intern_operator(proto)
+        store.intern_operator(clone)
+        stats = store.stats()
+        # 3 intern_parameter calls (miss, hit, miss) plus the first operator
+        # registration interning its own parameters as misses; the clone hits
+        # at operator granularity and never reaches the parameter loop.
+        assert stats["parameter_hits"] == 1
+        assert stats["parameter_misses"] == 2 + len(list(proto.parameters()))
+        assert stats["operator_hits"] == 1 and stats["operator_misses"] == 1
+
+
+class TestObjectStoreConcurrency:
+    def test_concurrent_checksum_identical_registration_dedupes(self):
+        """Two threads racing to register checksum-identical parameters must
+        converge on one stored copy per key with no torn state."""
+        store = ObjectStore()
+        values = {f"p{i}": np.full(64, float(i)) for i in range(8)}
+        n_threads = 4
+        results = [[] for _ in range(n_threads)]
+        barrier = threading.Barrier(n_threads)
+
+        def register(slot):
+            barrier.wait()
+            for _ in range(50):
+                for name, value in values.items():
+                    # A fresh copy per call: same checksum, different object.
+                    results[slot].append(store.intern_parameter(Parameter(name, value.copy())))
+
+        threads = [threading.Thread(target=register, args=(slot,)) for slot in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.unique_parameter_count() == len(values)
+        # Every thread got the same canonical instance for each key.
+        by_key = {}
+        for returned in results:
+            for parameter in returned:
+                canonical = by_key.setdefault(parameter.name, parameter)
+                assert parameter is canonical
+        assert store.memory_bytes() == sum(
+            Parameter(name, value).nbytes for name, value in values.items()
+        )
+        assert store.parameter_hits + store.parameter_misses == n_threads * 50 * len(values)
+        assert store.parameter_misses == len(values)
+
+    def test_concurrent_operator_interning_single_canonical_copy(self):
+        proto = WordNgramFeaturizer(ngram_range=(1, 1), max_features=8).fit([["a", "b", "c"]])
+        store = ObjectStore()
+        n_threads = 4
+        interned = []
+        barrier = threading.Barrier(n_threads)
+
+        def register():
+            barrier.wait()
+            clone = WordNgramFeaturizer(
+                ngram_range=(1, 1), max_features=8, dictionary=proto.dictionary
+            )
+            interned.append(store.intern_operator(clone))
+
+        threads = [threading.Thread(target=register) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.unique_operator_count() == 1
+        assert all(operator is interned[0] for operator in interned)
+        assert store.operator_refcount(proto) == n_threads
 
 
 class TestLruByteCache:

@@ -1,0 +1,200 @@
+"""End-to-end tests for the multi-process PretzelCluster."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import PretzelConfig
+from repro.core.runtime import PretzelRuntime
+from repro.serving import BackpressureError, PretzelCluster, WorkerFailure
+
+
+def _config(**overrides):
+    defaults = dict(
+        num_workers=2,
+        placement_replicas=2,
+        shm_budget_bytes=8 * 1024 * 1024,
+        shm_min_parameter_bytes=1024,
+        worker_timeout_seconds=60.0,
+    )
+    defaults.update(overrides)
+    return PretzelConfig(**defaults)
+
+
+def test_smoke_two_workers_two_plans_hundred_predictions(sa_pipeline, sa_pipeline_variant, sa_inputs):
+    """The CI smoke scenario: a 2-worker cluster, two plans sharing their
+    featurizers, 100 predictions bit-equal to the single-process runtime,
+    and a clean shutdown."""
+    with PretzelRuntime(PretzelConfig()) as runtime, PretzelCluster(_config()) as cluster:
+        reference = {
+            "a": runtime.register(sa_pipeline, plan_id="a"),
+            "b": runtime.register(sa_pipeline_variant, plan_id="b"),
+        }
+        assert cluster.register(sa_pipeline, plan_id="a") == "a"
+        assert cluster.register(sa_pipeline_variant, plan_id="b") == "b"
+        served = 0
+        while served < 100:
+            for plan_id in ("a", "b"):
+                record = sa_inputs[served % len(sa_inputs)]
+                assert cluster.predict(plan_id, record) == pytest.approx(
+                    runtime.predict(reference[plan_id], record)
+                )
+                served += 1
+        stats = cluster.stats()
+        assert stats["served_predictions"] >= 100
+        assert stats["shed"] == 0
+        assert stats["plans"] == 2
+    # Shutdown is clean and idempotent; the facade then refuses to serve.
+    cluster.shutdown()
+    with pytest.raises(RuntimeError):
+        cluster.predict("a", sa_inputs[0])
+
+
+def test_predict_batch_matches_single_process(sa_pipeline, sa_inputs):
+    with PretzelCluster(_config()) as cluster:
+        plan_id = cluster.register(sa_pipeline)
+        outputs = cluster.predict_batch(plan_id, sa_inputs)
+        assert outputs == pytest.approx([sa_pipeline.predict(text) for text in sa_inputs])
+        assert cluster.predict_batch(plan_id, []) == []
+
+
+def test_parameter_sharing_across_workers(sa_pipeline, sa_pipeline_variant):
+    """Both workers host both plans; array parameters land in the arena once
+    and are excluded from every worker's private accounting."""
+    with PretzelCluster(_config()) as cluster:
+        cluster.register(sa_pipeline, plan_id="a")
+        cluster.register(sa_pipeline_variant, plan_id="b")
+        stats = cluster.stats()
+        arena = stats["arena"]
+        assert arena["parameters"] >= 2  # two distinct classifier weight arrays
+        for worker_stats in stats["workers"].values():
+            backing = worker_stats["stats"]["object_store"]["parameter_backing"]
+            assert backing["adopted_parameters"] >= 2
+            assert worker_stats["stats"]["object_store"]["shared_parameter_bytes"] > 0
+        # Cluster accounting counts the shared bytes once, not per worker.
+        assert stats["memory_bytes"] == sum(
+            w["memory_bytes"] for w in stats["workers"].values()
+        ) + arena["used_bytes"]
+        assert cluster.memory_bytes() == stats["memory_bytes"]
+
+
+def test_cluster_without_arena_still_serves(sa_pipeline, sa_inputs):
+    with PretzelCluster(_config(shm_budget_bytes=0)) as cluster:
+        plan_id = cluster.register(sa_pipeline)
+        assert cluster.predict(plan_id, sa_inputs[0]) == pytest.approx(
+            sa_pipeline.predict(sa_inputs[0])
+        )
+        assert cluster.stats()["arena"] is None
+
+
+def test_registration_validation(sa_pipeline):
+    with PretzelCluster(_config()) as cluster:
+        cluster.register(sa_pipeline, plan_id="a")
+        with pytest.raises(ValueError):
+            cluster.register(sa_pipeline, plan_id="a")
+        with pytest.raises(TypeError):
+            cluster.register("not a pipeline")
+        with pytest.raises(KeyError):
+            cluster.predict("unregistered", "text")
+
+
+def test_worker_failure_is_typed_and_non_fatal(sa_pipeline, sa_inputs):
+    from repro.mlnet.pipeline import Pipeline
+    from repro.operators import Tokenizer
+
+    # Structurally broken: two sinks, so worker-side compilation must fail.
+    broken = Pipeline("broken")
+    broken.add("a", Tokenizer(), ["input"])
+    broken.add("b", Tokenizer(), ["input"])
+    with PretzelCluster(_config(shm_budget_bytes=0)) as cluster:
+        plan_id = cluster.register(sa_pipeline)
+        with pytest.raises(WorkerFailure) as excinfo:
+            cluster.register(broken)
+        assert excinfo.value.worker_id in cluster.worker_ids()
+        assert "sink" in str(excinfo.value)
+        # The failed registration is rolled back and the shard keeps serving.
+        assert "broken" not in " ".join(cluster.plan_ids())
+        assert cluster.predict(plan_id, sa_inputs[0]) == pytest.approx(
+            sa_pipeline.predict(sa_inputs[0])
+        )
+        assert cluster.stats()["failed_requests"] >= 1
+
+
+def test_partial_registration_rolls_back_and_id_stays_usable(
+    sa_pipeline, sa_pipeline_variant, sa_inputs
+):
+    """If registration fails on the second placed worker, the first worker is
+    unregistered and the plan id (and its placement) remains reusable."""
+    with PretzelCluster(_config(shm_budget_bytes=0)) as cluster:
+        placed = cluster.router.place("x")
+        assert len(placed) == 2
+        # Occupy the id on the *second* placed worker only, so the cluster's
+        # registration succeeds on the first worker and fails on the second.
+        from repro.serving.worker import encode_model
+
+        cluster._workers[placed[1]].request(
+            {
+                "type": "register",
+                "msg_id": -1,
+                "plan_id": "x",
+                "model_b64": encode_model(sa_pipeline, None),
+            },
+            timeout=60.0,
+        )
+        with pytest.raises(WorkerFailure) as excinfo:
+            cluster.register(sa_pipeline_variant, plan_id="x")
+        assert excinfo.value.worker_id == placed[1]
+        assert "x" not in cluster.plan_ids()
+        # Rollback unregistered the first worker: its runtime hosts no plans.
+        first_stats = cluster.stats()["workers"][placed[0]]["stats"]
+        assert first_stats["plans"] == 0
+        # Clear the injected copy, then the same id registers cleanly.
+        cluster._workers[placed[1]].request(
+            {"type": "unregister", "msg_id": -2, "plan_id": "x"}, timeout=60.0
+        )
+        assert cluster.register(sa_pipeline_variant, plan_id="x") == "x"
+        assert cluster.predict("x", sa_inputs[0]) == pytest.approx(
+            sa_pipeline_variant.predict(sa_inputs[0])
+        )
+
+
+def test_admission_control_sheds_under_overload(sa_pipeline, sa_inputs):
+    """Saturate both workers with long-running batches, then observe a typed
+    shed (and its accounting) instead of unbounded queueing."""
+    config = _config(max_inflight_per_worker=1)
+    with PretzelCluster(config) as cluster:
+        plan_id = cluster.register(sa_pipeline)
+        big_batch = (sa_inputs * 2000)[:8000]
+        workers_busy = threading.Barrier(3)
+        results = []
+
+        def flood():
+            workers_busy.wait()
+            results.append(len(cluster.predict_batch(plan_id, big_batch)))
+
+        threads = [threading.Thread(target=flood) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        workers_busy.wait()
+        # Wait until both in-flight slots are held (the floods are dispatched),
+        # then a third request must be shed deterministically: slots are only
+        # released when a worker finishes its 8000-record batch.
+        deadline = time.time() + 30.0
+        while sum(cluster.router.stats()["inflight"].values()) < 2:
+            assert time.time() < deadline, "floods never became in-flight"
+            time.sleep(0.001)
+        with pytest.raises(BackpressureError) as excinfo:
+            cluster.predict(plan_id, sa_inputs[0])
+        assert excinfo.value.plan_id == plan_id
+        for thread in threads:
+            thread.join()
+        assert results == [8000, 8000]
+        stats = cluster.stats()
+        assert stats["shed"] >= 1
+        assert stats["router"]["shed"] == stats["shed"]
+        # No unbounded queue growth: admission control capped in-flight work.
+        assert all(
+            count <= config.max_inflight_per_worker
+            for count in stats["router"]["inflight"].values()
+        )

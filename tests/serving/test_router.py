@@ -1,0 +1,96 @@
+"""Tests for consistent-hash placement, dispatch and admission control."""
+
+import pytest
+
+from repro.serving.router import BackpressureError, ConsistentHashRing, ShardRouter
+
+
+class TestConsistentHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        nodes = [f"worker-{i}" for i in range(4)]
+        first = ConsistentHashRing(nodes)
+        second = ConsistentHashRing(list(reversed(nodes)))
+        for key in (f"plan-{i}" for i in range(50)):
+            assert first.placement(key, 2) == second.placement(key, 2)
+
+    def test_replicas_are_distinct_and_capped(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        placed = ring.placement("plan", replicas=5)
+        assert len(placed) == 3
+        assert len(set(placed)) == 3
+
+    def test_adding_a_node_moves_a_minority_of_keys(self):
+        keys = [f"plan-{i}" for i in range(200)]
+        before = ConsistentHashRing([f"w{i}" for i in range(4)])
+        after = ConsistentHashRing([f"w{i}" for i in range(5)])
+        moved = sum(
+            1 for key in keys if before.placement(key, 1) != after.placement(key, 1)
+        )
+        # Ideal is 1/5 of the keys; virtual nodes keep it well under half.
+        assert moved < len(keys) // 2
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+
+class TestShardRouter:
+    def _router(self, **overrides):
+        defaults = dict(replicas=2, max_inflight_per_worker=2)
+        defaults.update(overrides)
+        return ShardRouter(["w0", "w1", "w2"], **defaults)
+
+    def test_place_memoizes(self):
+        router = self._router()
+        assert router.place("plan") == router.place("plan")
+        assert router.placements() == {"plan": router.place("plan")}
+
+    def test_acquire_requires_placement(self):
+        with pytest.raises(KeyError):
+            self._router().acquire("never-placed")
+
+    def test_acquire_prefers_least_loaded(self):
+        router = self._router(max_inflight_per_worker=8)
+        placed = router.place("plan")
+        # Two consecutive dispatches spread over both placed workers: after
+        # the first acquire, the other worker is the least loaded.
+        assert {router.acquire("plan"), router.acquire("plan")} == set(placed)
+
+    def test_reported_backlog_steers_dispatch(self):
+        router = self._router(max_inflight_per_worker=8)
+        first_worker, second_worker = router.place("plan")
+        router.release(first_worker, backlog=10)  # deep queue reported
+        assert router.acquire("plan") == second_worker
+
+    def test_release_returns_slot(self):
+        router = self._router(max_inflight_per_worker=1)
+        router.place("plan")
+        worker = router.acquire("plan")
+        router.release(worker)
+        assert router.inflight(worker) == 0
+
+    def test_saturation_sheds_with_typed_error(self):
+        router = self._router(max_inflight_per_worker=1)
+        placed = router.place("plan")
+        for _ in placed:
+            router.acquire("plan")
+        with pytest.raises(BackpressureError) as excinfo:
+            router.acquire("plan")
+        error = excinfo.value
+        assert error.plan_id == "plan"
+        assert set(error.loads) == set(placed)
+        assert error.max_inflight == 1
+        stats = router.stats()
+        assert stats["shed"] == 1
+        assert stats["dispatched"] == len(placed)
+        # Admission control bounds the queue: nothing exceeds the limit.
+        assert all(count <= 1 for count in stats["inflight"].values())
+
+    def test_shed_slot_freed_by_release(self):
+        router = self._router(max_inflight_per_worker=1)
+        placed = router.place("plan")
+        workers = [router.acquire("plan") for _ in placed]
+        with pytest.raises(BackpressureError):
+            router.acquire("plan")
+        router.release(workers[0])
+        assert router.acquire("plan") == workers[0]

@@ -1,0 +1,161 @@
+"""Tests for the shared-memory arena and its worker-side client."""
+
+import numpy as np
+import pytest
+
+from repro.core.object_store import ObjectStore
+from repro.operators.base import Parameter, _checksum_of
+from repro.operators.linear import LinearRegressor
+from repro.serving.shm_store import (
+    ArenaClient,
+    ArenaExhaustedError,
+    ArenaRef,
+    SharedMemoryArena,
+)
+
+
+@pytest.fixture()
+def arena():
+    with SharedMemoryArena(budget_bytes=1024 * 1024) as owned:
+        yield owned
+
+
+def _param(values, name="w"):
+    return Parameter(name, np.asarray(values, dtype=np.float64))
+
+
+class TestSharedMemoryArena:
+    def test_put_and_view_round_trip(self, arena):
+        array = np.arange(32, dtype=np.float64)
+        ref = arena.put_array(_checksum_of(array), array)
+        view = arena.view(ref)
+        np.testing.assert_array_equal(view, array)
+        assert not view.flags.writeable
+
+    def test_checksum_deduplicates(self, arena):
+        array = np.arange(16, dtype=np.float64)
+        checksum = _checksum_of(array)
+        first = arena.put_array(checksum, array)
+        second = arena.put_array(checksum, array.copy())
+        assert first == second
+        assert arena.dedup_hits == 1
+        assert len(arena) == 1
+
+    def test_distinct_contents_get_distinct_slabs(self, arena):
+        a = arena.put_array("a", np.zeros(8))
+        b = arena.put_array("b", np.ones(8))
+        assert a.offset != b.offset
+        assert arena.used_bytes == a.nbytes + b.nbytes
+
+    def test_free_recycles_slab_constant_time(self, arena):
+        first = arena.put_array("a", np.zeros(10))
+        assert arena.free("a")
+        assert not arena.free("a")  # double free is a no-op
+        # The next same-size-class allocation takes the recycled slab instead
+        # of bumping the arena pointer.
+        bump_before = arena.allocated_bytes
+        second = arena.put_array("b", np.ones(10))
+        assert second.offset == first.offset
+        assert arena.allocated_bytes == bump_before
+
+    def test_budget_exhaustion_is_typed(self):
+        with SharedMemoryArena(budget_bytes=4096) as tiny:
+            tiny.put_array("a", np.zeros(256))  # 2048B slab
+            with pytest.raises(ArenaExhaustedError):
+                tiny.put_array("b", np.zeros(1024))  # needs 8192B
+
+    def test_rejects_object_arrays(self, arena):
+        with pytest.raises(TypeError):
+            arena.put_array("bad", np.array([object()], dtype=object))
+
+    def test_non_contiguous_input_is_stored_contiguously(self, arena):
+        strided = np.arange(64, dtype=np.float64)[::2]
+        ref = arena.put_array("s", strided)
+        np.testing.assert_array_equal(arena.view(ref), strided)
+
+    def test_stats_shape(self, arena):
+        arena.put_array("a", np.zeros(8))
+        stats = arena.stats()
+        assert stats["parameters"] == 1
+        assert stats["used_bytes"] == 64
+        assert {"segment", "budget_bytes", "allocated_bytes", "dedup_hits"} <= set(stats)
+
+    def test_ref_dict_round_trip(self):
+        ref = ArenaRef(segment="seg", offset=128, nbytes=64, dtype="float64", shape=(4, 2))
+        assert ArenaRef.from_dict(ref.to_dict()) == ref
+
+
+class TestArenaClient:
+    def test_adopt_rebinds_to_shared_view(self, arena):
+        parameter = _param(np.arange(24))
+        ref = arena.put_array(parameter.checksum, parameter.value)
+        client = ArenaClient(arena.name)
+        try:
+            client.update_refs({parameter.checksum: ref})
+            adopted = client.adopt(parameter)
+            assert adopted is not parameter
+            np.testing.assert_array_equal(adopted.value, parameter.value)
+            assert not adopted.value.flags.writeable
+            assert adopted.checksum == parameter.checksum
+            assert adopted.nbytes == parameter.nbytes
+            assert client.adopted_parameters == 1
+            assert client.is_shared(parameter)
+        finally:
+            client.close()
+
+    def test_unknown_or_unshareable_parameters_stay_private(self, arena):
+        client = ArenaClient(arena.name)
+        try:
+            unknown = _param(np.arange(8))
+            assert client.adopt(unknown) is unknown
+            vocabulary = Parameter("vocab", {"a": 0, "b": 1})
+            assert client.adopt(vocabulary) is vocabulary
+            assert not client.is_shared(vocabulary)
+        finally:
+            client.close()
+
+    def test_rebind_operator_swaps_weight_arrays(self, arena):
+        operator = LinearRegressor(weights=np.arange(32, dtype=np.float64), bias=0.5)
+        ref = arena.put_array(_checksum_of(operator.weights), operator.weights)
+        client = ArenaClient(arena.name)
+        try:
+            client.update_refs({_checksum_of(operator.weights): ref})
+            swapped = client.rebind_operator(operator)
+            assert swapped == 1
+            assert not operator.weights.flags.writeable
+            np.testing.assert_array_equal(operator.weights, np.arange(32, dtype=np.float64))
+            # The swapped array really is a view of the shared segment, and a
+            # second pass recognizes it instead of double counting.
+            assert client._is_arena_view(operator.weights)
+            assert client.rebind_operator(operator) == 1  # idempotent swap
+        finally:
+            client.close()
+
+
+class TestObjectStoreWithBacking:
+    def test_adopted_parameters_accounted_as_shared(self, arena):
+        parameter = _param(np.arange(128))
+        ref = arena.put_array(parameter.checksum, parameter.value)
+        client = ArenaClient(arena.name)
+        try:
+            client.update_refs({parameter.checksum: ref})
+            store = ObjectStore(parameter_backing=client)
+            stored = store.intern_parameter(parameter)
+            assert not stored.value.flags.writeable  # rebound to the arena view
+            assert store.memory_bytes() == 0  # bytes live in the arena
+            assert store.shared_parameter_bytes() == parameter.nbytes
+            stats = store.stats()
+            assert stats["shared_parameter_bytes"] == parameter.nbytes
+            assert stats["parameter_backing"]["adopted_parameters"] == 1
+        finally:
+            client.close()
+
+    def test_private_parameters_still_owned(self, arena):
+        client = ArenaClient(arena.name)
+        try:
+            store = ObjectStore(parameter_backing=client)
+            parameter = store.intern_parameter(_param(np.arange(16)))
+            assert store.memory_bytes() == parameter.nbytes
+            assert store.shared_parameter_bytes() == 0
+        finally:
+            client.close()

@@ -1,0 +1,171 @@
+"""Tests for the serving worker's message handlers, driven in process."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PretzelConfig
+from repro.net import deserialize_message, serialize_message
+from repro.serving.shm_store import SharedMemoryArena
+from repro.serving.worker import ServingWorker, decode_model, encode_model
+
+
+@pytest.fixture()
+def worker():
+    served = ServingWorker("worker-test", config=PretzelConfig())
+    yield served
+    served.close()
+
+
+def _wire(message):
+    """Run a message through the real wire framing both ways."""
+    return deserialize_message(serialize_message(message))
+
+
+class TestHandlers:
+    def test_ping(self, worker):
+        reply = worker.handle(_wire({"type": "ping", "msg_id": 1}))
+        assert reply == {"pong": True, "msg_id": 1, "ok": True, "worker_id": "worker-test"}
+
+    def test_register_then_predict(self, worker, sa_pipeline, sa_inputs):
+        reply = worker.handle(
+            {
+                "type": "register",
+                "msg_id": 2,
+                "plan_id": "sa",
+                "model_b64": encode_model(sa_pipeline, None),
+            }
+        )
+        assert reply["ok"] and reply["plan_id"] == "sa"
+        assert reply["memory_bytes"] > 0
+        predict = worker.handle(
+            _wire({"type": "predict", "msg_id": 3, "plan_id": "sa", "records": sa_inputs[:3]})
+        )
+        assert predict["ok"]
+        assert len(predict["outputs"]) == 3
+        assert predict["backlog"] == 0
+        expected = [sa_pipeline.predict(text) for text in sa_inputs[:3]]
+        assert predict["outputs"] == pytest.approx(expected)
+        assert worker.served_predictions == 3
+
+    def test_unregister_then_predict_fails(self, worker, sa_pipeline, sa_inputs):
+        worker.handle(
+            {
+                "type": "register",
+                "msg_id": 10,
+                "plan_id": "sa",
+                "model_b64": encode_model(sa_pipeline, None),
+            }
+        )
+        reply = worker.handle({"type": "unregister", "msg_id": 11, "plan_id": "sa"})
+        assert reply["ok"] and reply["unregistered"]
+        predict = worker.handle(
+            {"type": "predict", "msg_id": 12, "plan_id": "sa", "records": sa_inputs[:1]}
+        )
+        assert predict["ok"] is False and predict["error_type"] == "KeyError"
+
+    def test_memory_probe(self, worker):
+        reply = worker.handle({"type": "memory", "msg_id": 13})
+        assert reply["ok"] and reply["memory_bytes"] > 0
+
+    def test_unknown_message_type_is_reported_not_raised(self, worker):
+        reply = worker.handle({"type": "explode", "msg_id": 4})
+        assert reply["ok"] is False
+        assert reply["error_type"] == "ValueError"
+        assert "explode" in reply["error"]
+        assert worker.failed_requests == 1
+
+    def test_predict_unregistered_plan_reports_keyerror(self, worker):
+        reply = worker.handle({"type": "predict", "msg_id": 5, "plan_id": "nope", "records": [1]})
+        assert reply["ok"] is False
+        assert reply["error_type"] == "KeyError"
+
+    def test_stats_carry_object_store_counters(self, worker, sa_pipeline):
+        worker.handle(
+            {
+                "type": "register",
+                "msg_id": 6,
+                "plan_id": "sa",
+                "model_b64": encode_model(sa_pipeline, None),
+            }
+        )
+        reply = worker.handle(_wire({"type": "stats", "msg_id": 7}))
+        assert reply["ok"]
+        object_store = reply["stats"]["object_store"]
+        for key in (
+            "parameter_hits",
+            "parameter_misses",
+            "operator_hits",
+            "operator_misses",
+            "materialization_evictions",
+        ):
+            assert key in object_store
+        assert reply["arena"] is None
+
+    def test_model_codec_round_trip(self, sa_pipeline, sa_inputs):
+        pipeline, stats = decode_model(encode_model(sa_pipeline, {"k": None}))
+        assert stats == {"k": None}
+        assert pipeline.predict(sa_inputs[0]) == pytest.approx(sa_pipeline.predict(sa_inputs[0]))
+
+
+def _compiled_array_refs(pipeline, arena, min_bytes=1024):
+    """Mirror the cluster's harvest: post-compilation array parameters.
+
+    Oven's rewrites (linear push-through) replace the raw model weights with
+    new arrays, so only post-compile checksums match what a worker's Object
+    Store interns.
+    """
+    from repro.core.flour import FlourContext, flour_from_pipeline
+    from repro.core.object_store import ObjectStore
+    from repro.core.oven.compiler import ModelPlanCompiler
+    from repro.core.oven.optimizer import OvenOptimizer
+
+    store = ObjectStore(enabled=True)
+    program = flour_from_pipeline(pipeline, context=FlourContext(object_store=store))
+    ModelPlanCompiler(object_store=store).compile(
+        OvenOptimizer().optimize(program.to_transform_graph())
+    )
+    refs = {}
+    for parameter in store.parameters():
+        if (
+            isinstance(parameter.value, np.ndarray)
+            and not parameter.value.dtype.hasobject
+            and parameter.nbytes >= min_bytes
+        ):
+            refs[parameter.checksum] = arena.put_array(parameter.checksum, parameter.value).to_dict()
+    return refs
+
+
+class TestArenaBackedWorker:
+    def test_register_adopts_shared_arrays(self, sa_pipeline, sa_inputs):
+        with SharedMemoryArena(budget_bytes=4 * 1024 * 1024) as arena:
+            refs = _compiled_array_refs(sa_pipeline, arena)
+            assert refs  # the split linear weights are big enough to share
+            worker = ServingWorker("worker-arena", arena_segment=arena.name)
+            try:
+                reply = worker.handle(
+                    {
+                        "type": "register",
+                        "msg_id": 1,
+                        "plan_id": "sa",
+                        "model_b64": encode_model(sa_pipeline, None),
+                        "arena_refs": refs,
+                    }
+                )
+                assert reply["ok"]
+                # Predictions through the shared views match the private model.
+                predict = worker.handle(
+                    {"type": "predict", "msg_id": 2, "plan_id": "sa", "records": sa_inputs[:2]}
+                )
+                expected = [sa_pipeline.predict(text) for text in sa_inputs[:2]]
+                assert predict["outputs"] == pytest.approx(expected)
+                stats = worker.handle({"type": "stats", "msg_id": 3})
+                # The canonical operators were rebound onto arena views when
+                # the store interned them (adopt_operator), and the adopted
+                # parameters moved out of the worker's private accounting.
+                assert stats["arena"]["rebound_arrays"] >= 1
+                object_store = stats["stats"]["object_store"]
+                assert object_store["parameter_backing"]["adopted_parameters"] >= 1
+                assert object_store["shared_parameter_bytes"] > 0
+                assert np.isfinite(stats["memory_bytes"])
+            finally:
+                worker.close()
