@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import platform
 
 import pytest
 
@@ -31,11 +32,35 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.figure)
 
 
+def _environment() -> str:
+    """One-line provenance for result files: numbers are host-specific."""
+    cpu = ""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    parts = [
+        platform.platform(),
+        f"python {platform.python_version()}",
+        f"{os.cpu_count()} cpu(s)",
+    ]
+    if cpu:
+        parts.append(cpu)
+    return ", ".join(parts)
+
+
+ENVIRONMENT = _environment()
+
+
 def write_report(name: str, text: str) -> None:
     """Persist a figure report so it survives pytest output capture."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
-        handle.write(text + "\n")
+        handle.write(text + f"\nenvironment: {ENVIRONMENT}\n")
     print("\n" + text)
 
 

@@ -3,6 +3,8 @@
 import threading
 import time
 
+import numpy as np
+
 from conftest import write_report
 from repro.core.config import PretzelConfig
 from repro.core.runtime import PretzelRuntime
@@ -17,6 +19,19 @@ LOADS = [50, 100, 200, 300, 400, 500]
 #: coalescing (and adaptive sizing) columns have something to batch
 OVERLOAD_LOADS = [1000, 2000]
 N_CORES = 13
+ZIPF_ALPHA = 2.0
+#: one seed for every Zipf draw in this file: the capacity estimate must
+#: sample the same rank shuffle (same hot head model) as the load rows
+ZIPF_SEED = 3
+
+
+def _mix_population(models):
+    """The Section 5.4.1 model mix: first half latency-sensitive at batch 1,
+    second half at batch 100.  Single source of truth for both the load rows
+    and the capacity estimate, so they cannot drift apart."""
+    latency_sensitive = {model: index < len(models) // 2 for index, model in enumerate(models)}
+    batch_sizes = {model: 1 if latency_sensitive[model] else 100 for model in models}
+    return latency_sensitive, batch_sizes
 
 
 def _calibrated_models(sa_family, ac_family, sa_inputs, ac_inputs, per_family=12):
@@ -38,19 +53,16 @@ def _heavy_load_rows(
     stage_times,
     reservations=None,
     duration=2.0,
-    seed=3,
+    seed=ZIPF_SEED,
     max_stage_batch=None,
     stage_batch_policy="fixed",
     loads=LOADS,
 ):
     models = list(stage_times)
-    # Half of the models are latency-sensitive (batch of 1); the rest receive
-    # batches of 100 records, as in Section 5.4.1.
-    latency_sensitive = {model: index < len(models) // 2 for index, model in enumerate(models)}
-    batch_sizes = {model: 1 if latency_sensitive[model] else 100 for model in models}
+    latency_sensitive, batch_sizes = _mix_population(models)
     rows = []
     for load in loads:
-        sequence = zipf_request_sequence(models, int(load * duration), alpha=2.0, seed=seed)
+        sequence = zipf_request_sequence(models, int(load * duration), alpha=ZIPF_ALPHA, seed=seed)
         arrivals = ArrivalProcess.from_model_sequence(
             sequence, requests_per_second=load, batch_sizes=batch_sizes,
             latency_sensitive=latency_sensitive,
@@ -215,20 +227,50 @@ def test_fig13_cluster_overload(sa_family, sa_inputs):
     )
 
 
+def _zipf_mix_stats(stage_times, n=2000, seed=ZIPF_SEED):
+    """Mean service seconds and records per request of the heavy-load mix.
+
+    Uses the same `_mix_population` and Zipf parameters as `_heavy_load_rows`
+    so load points can be expressed relative to the host's calibrated
+    capacity instead of as absolute rates that silently leave the overload
+    regime when the host gets faster.
+    """
+    models = list(stage_times)
+    _, batch_sizes = _mix_population(models)
+    sequence = zipf_request_sequence(models, n, alpha=ZIPF_ALPHA, seed=seed)
+    mean_service = float(np.mean([sum(stage_times[m]) * batch_sizes[m] for m in sequence]))
+    mean_records = float(np.mean([batch_sizes[m] for m in sequence]))
+    return mean_service, mean_records
+
+
 def test_reservation_scheduling_keeps_latency_flat(benchmark, sa_family, ac_family, sa_inputs, ac_inputs):
-    """Section 5.4.1: reserving a core for one pipeline shields it from load."""
+    """Section 5.4.1: reserving a core for one pipeline shields it from load.
+
+    The paper evaluates reservation at the *highest load point*, i.e. past
+    saturation, where the shared configuration's queues have backed up.  The
+    ablation load is therefore calibrated to ~2x the estimated capacity of
+    the 13 simulated cores under this host's measured stage times, and the
+    test asserts the shared configuration is actually saturated there before
+    trusting the comparison.
+    """
     stage_times = _calibrated_models(sa_family, ac_family, sa_inputs, ac_inputs)
     reserved_model = list(stage_times)[0]
+    mean_service, mean_records = _zipf_mix_stats(stage_times)
+    capacity_rps = N_CORES / mean_service
+    ablation_loads = [0.5 * capacity_rps, 2.0 * capacity_rps]
 
     def run():
-        shared = _heavy_load_rows(stage_times)
-        reserved = _heavy_load_rows(stage_times, reservations={reserved_model: 0})
+        shared = _heavy_load_rows(stage_times, loads=ablation_loads)
+        reserved = _heavy_load_rows(
+            stage_times, reservations={reserved_model: 0}, loads=ablation_loads
+        )
         return shared, reserved
 
     shared, reserved = benchmark.pedantic(run, iterations=1, rounds=1)
     report = ExperimentReport(
         "Section 5.4.1 (reservation)",
-        "Latency-sensitive latency with and without a reserved core, highest load point.",
+        "Latency-sensitive latency with and without a reserved core, highest load point "
+        "(calibrated to ~2x the shared configuration's capacity: true overload).",
     )
     report.add_row(
         config="shared", mean_latency_ms=shared[-1]["mean_latency_sensitive_ms"],
@@ -238,6 +280,22 @@ def test_reservation_scheduling_keeps_latency_flat(benchmark, sa_family, ac_fami
         config="reserved", mean_latency_ms=reserved[-1]["mean_latency_sensitive_ms"],
         throughput_kqps=reserved[-1]["throughput_kqps"],
     )
+    report.add_note(
+        f"estimated shared capacity {capacity_rps:.0f} rps ({N_CORES} cores); "
+        f"ablation load {ablation_loads[-1]:.0f} rps (~2x capacity)"
+    )
+    # Saturation premise of Section 5.4.1, checked *before* the report is
+    # written so an invalid (non-overloaded) run cannot persist an artifact
+    # labeled as overload: at the ablation point the shared config must
+    # actually be overloaded -- served records strictly below offered, and
+    # queueing delay (not service time) dominating the latency-sensitive
+    # mean relative to the uncongested 0.5x point.
+    offered_kqps = ablation_loads[-1] * mean_records / 1e3
+    assert shared[-1]["throughput_kqps"] < 0.9 * offered_kqps
+    assert shared[-1]["mean_latency_sensitive_ms"] > 10 * shared[0]["mean_latency_sensitive_ms"]
     write_report("ablation_reservation", report.render())
+    # The Section 5.4.1 conclusion itself: under overload, reserving a core
+    # lowers the latency-sensitive mean (observed ~1.2-1.3x across hosts).
+    assert reserved[-1]["mean_latency_sensitive_ms"] < shared[-1]["mean_latency_sensitive_ms"]
     # Reservation must not collapse total throughput.
     assert reserved[-1]["throughput_kqps"] > 0.6 * shared[-1]["throughput_kqps"]

@@ -59,17 +59,20 @@ class LatencyRecorder:
         return summarize_latencies(self.samples.get(group, []))
 
     def cdf(self, group: str = "default", points: int = 100) -> List[Tuple[float, float]]:
-        """(latency, cumulative fraction) pairs for CDF plots."""
-        data = sorted(self.samples.get(group, []))
+        """(latency, cumulative fraction) pairs for CDF plots.
+
+        Quantiles interpolate exactly like :func:`summarize_latencies`
+        (``np.percentile``'s linear method), so a report's headline p99 and
+        its CDF checkpoint agree -- nearest-order-statistic sampling diverges
+        visibly at the tail when the extreme samples are far apart.
+        """
+        data = self.samples.get(group, [])
         if not data:
             return []
-        result: List[Tuple[float, float]] = []
-        n = len(data)
-        for index in range(points + 1):
-            fraction = index / points
-            position = min(n - 1, int(round(fraction * (n - 1))))
-            result.append((data[position], fraction))
-        return result
+        array = np.asarray(data, dtype=np.float64)
+        fractions = [index / points for index in range(points + 1)]
+        quantiles = np.quantile(array, fractions)
+        return [(float(value), fraction) for value, fraction in zip(quantiles, fractions)]
 
     def percentile(self, q: float, group: str = "default") -> float:
         return percentile(self.samples.get(group, []), q)
