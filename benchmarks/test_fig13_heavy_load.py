@@ -299,3 +299,110 @@ def test_reservation_scheduling_keeps_latency_flat(benchmark, sa_family, ac_fami
     assert reserved[-1]["mean_latency_sensitive_ms"] < shared[-1]["mean_latency_sensitive_ms"]
     # Reservation must not collapse total throughput.
     assert reserved[-1]["throughput_kqps"] > 0.6 * shared[-1]["throughput_kqps"]
+
+
+# -- cluster series: zero lost requests under an induced worker kill -----------
+
+FAILOVER_CLIENTS = 4
+FAILOVER_BATCHES_PER_CLIENT = 15
+FAILOVER_BATCH = 100
+#: batch index the clients line up on before the worker is killed, so the
+#: kill lands mid-stream for every client rather than before/after traffic
+FAILOVER_KILL_AFTER = 3
+
+
+def test_fig13_cluster_failover_zero_lost(sa_family, sa_inputs):
+    """Fig13-style heavy load with an induced worker kill: a 2-worker
+    SocketTransport cluster serves 4 concurrent clients; one worker is killed
+    mid-stream.  Every request must complete (typed retryable
+    ``WorkerFailedError`` + client retry -- zero lost requests), with values
+    bit-equal to the pre-kill oracle, and the fail-over must be counted in
+    ``stats()["control_plane"]``."""
+    from repro.serving import WorkerFailedError
+
+    config = PretzelConfig(
+        num_workers=2,
+        placement_replicas=2,
+        transport="socket",
+        heartbeat_interval_seconds=0.2,
+        shm_min_parameter_bytes=1024,
+        worker_timeout_seconds=60.0,
+    )
+    generated = sa_family.pipelines[0]
+    batch = (sa_inputs * (FAILOVER_BATCH // len(sa_inputs) + 1))[:FAILOVER_BATCH]
+    completed = [0] * FAILOVER_CLIENTS
+    retries = [0] * FAILOVER_CLIENTS
+    mismatches = [0] * FAILOVER_CLIENTS
+    kill_gate = threading.Barrier(FAILOVER_CLIENTS + 1)
+    with PretzelCluster(config) as cluster:
+        plan_id = cluster.register(generated.pipeline, stats=generated.stats)
+        expected = cluster.predict_batch(plan_id, batch)  # warm both workers
+
+        def client(slot):
+            for index in range(FAILOVER_BATCHES_PER_CLIENT):
+                if index == FAILOVER_KILL_AFTER:
+                    kill_gate.wait()
+                deadline = time.time() + 120.0
+                while True:
+                    try:
+                        outputs = cluster.predict_batch(plan_id, batch)
+                        break
+                    except (WorkerFailedError, BackpressureError) as error:
+                        assert error.retryable is True
+                        retries[slot] += 1
+                        assert time.time() < deadline, "retry never succeeded"
+                        time.sleep(0.002)
+                if not np.allclose(outputs, expected):
+                    mismatches[slot] += 1
+                completed[slot] += 1
+
+        threads = [
+            threading.Thread(target=client, args=(slot,)) for slot in range(FAILOVER_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        kill_gate.wait()
+        victim = cluster.placement(plan_id)[0]
+        cluster._workers[victim].process.kill()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        assert all(not thread.is_alive() for thread in threads)
+        stats = cluster.stats()
+
+    control = stats["control_plane"]
+    report = ExperimentReport(
+        "Figure 13 (cluster fail-over)",
+        f"2-worker socket cluster, {FAILOVER_CLIENTS} clients x "
+        f"{FAILOVER_BATCHES_PER_CLIENT} batches of {FAILOVER_BATCH}; one worker "
+        f"killed after every client completed {FAILOVER_KILL_AFTER} batches.",
+    )
+    report.rows = [
+        {
+            "client": slot,
+            "completed_batches": completed[slot],
+            "retried_errors": retries[slot],
+            "value_mismatches": mismatches[slot],
+        }
+        for slot in range(FAILOVER_CLIENTS)
+    ]
+    report.add_note(
+        f"failovers={control['failovers']} plans_failed_over={control['plans_failed_over']} "
+        f"dead={control['dead_workers']} served={stats['served_predictions']} records "
+        f"on survivors; transport={control['transport']}"
+    )
+    write_report("fig13_cluster_failover", report.render())
+
+    # Zero lost requests: every client completed every batch, bit-equal.
+    offered = FAILOVER_CLIENTS * FAILOVER_BATCHES_PER_CLIENT
+    assert sum(completed) == offered
+    assert sum(mismatches) == 0
+    # The kill really happened mid-stream and was adjudicated exactly once.
+    assert control["failovers"] == 1
+    assert victim in control["dead_workers"]
+    # The clients saw the typed retryable error (the kill was not a no-op).
+    assert sum(retries) >= 1
+    # The survivor absorbed the whole tail: its served count covers at least
+    # the post-kill batches of every client.
+    assert stats["served_predictions"] >= (
+        FAILOVER_CLIENTS * (FAILOVER_BATCHES_PER_CLIENT - FAILOVER_KILL_AFTER) * FAILOVER_BATCH
+    )

@@ -76,6 +76,17 @@ def main() -> None:
         name = family.pipelines[0].name
         print(f"  placement of {name!r}: {cluster.placement(cluster_ids[name])}")
 
+        # Plans can also be retired: unregister tears the plan down on every
+        # hosting worker and gives its exclusively-referenced arena slabs back
+        # to the allocator (see examples/failover_demo.py for the control
+        # plane's fail-over side).
+        before = cluster.memory_bytes()
+        cluster.unregister(cluster_ids[name])
+        arena = cluster.stats()["arena"]
+        print(f"\nAfter unregistering {name!r}:")
+        print(f"  memory {format_bytes(before)} -> {format_bytes(cluster.memory_bytes())}, "
+              f"{arena['free_slabs']} slab(s) back on the arena free lists")
+
 
 if __name__ == "__main__":
     main()

@@ -82,7 +82,32 @@ class PretzelConfig:
     worker_timeout_seconds:
         Upper bound on any single cluster <-> worker round trip (register,
         predict chunk, stats, shutdown); a worker that stays silent longer is
-        treated as failed so callers never hang on a stuck process.
+        treated as failed so callers never hang on a stuck process.  The
+        control plane also uses it as the death deadline: a worker silent
+        past this long (despite pings) is declared dead and failed over.
+    transport:
+        Byte transport between the cluster and its workers: ``"pipe"`` (a
+        ``multiprocessing`` duplex pipe, single-host, byte-identical to the
+        pre-control-plane tier) or ``"socket"`` (length-prefixed
+        ``net.serialize_message`` frames over localhost TCP -- the same wire
+        a remote ``python -m repro.serving.worker --listen`` worker speaks).
+    heartbeat_interval_seconds:
+        Control-plane heartbeat cadence.  Every worker reply piggybacks as a
+        heartbeat; only workers idle longer than this receive an explicit
+        ping.  Also the TTL after which the router ages out a worker's
+        reported backlog (an idle worker is not shunned on stale depth).
+    failover_policy:
+        ``"re-register"`` (on worker death, evict it from all placements and
+        re-register its plans onto survivors through the normal registration
+        path) or ``"evict-only"`` (drop the dead worker from placements but
+        do not re-home plans; surviving replicas keep serving).
+    arena_eviction_policy:
+        What to do when the shared-memory arena cannot fit a registration:
+        ``"traffic-ema"`` evicts the coldest plan's exclusively-referenced
+        slabs (victims picked by per-plan request-rate EMA, Ariadne-style;
+        the victim's workers privatize those parameters first, so it keeps
+        serving) or ``"none"`` (the new plan's overflowing parameters simply
+        stay private, the pre-control-plane behaviour).
     """
 
     enable_object_store: bool = True
@@ -104,6 +129,10 @@ class PretzelConfig:
     placement_replicas: int = 2
     mp_start_method: Optional[str] = None
     worker_timeout_seconds: float = 60.0
+    transport: str = "pipe"
+    heartbeat_interval_seconds: float = 5.0
+    failover_policy: str = "re-register"
+    arena_eviction_policy: str = "traffic-ema"
 
     def clone(self, **overrides: object) -> "PretzelConfig":
         """Copy the config with some fields replaced (used by ablation benches)."""

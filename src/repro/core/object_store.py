@@ -139,6 +139,7 @@ class ObjectStore:
         self.enabled = enabled
         self.parameter_backing = parameter_backing
         self._parameters: Dict[str, Parameter] = {}
+        self._parameter_refcount: Dict[str, int] = {}
         self._operators: Dict[str, Operator] = {}
         self._operator_refcount: Dict[str, int] = {}
         self._lock = threading.Lock()
@@ -159,6 +160,7 @@ class ObjectStore:
             existing = self._parameters.get(key)
             if existing is not None:
                 self.parameter_hits += 1
+                self._parameter_refcount[key] += 1
                 return existing
             self.parameter_misses += 1
             return self._store_parameter(key, parameter)
@@ -168,6 +170,7 @@ class ObjectStore:
         if self.parameter_backing is not None:
             parameter = self.parameter_backing.adopt(parameter)
         self._parameters[key] = parameter
+        self._parameter_refcount[key] = 1
         return parameter
 
     def has_parameter(self, parameter: Parameter) -> bool:
@@ -204,7 +207,48 @@ class ObjectStore:
                     self._store_parameter(key, parameter)
                 else:
                     self.parameter_hits += 1
+                    self._parameter_refcount[key] += 1
             return operator
+
+    def release_operator(self, operator: Operator) -> bool:
+        """Undo one :meth:`intern_operator` registration of this operator.
+
+        Decrements the operator's reference count; when the last plan
+        referencing this trained state releases it, the canonical instance is
+        dropped and each of its parameters loses one reference (a parameter
+        disappears only when *its* count reaches zero -- it may be shared by
+        other operators or direct :meth:`intern_parameter` callers).  Dropping
+        the canonical instance releases the store's hold on any externally
+        backed (arena-adopted) views, which is what lets the serving tier's
+        plan teardown honor the arena's slab liveness contract.
+
+        Returns True when the canonical operator was actually removed.
+        """
+        if not self.enabled:
+            return False
+        signature = operator.signature()
+        with self._lock:
+            count = self._operator_refcount.get(signature)
+            if count is None:
+                return False
+            if count > 1:
+                self._operator_refcount[signature] = count - 1
+                return False
+            del self._operator_refcount[signature]
+            stored = self._operators.pop(signature)
+            for parameter in stored.parameters():
+                self._release_parameter_locked(f"{parameter.name}:{parameter.checksum}")
+            return True
+
+    def _release_parameter_locked(self, key: str) -> None:
+        count = self._parameter_refcount.get(key)
+        if count is None:
+            return
+        if count > 1:
+            self._parameter_refcount[key] = count - 1
+            return
+        del self._parameter_refcount[key]
+        self._parameters.pop(key, None)
 
     def operator_refcount(self, operator: Operator) -> int:
         """How many plans registered an operator with this trained state."""
@@ -222,6 +266,33 @@ class ObjectStore:
         """Snapshot of every stored parameter (post plan-compilation state)."""
         with self._lock:
             return list(self._parameters.values())
+
+    def operators(self) -> List[Operator]:
+        """Snapshot of every canonical (executing) operator instance."""
+        with self._lock:
+            return list(self._operators.values())
+
+    def replace_parameter_value(self, checksum: str, value: Any) -> int:
+        """Rebind every stored parameter with this checksum onto ``value``.
+
+        Used when a shared slab is reclaimed under a still-registered plan
+        (arena budget-pressure eviction): the worker privatizes the bytes
+        and the store must stop holding the about-to-be-recycled view.
+        Returns how many stored parameters were rebound.
+        """
+        swapped = 0
+        with self._lock:
+            for key, parameter in list(self._parameters.items()):
+                if parameter.checksum != checksum:
+                    continue
+                clone = Parameter.__new__(Parameter)
+                clone.name = parameter.name
+                clone.value = value
+                clone.checksum = parameter.checksum
+                clone.nbytes = parameter.nbytes
+                self._parameters[key] = clone
+                swapped += 1
+        return swapped
 
     def _is_shared(self, parameter: Parameter) -> bool:
         backing = self.parameter_backing

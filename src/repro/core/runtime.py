@@ -168,16 +168,37 @@ class PretzelRuntime:
         return executor_id
 
     def unregister(self, plan_id: str) -> None:
+        """Tear a plan down: catalog, stage counts and Object Store holds.
+
+        Mirrors registration exactly: the plan's executor reservation (if
+        any) is released back to the shared pool, every stage signature
+        loses one plan (the shared physical stage is dropped from the
+        compiler's catalog when the last plan using it goes), and every
+        operator occurrence is released back to the Object Store -- canonical operators and their
+        parameters disappear once no registered plan references them, so the
+        runtime's footprint (and any externally backed parameter views, e.g.
+        shared-memory arena slabs) are actually let go, not merely hidden.
+        Unknown plan ids are a no-op, matching the previous behaviour.
+        """
         with self._lock:
             registered = self._plans.pop(plan_id, None)
             if registered is None:
                 return
+            if registered.reserved_executor is not None:
+                # Give the dedicated executor back to the shared pool (its
+                # private queue is drained into the shared queues first).
+                self.scheduler.unreserve(plan_id)
             for stage in registered.plan.stages:
                 signature = stage.physical.full_signature
                 if signature in self._stage_plan_count:
                     self._stage_plan_count[signature] -= 1
                     if self._stage_plan_count[signature] <= 0:
                         del self._stage_plan_count[signature]
+                        self.compiler.stage_catalog.pop(signature, None)
+                # One release per operator occurrence: registration interned
+                # each stage-graph node once, shared stages included.
+                for operator in stage.physical.operators:
+                    self.object_store.release_operator(operator)
 
     # -- lookups -----------------------------------------------------------------
 

@@ -294,6 +294,31 @@ class Scheduler:
             self._reservations[plan_id] = executor_id
             self._reserved_queues.setdefault(executor_id, ReadyQueue())
 
+    def unreserve(self, plan_id: str) -> bool:
+        """Release a plan's reservation (plan teardown).
+
+        The executor returns to the shared pool once no other plan reserves
+        it; events still sitting in its private queue are re-routed through
+        the normal enqueue path (they belong to plans that are being torn
+        down or that shared the reservation) so nothing is stranded in a
+        queue no executor will ever drain again.
+        """
+        with self._condition:
+            executor_id = self._reservations.pop(plan_id, None)
+            if executor_id is None:
+                return False
+            if executor_id in self._reservations.values():
+                return True  # another plan still holds this executor
+            queue = self._reserved_queues.pop(executor_id, None)
+            while queue is not None:
+                event = queue.popleft()
+                if event is None:
+                    break
+                self.scheduled_events -= 1  # _enqueue re-counts it
+                self._enqueue(event)
+            self._condition.notify_all()
+            return True
+
     def reservation_for(self, plan_id: str) -> Optional[int]:
         return self._reservations.get(plan_id)
 

@@ -13,10 +13,34 @@ of the end-to-end numbers is preserved.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass
 from typing import Any, Tuple
 
-__all__ = ["NetworkModel", "serialize_message", "deserialize_message"]
+__all__ = [
+    "NetworkModel",
+    "serialize_message",
+    "deserialize_message",
+    "frame_payload",
+    "frame_length",
+    "parse_host_port",
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+]
+
+
+def parse_host_port(address: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` address (the --listen / attach wire syntax).
+
+    One parser for both sides of the socket transport (the worker CLI's
+    ``--listen`` argument and ``PretzelCluster(attach=...)``) so address
+    quirks cannot drift between them.  Raises ``ValueError`` on anything
+    that is not ``host:port`` with a numeric port.
+    """
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"address {address!r} is not HOST:PORT")
+    return host, int(port)
 
 
 def serialize_message(payload: Any) -> bytes:
@@ -27,6 +51,35 @@ def serialize_message(payload: Any) -> bytes:
 def deserialize_message(data: bytes) -> Any:
     """Decode a payload previously produced by :func:`serialize_message`."""
     return json.loads(data.decode("utf-8"))
+
+
+#: big-endian unsigned length prefix used by the stream transports.  Pipes
+#: frame messages internally (``Connection.send_bytes``), but a TCP stream has
+#: no message boundaries, so the socket transport prefixes every
+#: :func:`serialize_message` payload with its byte length.
+_FRAME_HEADER = struct.Struct("!I")
+FRAME_HEADER_BYTES = _FRAME_HEADER.size
+#: sanity ceiling for one framed message; a header above this is a corrupted
+#: or misaligned stream, not a legitimate payload.
+MAX_FRAME_BYTES = 512 * 1024 * 1024
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Length-prefix one serialized message for a byte-stream transport."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"payload of {len(payload)}B exceeds MAX_FRAME_BYTES")
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+def frame_length(header: bytes) -> int:
+    """Decode (and sanity-check) the length prefix of an incoming frame."""
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame header announces {length}B (> {MAX_FRAME_BYTES}B cap); "
+            "the stream is corrupted or misaligned"
+        )
+    return length
 
 
 def _default_encoder(value: Any) -> Any:

@@ -7,14 +7,28 @@ capped by (the GIL) while preserving PRETZEL's white-box parameter sharing:
   over ``multiprocessing.shared_memory`` so N workers map one copy of each
   shared weight;
 * :mod:`repro.serving.worker` -- a worker process hosting a full
-  :class:`~repro.core.runtime.PretzelRuntime` behind a framed message loop;
+  :class:`~repro.core.runtime.PretzelRuntime` behind a framed message loop
+  (over a pipe, a cluster-dialed socket, or a standalone ``--listen`` port);
 * :mod:`repro.serving.router` -- consistent-hash plan placement,
   queue-depth-aware dispatch and admission control;
+* :mod:`repro.serving.control` -- the control plane: pluggable transports,
+  heartbeat failure detection with fail-over, and the reference-counted plan
+  lifecycle that reclaims shared-memory arena slabs;
 * :mod:`repro.serving.cluster` -- the :class:`PretzelCluster` facade that
   mirrors the runtime API.
 """
 
 from repro.serving.cluster import PretzelCluster, WorkerFailure, WorkerTimeout
+from repro.serving.control import (
+    ControlPlane,
+    FailureDetector,
+    PipeTransport,
+    PlanLifecycle,
+    SocketListener,
+    SocketTransport,
+    Transport,
+    WorkerFailedError,
+)
 from repro.serving.router import BackpressureError, ConsistentHashRing, ShardRouter
 from repro.serving.shm_store import (
     ArenaClient,
@@ -22,15 +36,30 @@ from repro.serving.shm_store import (
     ArenaRef,
     SharedMemoryArena,
 )
-from repro.serving.worker import ServingWorker, decode_model, encode_model, worker_main
+from repro.serving.worker import (
+    ServingWorker,
+    decode_model,
+    encode_model,
+    listen_and_serve,
+    socket_worker_main,
+    worker_main,
+)
 
 __all__ = [
     "PretzelCluster",
     "WorkerFailure",
     "WorkerTimeout",
+    "WorkerFailedError",
     "BackpressureError",
     "ConsistentHashRing",
     "ShardRouter",
+    "ControlPlane",
+    "FailureDetector",
+    "PlanLifecycle",
+    "Transport",
+    "PipeTransport",
+    "SocketTransport",
+    "SocketListener",
     "ArenaClient",
     "ArenaExhaustedError",
     "ArenaRef",
@@ -38,5 +67,7 @@ __all__ = [
     "ServingWorker",
     "decode_model",
     "encode_model",
+    "listen_and_serve",
+    "socket_worker_main",
     "worker_main",
 ]

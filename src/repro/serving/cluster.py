@@ -6,9 +6,12 @@ API and -- through the shared-memory arena -- the Object Store's white-box
 parameter sharing:
 
 * **Workers.**  ``num_workers`` processes, each hosting a full
-  :class:`~repro.core.runtime.PretzelRuntime` (stage batching, reservations,
-  telemetry intact) behind a duplex pipe served by
-  :func:`~repro.serving.worker.worker_main`.
+  :class:`~repro.core.runtime.PretzelRuntime` behind a
+  :class:`~repro.serving.control.transport.Transport`: a duplex pipe
+  (``transport="pipe"``) or a localhost TCP connection
+  (``transport="socket"`` -- the same wire a remote
+  ``python -m repro.serving.worker --listen`` worker speaks, which the
+  ``attach=[(host, port), ...]`` constructor argument connects to).
 * **Parameter sharing.**  When ``shm_budget_bytes > 0`` the cluster owns a
   :class:`~repro.serving.shm_store.SharedMemoryArena`.  At registration every
   fixed-width numpy parameter at least ``shm_min_parameter_bytes`` big is
@@ -18,14 +21,26 @@ parameter sharing:
 * **Routing.**  Plans are placed on ``placement_replicas`` workers by a
   consistent-hash ring; each request goes to the least-loaded placed worker
   (the router's own in-flight count plus the queue backlog workers piggyback
-  on replies).  When every placed worker is at ``max_inflight_per_worker``
-  the request is shed with a typed
-  :class:`~repro.serving.router.BackpressureError` instead of queueing
+  on replies, aged out after ``heartbeat_interval_seconds``).  When every
+  placed worker is at ``max_inflight_per_worker`` the request is shed with a
+  typed :class:`~repro.serving.router.BackpressureError` instead of queueing
   without bound.
+* **Control plane.**  A per-cluster
+  :class:`~repro.serving.control.plane.ControlPlane` turns the static tier
+  dynamic: piggybacked heartbeats plus idle pings detect dead workers, death
+  evicts the worker from every placement and re-registers its plans onto
+  survivors (``failover_policy="re-register"``), and in-flight requests to
+  the dead worker fail with the retryable
+  :class:`~repro.serving.control.failure.WorkerFailedError`.  The
+  :class:`~repro.serving.control.lifecycle.PlanLifecycle` reference-counts
+  every plan's arena checksums so :meth:`PretzelCluster.unregister` can give
+  exclusively-referenced slabs back to the allocator's free lists, and picks
+  budget-pressure eviction victims by per-plan traffic EMA
+  (``arena_eviction_policy="traffic-ema"``).
 
 The facade mirrors :class:`~repro.core.runtime.PretzelRuntime`:
-``register`` / ``predict`` / ``predict_batch`` / ``stats`` /
-``memory_bytes`` / ``shutdown`` plus the context-manager protocol, so a
+``register`` / ``unregister`` / ``predict`` / ``predict_batch`` / ``stats``
+/ ``memory_bytes`` / ``shutdown`` plus the context-manager protocol, so a
 single-process deployment can be turned into a sharded one by swapping the
 constructor.
 """
@@ -36,21 +51,33 @@ import itertools
 import multiprocessing
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import PretzelConfig
 from repro.core.statistics import TransformStats
 from repro.mlnet.pipeline import Pipeline
-from repro.net import deserialize_message, serialize_message
+from repro.net import deserialize_message, parse_host_port, serialize_message
+from repro.serving.control.failure import WorkerFailedError
+from repro.serving.control.plane import ControlPlane
+from repro.serving.control.lifecycle import PlanLifecycle
+from repro.serving.control.transport import PipeTransport, SocketTransport, Transport
 from repro.serving.router import ShardRouter
 from repro.serving.shm_store import ArenaExhaustedError, SharedMemoryArena, _shareable
-from repro.serving.worker import encode_model, worker_main
+from repro.serving.worker import encode_model, socket_worker_main, worker_main
 
 __all__ = ["WorkerFailure", "WorkerTimeout", "PretzelCluster"]
 
 
 class WorkerFailure(RuntimeError):
-    """A worker reported an error (or died) while handling a request."""
+    """A worker reported an error (or died) while handling a request.
+
+    ``connection_lost`` distinguishes a *channel* failure (EOF, broken pipe,
+    reset -- the worker is unreachable and the control plane should consider
+    fail-over) from an application error the worker reported over a healthy
+    channel (a bad registration, a serialization problem), which says nothing
+    about the worker's liveness.
+    """
 
     def __init__(
         self,
@@ -58,10 +85,12 @@ class WorkerFailure(RuntimeError):
         error: str,
         error_type: str = "RuntimeError",
         remote_traceback: Optional[str] = None,
+        connection_lost: bool = False,
     ):
         self.worker_id = worker_id
         self.error_type = error_type
         self.remote_traceback = remote_traceback
+        self.connection_lost = connection_lost
         super().__init__(f"worker {worker_id!r} failed: [{error_type}] {error}")
 
 
@@ -77,47 +106,86 @@ class WorkerTimeout(TimeoutError):
 
 
 class _WorkerHandle:
-    """Parent-side endpoint of one worker: process + pipe + request pairing.
+    """Parent-side endpoint of one worker: process + transport + pairing.
 
-    One lock per worker serializes send/receive pairs on the pipe, so
+    One lock per worker serializes send/receive pairs on the channel, so
     concurrent client threads can talk to *different* workers in parallel
-    while requests to the same worker stay strictly ordered.
+    while requests to the same worker stay strictly ordered.  ``process`` is
+    ``None`` for attached (externally started) workers.
     """
 
-    def __init__(self, worker_id: str, process: Any, connection: Any):
+    def __init__(self, worker_id: str, process: Any, transport: Transport):
         self.worker_id = worker_id
         self.process = process
-        self.connection = connection
+        self.transport = transport
         self.lock = threading.Lock()
         self.requests = 0
 
+    def process_alive(self) -> bool:
+        """Liveness of the hosting process; attached workers report True
+        (the connection is the only evidence the cluster has about them)."""
+        return True if self.process is None else self.process.is_alive()
+
+    def provably_dead(self, error: BaseException) -> bool:
+        """True when a failed request proves this worker maps nothing anymore.
+
+        The single liveness predicate of the arena reclamation protocol
+        (shared by the teardown guard, ``stats`` and ``memory_bytes``): the
+        connection must be gone *and* the hosting process must be dead.  An
+        application error over a healthy channel proves nothing, and an
+        attached worker (no process handle) can never be proven dead --
+        its external process may outlive any number of connection drops.
+        """
+        return (
+            isinstance(error, WorkerFailure)
+            and error.connection_lost
+            and self.process is not None
+            and not self.process.is_alive()
+        )
+
     def request(self, message: Dict[str, Any], timeout: float) -> Dict[str, Any]:
         """One round trip; raises typed errors on failure, timeout or death."""
-        kind = str(message.get("type"))
         with self.lock:
-            self.requests += 1
-            try:
-                self.connection.send_bytes(serialize_message(message))
-                deadline = time.monotonic() + timeout
-                while True:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not self.connection.poll(remaining):
-                        raise WorkerTimeout(self.worker_id, timeout, kind)
-                    reply = deserialize_message(self.connection.recv_bytes())
-                    if reply.get("msg_id") == message.get("msg_id"):
-                        break
-                    # A stale reply from a request that previously timed out:
-                    # the pipe is FIFO and msg ids are monotonic, so anything
-                    # that is not ours is older.  Discard it and keep waiting
-                    # -- this resynchronizes the connection instead of
-                    # poisoning every later request on this worker.
-            except (EOFError, BrokenPipeError, OSError) as error:
-                raise WorkerFailure(
-                    self.worker_id,
-                    f"connection lost during {kind!r} ({error!r}); the process "
-                    f"is {'alive' if self.process.is_alive() else 'dead'}",
-                    error_type=type(error).__name__,
-                ) from error
+            return self._request_locked(message, timeout)
+
+    def try_request(
+        self, message: Dict[str, Any], timeout: float
+    ) -> Optional[Dict[str, Any]]:
+        """Like :meth:`request`, but gives up (returns None) when a request
+        is already in flight -- the control plane's non-blocking ping."""
+        if not self.lock.acquire(blocking=False):
+            return None
+        try:
+            return self._request_locked(message, timeout)
+        finally:
+            self.lock.release()
+
+    def _request_locked(self, message: Dict[str, Any], timeout: float) -> Dict[str, Any]:
+        kind = str(message.get("type"))
+        self.requests += 1
+        try:
+            self.transport.send_bytes(serialize_message(message))
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self.transport.poll(remaining):
+                    raise WorkerTimeout(self.worker_id, timeout, kind)
+                reply = deserialize_message(self.transport.recv_bytes())
+                if reply.get("msg_id") == message.get("msg_id"):
+                    break
+                # A stale reply from a request that previously timed out:
+                # the channel is FIFO and msg ids are monotonic, so anything
+                # that is not ours is older.  Discard it and keep waiting
+                # -- this resynchronizes the connection instead of
+                # poisoning every later request on this worker.
+        except (EOFError, BrokenPipeError, ConnectionError, OSError) as error:
+            raise WorkerFailure(
+                self.worker_id,
+                f"connection lost during {kind!r} ({error!r}); the process "
+                f"is {'alive' if self.process_alive() else 'dead'}",
+                error_type=type(error).__name__,
+                connection_lost=True,
+            ) from error
         if not reply.get("ok", False):
             raise WorkerFailure(
                 self.worker_id,
@@ -127,6 +195,9 @@ class _WorkerHandle:
             )
         return reply
 
+    def close(self) -> None:
+        self.transport.close()
+
 
 class PretzelCluster:
     """A multi-process serving tier with runtime semantics.
@@ -135,11 +206,36 @@ class PretzelCluster:
     objects (the off-line artifact every front-end in this repository starts
     from); compilation to a model plan happens inside each hosting worker, so
     workers stay white boxes with their own stage catalogs and schedulers.
+
+    ``attach`` lists ``(host, port)`` addresses (or ``"host:port"`` strings)
+    of already-listening workers (``python -m repro.serving.worker
+    --listen``) to adopt alongside the locally spawned ones; pass
+    ``num_workers=0`` for a purely remote cluster.
     """
 
-    def __init__(self, config: Optional[PretzelConfig] = None):
+    def __init__(
+        self,
+        config: Optional[PretzelConfig] = None,
+        attach: Sequence[Union[str, Tuple[str, int]]] = (),
+    ):
         self.config = config or PretzelConfig()
-        num_workers = max(1, int(self.config.num_workers))
+        if self.config.transport not in ("pipe", "socket"):
+            raise ValueError(
+                f"unknown transport {self.config.transport!r} (pipe or socket)"
+            )
+        if self.config.failover_policy not in ("re-register", "evict-only"):
+            raise ValueError(
+                f"unknown failover_policy {self.config.failover_policy!r} "
+                "(re-register or evict-only)"
+            )
+        if self.config.arena_eviction_policy not in ("traffic-ema", "none"):
+            raise ValueError(
+                f"unknown arena_eviction_policy {self.config.arena_eviction_policy!r} "
+                "(traffic-ema or none)"
+            )
+        num_workers = max(0 if attach else 1, int(self.config.num_workers))
+        if num_workers + len(attach) < 1:
+            raise ValueError("a cluster needs at least one worker (spawned or attached)")
         method = self.config.mp_start_method or (
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
@@ -150,41 +246,108 @@ class PretzelCluster:
             else None
         )
         self._workers: Dict[str, _WorkerHandle] = {}
+        #: handles of evicted workers, kept so the reclamation guard can
+        #: still distinguish "provably dead process" from "attached worker
+        #: that may outlive its dropped connection"
+        self._evicted_handles: Dict[str, _WorkerHandle] = {}
         self._plans: Dict[str, Dict[str, Any]] = {}
+        #: msg ids are unique per cluster *generation*: a standalone
+        #: --listen worker outlives its cluster and replays the recorded
+        #: reply for a repeated msg_id (the resend-dedup cache), so a
+        #: restarted cluster must never reuse a predecessor's ids
+        self._msg_prefix = uuid.uuid4().hex[:8]
         self._msg_ids = itertools.count()
         self._lock = threading.Lock()
+        #: serializes every arena allocation/reclamation phase (share,
+        #: evict/demote, unregister-free, rollback-free) so one thread's
+        #: eviction can never free a slab another thread's in-progress
+        #: registration has dedup-hit but not yet recorded in the lifecycle.
+        self._lifecycle_lock = threading.RLock()
+        #: plans whose register messages (initial registration or fail-over
+        #: re-homing) are currently in flight: their arena refs travel inside
+        #: those messages, so eviction must not pick them as victims even
+        #: when their lifecycle entry says their slabs are exclusive.
+        self._in_transition: Set[str] = set()
         self._closed = False
         self.arena_overflows = 0
         try:
             for index in range(num_workers):
                 worker_id = f"worker-{index}"
-                parent_end, child_end = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=worker_main,
-                    name=f"pretzel-{worker_id}",
-                    args=(
-                        worker_id,
-                        child_end,
-                        self.config,
-                        self.arena.name if self.arena is not None else None,
-                    ),
-                    daemon=True,
+                self._workers[worker_id] = self._spawn_worker(context, worker_id)
+            for index, address in enumerate(attach):
+                host, port = self._parse_address(address)
+                worker_id = f"worker-attached-{index}"
+                transport = SocketTransport.connect(
+                    host,
+                    port,
+                    connect_timeout=min(self.config.worker_timeout_seconds, 10.0),
+                    read_timeout=self.config.worker_timeout_seconds,
                 )
-                process.start()
-                child_end.close()
-                self._workers[worker_id] = _WorkerHandle(worker_id, process, parent_end)
+                self._workers[worker_id] = _WorkerHandle(worker_id, None, transport)
             self.router = ShardRouter(
                 list(self._workers),
-                replicas=min(max(1, self.config.placement_replicas), num_workers),
+                replicas=min(max(1, self.config.placement_replicas), len(self._workers)),
                 max_inflight_per_worker=self.config.max_inflight_per_worker,
+                backlog_ttl_seconds=self.config.heartbeat_interval_seconds,
             )
+            self.lifecycle = PlanLifecycle()
+            self.control = ControlPlane(self)
             # One ping round trip per worker confirms every runtime booted
             # (and surfaces import/attach failures as typed errors, not hangs).
             for handle in self._workers.values():
                 handle.request(self._message("ping"), self.config.worker_timeout_seconds)
+            self.control.start()
         except BaseException:
             self._tear_down(graceful=False)
             raise
+
+    # -- worker bring-up --------------------------------------------------------
+
+    def _spawn_worker(self, context: Any, worker_id: str) -> _WorkerHandle:
+        arena_name = self.arena.name if self.arena is not None else None
+        parent_end, child_end = context.Pipe(duplex=True)
+        if self.config.transport == "pipe":
+            process = context.Process(
+                target=worker_main,
+                name=f"pretzel-{worker_id}",
+                args=(worker_id, child_end, self.config, arena_name),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            return _WorkerHandle(worker_id, process, PipeTransport(parent_end))
+        # Socket transport: the pipe is only the bootstrap channel the worker
+        # reports its ephemeral port on; all traffic then runs over TCP.
+        process = context.Process(
+            target=socket_worker_main,
+            name=f"pretzel-{worker_id}",
+            args=(worker_id, child_end, self.config, arena_name),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        try:
+            if not parent_end.poll(self.config.worker_timeout_seconds):
+                raise WorkerTimeout(
+                    worker_id, self.config.worker_timeout_seconds, "bootstrap"
+                )
+            bootstrap = deserialize_message(parent_end.recv_bytes())
+        finally:
+            parent_end.close()
+        transport = SocketTransport.connect(
+            bootstrap.get("host", "127.0.0.1"),
+            int(bootstrap["port"]),
+            connect_timeout=min(self.config.worker_timeout_seconds, 10.0),
+            read_timeout=self.config.worker_timeout_seconds,
+        )
+        return _WorkerHandle(worker_id, process, transport)
+
+    @staticmethod
+    def _parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+        if isinstance(address, str):
+            return parse_host_port(address)
+        host, port = address
+        return str(host), int(port)
 
     # -- registration ---------------------------------------------------------
 
@@ -200,7 +363,8 @@ class PretzelCluster:
 
         Mirrors :meth:`PretzelRuntime.register`; ``replicas`` optionally
         overrides ``placement_replicas`` for this plan (e.g. hot plans on
-        every worker).
+        every worker).  The encoded model is retained so the control plane
+        can re-register the plan onto survivors after a worker death.
         """
         if not isinstance(pipeline, Pipeline):
             raise TypeError(
@@ -215,50 +379,193 @@ class PretzelCluster:
             # Reserve the id before the (lock-free) worker round trips.
             self._plans[identifier] = {"workers": [], "engine": engine}
         registered_on: List[str] = []
+        uncertain: Optional[str] = None
+        lifecycle_noted = False
         try:
-            arena_refs = self._share_parameters(pipeline, stats)
+            with self._lifecycle_lock:
+                # Allocation + lifecycle note are one atomic step: a dedup
+                # hit is only safe if the checksum is recorded (or pinned)
+                # before any other thread's eviction can run.
+                arena_refs = self._share_parameters(identifier, pipeline, stats)
+                self.lifecycle.note_registered(identifier, list(arena_refs))
+                lifecycle_noted = True
+                self._in_transition.add(identifier)
             placed = self.router.place(identifier, replicas)
             model_b64 = encode_model(pipeline, stats)
             rebound = 0
             for worker_id in placed:
-                reply = self._workers[worker_id].request(
-                    self._message(
-                        "register",
-                        plan_id=identifier,
-                        model_b64=model_b64,
-                        engine=engine,
-                        arena_refs=arena_refs,
-                    ),
-                    self.config.worker_timeout_seconds,
-                )
-                registered_on.append(worker_id)
-                rebound += int(reply.get("rebound_arrays", 0))
-        except BaseException:
-            # Roll back everywhere the plan already landed so the id (and its
-            # memoized placement) stays reusable after a partial failure.
-            for worker_id in registered_on:
+                handle = self._workers.get(worker_id)
+                if handle is None:
+                    # Evicted between placement and this round trip: the
+                    # caller gets the same typed retryable contract as a
+                    # dispatch racing a fail-over.
+                    raise WorkerFailedError(
+                        worker_id, identifier, "worker evicted during registration"
+                    )
                 try:
-                    self._workers[worker_id].request(
-                        self._message("unregister", plan_id=identifier),
+                    reply = handle.request(
+                        self._message(
+                            "register",
+                            plan_id=identifier,
+                            model_b64=model_b64,
+                            engine=engine,
+                            arena_refs=arena_refs,
+                        ),
                         self.config.worker_timeout_seconds,
                     )
-                except Exception:
-                    pass  # best effort; the worker may be the thing that died
-            self.router.forget(identifier)
+                except (WorkerFailure, WorkerTimeout) as error:
+                    # A timeout or connection loss leaves the worker's state
+                    # unknown -- it may have completed the registration and
+                    # mapped the slabs.  An application error (ok=False over
+                    # a healthy channel) means it registered nothing.
+                    if isinstance(error, WorkerTimeout) or error.connection_lost:
+                        uncertain = worker_id
+                    raise
+                registered_on.append(worker_id)
+                rebound += int(reply.get("rebound_arrays", 0))
+            # The complete record (hosting workers included) must be visible
+            # before the plan leaves the in-transition set: an eviction that
+            # picks this plan as victim the instant the flag drops must see
+            # who hosts it, or _demote_plan would "ack" against an empty
+            # worker list and free freshly adopted slabs.  A worker evicted
+            # *during* the round trips is filtered out -- the fail-over that
+            # evicted it could not see this plan yet, so reinstating the dead
+            # id here would poison later teardown acks.
             with self._lock:
-                self._plans.pop(identifier, None)
+                self._plans[identifier] = {
+                    "workers": [w for w in registered_on if w in self._workers],
+                    "engine": engine,
+                    "replicas": replicas or self.config.placement_replicas,
+                    "model_b64": model_b64,
+                    "arena_refs": arena_refs,
+                    "shared_parameters": len(arena_refs),
+                    "rebound_arrays": rebound,
+                }
+        except BaseException:
+            self._roll_back_registration(
+                identifier, registered_on, uncertain, lifecycle_noted
+            )
             raise
-        with self._lock:
-            self._plans[identifier] = {
-                "workers": placed,
-                "engine": engine,
-                "shared_parameters": len(arena_refs),
-                "rebound_arrays": rebound,
-            }
+        finally:
+            with self._lifecycle_lock:
+                self._in_transition.discard(identifier)
         return identifier
 
+    def _teardown_on_workers(
+        self, worker_ids: Sequence[str], kind: str, **payload: Any
+    ) -> bool:
+        """Send a teardown-class message to each worker; True iff all acked.
+
+        The liveness guard of the arena reclamation protocol, shared by
+        unregister, registration rollback and demote: a worker that fails the
+        round trip blocks the free (returns False) *unless* its connection is
+        gone and its process is provably dead -- a dead worker no longer maps
+        anything.  Workers already evicted from the membership are skipped
+        for the same reason.
+        """
+        acked = True
+        for worker_id in worker_ids:
+            handle = self._workers.get(worker_id)
+            if handle is None:
+                evicted = self._evicted_handles.get(worker_id)
+                if evicted is not None and evicted.process is None:
+                    # An attached worker evicted on connection loss may well
+                    # still be running (and, same-host with --arena, still
+                    # mapping the slabs): we cannot prove it dead, so the
+                    # free is blocked.  Spawned workers were terminated by
+                    # the eviction -- their mappings died with the process.
+                    acked = False
+                continue
+            try:
+                handle.request(
+                    self._message(kind, **payload), self.config.worker_timeout_seconds
+                )
+            except (WorkerFailure, WorkerTimeout) as error:
+                if handle.provably_dead(error):
+                    continue
+                acked = False
+            except Exception:
+                acked = False
+        return acked
+
+    def _roll_back_registration(
+        self,
+        plan_id: str,
+        registered_on: List[str],
+        uncertain: Optional[str],
+        lifecycle_noted: bool,
+    ) -> None:
+        """Undo a partial registration so the id and placement stay reusable.
+
+        Mirrors :meth:`unregister`'s liveness guard: the plan's exclusive
+        slabs are freed only when every worker that *may* host it (the ones
+        that acked registration, plus the one whose round trip failed
+        indeterminately) acknowledged the teardown or is provably dead --
+        a worker whose register timed out may well have completed it and
+        still map the slabs, so freeing without its ack would recycle bytes
+        under its adopted views.
+        """
+        with self._lifecycle_lock:
+            drop = (
+                sorted(self.lifecycle.exclusive_checksums(plan_id))
+                if lifecycle_noted
+                else []
+            )
+            targets = list(registered_on) + ([uncertain] if uncertain else [])
+            acked = self._teardown_on_workers(
+                targets, "unregister", plan_id=plan_id, drop_checksums=drop
+            )
+            self.router.forget(plan_id)
+            if lifecycle_noted:
+                freeable = self.lifecycle.release(plan_id)
+                if self.arena is not None and acked:
+                    for checksum in freeable:
+                        self.arena.free(checksum)
+        with self._lock:
+            self._plans.pop(plan_id, None)
+
+    def unregister(self, plan_id: str) -> None:
+        """Tear a plan down end to end: router, workers and arena slabs.
+
+        The routing entry is forgotten first (no new dispatches), every
+        hosting worker tears the plan down (its runtime releases the Object
+        Store's operator/parameter holds and forgets the listed arena refs),
+        and only after those acknowledgements does the owner free the plan's
+        exclusively-referenced slabs -- the reference-counted protocol the
+        arena's ``free`` liveness contract documents.  A slab shared with a
+        surviving plan stays live until *its* last plan goes.
+        """
+        self._ensure_open()
+        with self._lifecycle_lock:
+            # Popping the plan under the lifecycle lock serializes the
+            # teardown against a concurrent fail-over re-homing of the same
+            # plan: either the re-home finished (and info["workers"] includes
+            # the new host, which then acks below) or it has not started yet
+            # (and will find the plan gone).
+            with self._lock:
+                info = self._plans.pop(plan_id, None)
+            if info is None:
+                raise KeyError(f"plan {plan_id!r} is not registered")
+            self.router.forget(plan_id)
+            drop = sorted(self.lifecycle.exclusive_checksums(plan_id))
+            # When a live worker fails to ack, freeing its slabs would
+            # violate the liveness contract, so they are leaked instead (a
+            # later plan with the same checksum re-adopts the slab and its
+            # lifecycle will free it).
+            acked = self._teardown_on_workers(
+                info["workers"], "unregister", plan_id=plan_id, drop_checksums=drop
+            )
+            freeable = self.lifecycle.release(plan_id)
+            if self.arena is not None and acked:
+                for checksum in freeable:
+                    self.arena.free(checksum)
+        self.control.unregistered_plans += 1
+
     def _share_parameters(
-        self, pipeline: Pipeline, stats: Optional[Dict[str, TransformStats]]
+        self,
+        plan_id: str,
+        pipeline: Pipeline,
+        stats: Optional[Dict[str, TransformStats]],
     ) -> Dict[str, Dict[str, Any]]:
         """Copy the plan's big array parameters into the arena (dedup'd).
 
@@ -271,6 +578,13 @@ class PretzelCluster:
         parameters (n-gram vocabularies) stay private to each worker: raw
         shared bytes cannot back a hash table without rebuilding -- and
         therefore duplicating -- it.
+
+        Under budget pressure (``ArenaExhaustedError``) and
+        ``arena_eviction_policy="traffic-ema"``, the coldest plans'
+        exclusively-referenced slabs are evicted (their workers privatize
+        the parameters first) to make room; when nothing evictable remains
+        the overflowing parameter stays worker-private and is counted in
+        ``arena_overflows``.
         """
         if self.arena is None:
             return {}
@@ -285,12 +599,71 @@ class PretzelCluster:
             try:
                 ref = self.arena.put_array(parameter.checksum, parameter.value)
             except ArenaExhaustedError:
-                # Smaller parameters may still fit a recycled slab; keep
-                # scanning but record that sharing is no longer complete.
-                self.arena_overflows += 1
-                continue
+                ref = self._evict_for(plan_id, parameter, pinned=frozenset(refs))
+                if ref is None:
+                    # Smaller parameters may still fit a recycled slab; keep
+                    # scanning but record that sharing is no longer complete.
+                    self.arena_overflows += 1
+                    continue
             refs[parameter.checksum] = ref.to_dict()
         return refs
+
+    def _evict_for(
+        self, plan_id: str, parameter: Any, pinned: frozenset
+    ) -> Optional[Any]:
+        """Evict cold plans' exclusive slabs until ``parameter`` fits.
+
+        Victims are the lowest-traffic plans (EMA, Ariadne-style) that still
+        have freeable slabs; ``pinned`` protects checksums the in-progress
+        registration already handed out.  Returns the new ref, or None when
+        eviction cannot make room.
+        """
+        if self.config.arena_eviction_policy != "traffic-ema" or self.arena is None:
+            return None
+        # Plans whose register messages are in flight carry their arena refs
+        # inside those messages; evicting them would free slabs a worker is
+        # about to adopt.  (Callers hold _lifecycle_lock, so the snapshot
+        # cannot race a transition start.)
+        tried: Set[str] = {plan_id} | set(self._in_transition)
+        while True:
+            victim = self.lifecycle.victim(exclude=tried, pinned=pinned)
+            if victim is None:
+                return None
+            tried.add(victim)
+            if not self._demote_plan(victim, pinned):
+                continue
+            try:
+                return self.arena.put_array(parameter.checksum, parameter.value)
+            except ArenaExhaustedError:
+                continue
+
+    def _demote_plan(self, victim: str, pinned: frozenset) -> bool:
+        """Privatize and free one plan's exclusive slabs (it keeps serving).
+
+        Every hosting worker must acknowledge the ``demote`` (replacing its
+        adopted views with private copies) before a single slab is freed --
+        a worker we cannot reach keeps the slabs alive (no free) unless it
+        is provably dead.
+        """
+        checksums = sorted(self.lifecycle.exclusive_checksums(victim) - set(pinned))
+        if not checksums:
+            return False
+        with self._lock:
+            hosting = list(self._plans.get(victim, {}).get("workers", ()))
+        if not self._teardown_on_workers(hosting, "demote", checksums=checksums):
+            return False
+        assert self.arena is not None
+        for checksum in checksums:
+            self.arena.free(checksum)
+        self.lifecycle.remove_checksums(victim, checksums)
+        with self._lock:
+            info = self._plans.get(victim)
+            if info is not None and "arena_refs" in info:
+                for checksum in checksums:
+                    info["arena_refs"].pop(checksum, None)
+                info["shared_parameters"] = len(info["arena_refs"])
+        self.control.arena_evictions += 1
+        return True
 
     def _compiled_parameters(
         self, pipeline: Pipeline, stats: Optional[Dict[str, TransformStats]]
@@ -335,22 +708,154 @@ class PretzelCluster:
         self._ensure_open()
         if plan_id not in self._plans:
             raise KeyError(f"plan {plan_id!r} is not registered")
-        worker_id = self.router.acquire(plan_id)  # may raise BackpressureError
+        # May raise BackpressureError (saturated) or WorkerFailedError (every
+        # placed worker evicted mid-fail-over) -- both typed and retryable.
+        worker_id = self.router.acquire(plan_id)
         backlog: Optional[int] = None
         try:
-            reply = self._workers[worker_id].request(
-                self._message(
-                    "predict",
-                    plan_id=plan_id,
-                    records=records,
-                    latency_sensitive=latency_sensitive,
-                ),
-                self.config.worker_timeout_seconds,
-            )
+            handle = self._workers.get(worker_id)
+            if handle is None:
+                raise WorkerFailedError(worker_id, plan_id, "worker evicted mid-dispatch")
+            try:
+                reply = handle.request(
+                    self._message(
+                        "predict",
+                        plan_id=plan_id,
+                        records=records,
+                        latency_sensitive=latency_sensitive,
+                    ),
+                    self.config.worker_timeout_seconds,
+                )
+            except WorkerFailure as error:
+                if error.connection_lost or not handle.process_alive():
+                    self.control.worker_failed(worker_id, str(error))
+                    raise WorkerFailedError(worker_id, plan_id, str(error)) from error
+                raise
+            except WorkerTimeout as error:
+                if not handle.process_alive():
+                    self.control.worker_failed(worker_id, str(error))
+                    raise WorkerFailedError(worker_id, plan_id, str(error)) from error
+                raise
             backlog = reply.get("backlog")
+            self.control.record_reply(worker_id)
+            self.lifecycle.note_traffic(plan_id, len(records))
             return reply["outputs"]
         finally:
             self.router.release(worker_id, backlog=backlog)
+
+    # -- fail-over ---------------------------------------------------------------
+
+    def _on_worker_dead(self, worker_id: str) -> int:
+        """Evict a dead worker and kick off re-homing of its plans.
+
+        Called (exactly once per worker) by the control plane after a death
+        verdict.  The eviction itself is synchronous -- dispatch must stop
+        routing to the dead worker immediately -- while the re-registration
+        round trips run on a background fail-over thread, so the client
+        whose request discovered the death gets its retryable error at once
+        instead of waiting out up to one worker timeout per affected plan.
+        With ``failover_policy="evict-only"`` placements just lose the dead
+        worker -- surviving replicas keep serving, nothing is re-homed.
+        Returns the number of plans queued for re-homing.
+        """
+        handle = self._workers.pop(worker_id, None)
+        if handle is None:
+            return 0
+        self._evicted_handles[worker_id] = handle
+        handle.close()
+        if handle.process is not None and handle.process.is_alive():
+            # Make the death certain before any reclamation can consult it:
+            # a terminated-but-not-yet-exited process still maps the arena.
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+        self.router.evict_worker(worker_id)
+        with self._lock:
+            affected: List[str] = []
+            for plan_id, info in self._plans.items():
+                if worker_id in info["workers"]:
+                    info["workers"] = [w for w in info["workers"] if w != worker_id]
+                    affected.append(plan_id)
+        if self.config.failover_policy != "re-register" or not affected:
+            return 0
+        threading.Thread(
+            target=self._rehome_plans,
+            args=(affected,),
+            name=f"pretzel-failover-{worker_id}",
+            daemon=True,
+        ).start()
+        return len(affected)
+
+    def _rehome_plans(self, plan_ids: List[str]) -> None:
+        """Fail-over thread body: re-register plans that lost a replica."""
+        for plan_id in plan_ids:
+            try:
+                self._rehome_one(plan_id)
+            except Exception:  # pragma: no cover - defensive: keep re-homing
+                continue
+
+    def _rehome_one(self, plan_id: str) -> bool:
+        """Top a plan's placement back up to its replica count.
+
+        The whole re-home holds the lifecycle lock, serializing it against
+        a concurrent unregister, budget-pressure eviction, or another
+        worker's fail-over touching the same plan -- so the arena refs the
+        re-register messages carry cannot be freed mid-flight, and the
+        worker-list update cannot lose a concurrent writer's ack.
+        """
+        with self._lifecycle_lock:
+            self._in_transition.add(plan_id)
+            try:
+                with self._lock:
+                    live = self._plans.get(plan_id)
+                    if live is None or "model_b64" not in live:
+                        # Unregistered while queued, or still registering
+                        # (that register call will roll back or finish on
+                        # the survivors it reached).
+                        return False
+                    info = dict(live)
+                survivors = [w for w in info["workers"] if w in self._workers]
+                desired = min(
+                    int(info.get("replicas") or self.config.placement_replicas),
+                    max(len(self._workers), 1),
+                )
+                candidates: List[str] = []
+                if self.router.ring is not None and len(survivors) < desired:
+                    for candidate in self.router.ring.placement(plan_id, desired):
+                        if candidate not in survivors and candidate in self._workers:
+                            candidates.append(candidate)
+                            if len(survivors) + len(candidates) >= desired:
+                                break
+                gained = False
+                for candidate in candidates:
+                    candidate_handle = self._workers.get(candidate)
+                    if candidate_handle is None:
+                        continue
+                    try:
+                        candidate_handle.request(
+                            self._message(
+                                "register",
+                                plan_id=plan_id,
+                                model_b64=info["model_b64"],
+                                engine=info["engine"],
+                                arena_refs=dict(info.get("arena_refs") or {}),
+                            ),
+                            self.config.worker_timeout_seconds,
+                        )
+                    except (WorkerFailure, WorkerTimeout):
+                        continue  # this survivor is struggling too; skip it
+                    survivors.append(candidate)
+                    gained = True
+                if gained:
+                    # Counted before the placement write so stats observed
+                    # right after a successful retry already include it.
+                    self.control.plans_failed_over += 1
+                with self._lock:
+                    if plan_id in self._plans:
+                        self._plans[plan_id]["workers"] = survivors
+                self.router.set_placement(plan_id, survivors)
+                return gained
+            finally:
+                self._in_transition.discard(plan_id)
 
     # -- introspection ----------------------------------------------------------
 
@@ -369,17 +874,27 @@ class PretzelCluster:
         return list(self._workers)
 
     def stats(self) -> Dict[str, Any]:
-        """Cluster-wide telemetry: router + arena + every worker's runtime.
+        """Cluster-wide telemetry: router + arena + control plane + workers.
 
         ``workers[id]["stats"]`` is the full ``PretzelRuntime.stats()`` of
         that worker (including ``object_store`` hit/miss/eviction counters,
         ``stage_batching``, ``queue_depths`` and ``signature_backlog``), so
         per-worker cache health and backlog are visible from one call.
+        ``control_plane`` carries fail-over/eviction counters, per-worker
+        heartbeat ages and liveness verdicts.
         """
         self._ensure_open()
         workers: Dict[str, Any] = {}
-        for worker_id, handle in self._workers.items():
-            reply = handle.request(self._message("stats"), self.config.worker_timeout_seconds)
+        for worker_id, handle in list(self._workers.items()):
+            try:
+                reply = handle.request(
+                    self._message("stats"), self.config.worker_timeout_seconds
+                )
+            except (WorkerFailure, WorkerTimeout) as error:
+                if handle.provably_dead(error):
+                    self.control.worker_failed(worker_id, str(error))
+                workers[worker_id] = {"error": str(error)}
+                continue
             workers[worker_id] = {
                 "stats": reply["stats"],
                 "served_predictions": reply["served_predictions"],
@@ -387,18 +902,20 @@ class PretzelCluster:
                 "memory_bytes": reply["memory_bytes"],
                 "arena": reply["arena"],
             }
+        live = [entry for entry in workers.values() if "stats" in entry]
         router_stats = self.router.stats()
         arena_stats = self.arena.stats() if self.arena is not None else None
-        total_worker_bytes = sum(entry["memory_bytes"] for entry in workers.values())
+        total_worker_bytes = sum(entry["memory_bytes"] for entry in live)
         return {
             "plans": len(self._plans),
             "num_workers": len(self._workers),
-            "served_predictions": sum(w["served_predictions"] for w in workers.values()),
-            "failed_requests": sum(w["failed_requests"] for w in workers.values()),
+            "served_predictions": sum(w["served_predictions"] for w in live),
+            "failed_requests": sum(w["failed_requests"] for w in live),
             "shed": router_stats["shed"],
             "router": router_stats,
             "arena": arena_stats,
             "arena_overflows": self.arena_overflows,
+            "control_plane": self.control.stats(),
             "memory_bytes": total_worker_bytes
             + (arena_stats["used_bytes"] if arena_stats else 0),
             "workers": workers,
@@ -410,12 +927,21 @@ class PretzelCluster:
         Workers exclude arena-adopted parameters from their own accounting
         (see :meth:`ObjectStore.memory_bytes`), so a weight shared by N
         workers contributes its bytes exactly once -- the sub-linear scaling
-        the serving tier exists for.
+        the serving tier exists for.  Unregistering a plan shrinks this
+        number: workers release its private state and the arena stops
+        counting its exclusively-referenced (now recycled) slabs.
         """
         self._ensure_open()
         total = 0
-        for handle in self._workers.values():
-            reply = handle.request(self._message("memory"), self.config.worker_timeout_seconds)
+        for worker_id, handle in list(self._workers.items()):
+            try:
+                reply = handle.request(
+                    self._message("memory"), self.config.worker_timeout_seconds
+                )
+            except (WorkerFailure, WorkerTimeout) as error:
+                if handle.provably_dead(error):
+                    self.control.worker_failed(worker_id, str(error))
+                continue
             total += int(reply["memory_bytes"])
         if self.arena is not None:
             total += self.arena.used_bytes
@@ -432,22 +958,23 @@ class PretzelCluster:
         self._tear_down(graceful=True)
 
     def _tear_down(self, graceful: bool) -> None:
+        control = getattr(self, "control", None)
+        if control is not None:
+            control.stop()
         grace = min(5.0, self.config.worker_timeout_seconds)
         for handle in self._workers.values():
-            if graceful and handle.process.is_alive():
+            if graceful and handle.process_alive():
                 try:
                     handle.request(self._message("shutdown"), grace)
                 except Exception:
                     pass  # the join/terminate ladder below still applies
         for handle in self._workers.values():
-            handle.process.join(timeout=grace)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
-            try:
-                handle.connection.close()
-            except OSError:
-                pass
+            if handle.process is not None:
+                handle.process.join(timeout=grace)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=1.0)
+            handle.close()
         if self.arena is not None:
             self.arena.close()
 
@@ -461,7 +988,7 @@ class PretzelCluster:
 
     def _message(self, kind: str, **payload: Any) -> Dict[str, Any]:
         payload["type"] = kind
-        payload["msg_id"] = next(self._msg_ids)
+        payload["msg_id"] = f"{self._msg_prefix}:{next(self._msg_ids)}"
         return payload
 
     def _ensure_open(self) -> None:

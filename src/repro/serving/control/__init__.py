@@ -1,0 +1,31 @@
+"""Serving control plane: transports, failure detection, plan lifecycle.
+
+The data plane (:mod:`repro.serving.worker`, the router's dispatch path)
+moves predictions; this package decides *membership and placement over
+time*: which byte transport connects the cluster to each worker
+(:mod:`~repro.serving.control.transport`), when a worker is declared dead
+and its plans re-homed (:mod:`~repro.serving.control.failure`,
+:mod:`~repro.serving.control.plane`), and when a plan's shared-memory slabs
+can be reclaimed (:mod:`~repro.serving.control.lifecycle`).
+"""
+
+from repro.serving.control.failure import FailureDetector, WorkerFailedError
+from repro.serving.control.lifecycle import PlanLifecycle
+from repro.serving.control.plane import ControlPlane
+from repro.serving.control.transport import (
+    PipeTransport,
+    SocketListener,
+    SocketTransport,
+    Transport,
+)
+
+__all__ = [
+    "Transport",
+    "PipeTransport",
+    "SocketTransport",
+    "SocketListener",
+    "FailureDetector",
+    "WorkerFailedError",
+    "PlanLifecycle",
+    "ControlPlane",
+]

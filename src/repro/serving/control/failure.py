@@ -1,0 +1,156 @@
+"""Heartbeat-based worker failure detection.
+
+Liveness evidence is free on a busy cluster: every reply a worker sends is a
+heartbeat, so the detector is *piggybacked* on normal traffic and the control
+plane only spends an explicit ``ping`` on workers that have been idle longer
+than ``heartbeat_interval_seconds``.  A worker is
+
+* **alive** while its last reply (of any kind) is fresher than two heartbeat
+  intervals,
+* **suspect** once it has missed a full ping cycle (silent for more than
+  ``2 * heartbeat_interval_seconds``) -- dispatch still reaches it, but the
+  control plane is actively pinging, and
+* **dead** once it stays silent past ``worker_timeout_seconds``, or
+  immediately when its connection drops or its process exits.
+
+Death is sticky: this PR fails *over*, not *back* -- a worker that
+resurrects after being declared dead would need to re-attach as a new
+worker, which keeps the placement bookkeeping single-writer and simple.
+
+On death the control plane evicts the worker from every placement,
+re-registers its plans onto survivors, and in-flight requests against it
+fail with :class:`WorkerFailedError` -- typed and explicitly ``retryable``,
+the exact contract :class:`~repro.serving.router.BackpressureError` already
+gives clients for sheds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, Optional
+
+__all__ = ["WorkerFailedError", "FailureDetector"]
+
+
+class WorkerFailedError(RuntimeError):
+    """A request could not be served because its worker died.
+
+    Retryable by contract: the control plane has already evicted the dead
+    worker and re-registered its plans onto survivors (or is doing so), so an
+    immediate retry routes to a live worker.
+    """
+
+    retryable = True
+
+    def __init__(self, worker_id: Optional[str], plan_id: Optional[str] = None, reason: str = ""):
+        self.worker_id = worker_id
+        self.plan_id = plan_id
+        self.reason = reason
+        plan_part = f" serving plan {plan_id!r}" if plan_id else ""
+        who = f"worker {worker_id!r}" if worker_id else "every placed worker"
+        super().__init__(
+            f"{who}{plan_part} failed ({reason or 'connection lost'}); "
+            "the request is retryable -- surviving workers have (or are "
+            "being handed) the plan"
+        )
+
+
+class FailureDetector:
+    """Track per-worker liveness from piggybacked replies and pings.
+
+    Pure bookkeeping over an injectable monotonic clock so the state machine
+    is unit-testable without sleeping; the control plane drives the actual
+    pings and calls :meth:`mark_dead` when it commits a fail-over.
+    """
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+    def __init__(
+        self,
+        worker_ids: Iterable[str],
+        heartbeat_interval_seconds: float,
+        worker_timeout_seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if heartbeat_interval_seconds <= 0:
+            raise ValueError("heartbeat_interval_seconds must be positive")
+        if worker_timeout_seconds <= 0:
+            raise ValueError("worker_timeout_seconds must be positive")
+        self.heartbeat_interval_seconds = heartbeat_interval_seconds
+        self.worker_timeout_seconds = worker_timeout_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        now = clock()
+        self._last_heard: Dict[str, float] = {worker: now for worker in worker_ids}
+        self._dead: Dict[str, str] = {}
+
+    # -- evidence -------------------------------------------------------------
+
+    def record_reply(self, worker_id: str) -> None:
+        """Any reply is a heartbeat; death is sticky (no resurrection)."""
+        with self._lock:
+            if worker_id in self._dead or worker_id not in self._last_heard:
+                return
+            self._last_heard[worker_id] = self._clock()
+
+    def mark_dead(self, worker_id: str, reason: str = "") -> bool:
+        """Commit a death verdict; returns False if already dead/unknown."""
+        with self._lock:
+            if worker_id not in self._last_heard or worker_id in self._dead:
+                return False
+            self._dead[worker_id] = reason or "marked dead"
+            return True
+
+    # -- verdicts -------------------------------------------------------------
+
+    def state(self, worker_id: str) -> str:
+        with self._lock:
+            return self._state_locked(worker_id)
+
+    def _state_locked(self, worker_id: str) -> str:
+        if worker_id in self._dead:
+            return self.DEAD
+        age = self._clock() - self._last_heard[worker_id]
+        if age > self.worker_timeout_seconds:
+            return self.DEAD
+        if age > 2 * self.heartbeat_interval_seconds:
+            return self.SUSPECT
+        return self.ALIVE
+
+    def is_dead(self, worker_id: str) -> bool:
+        with self._lock:
+            return worker_id in self._dead
+
+    def due_for_ping(self, worker_id: str) -> bool:
+        """Idle past one heartbeat interval (and not already declared dead)."""
+        with self._lock:
+            if worker_id in self._dead:
+                return False
+            return self._clock() - self._last_heard[worker_id] > self.heartbeat_interval_seconds
+
+    def deadline_exceeded(self, worker_id: str) -> bool:
+        """Silent past ``worker_timeout_seconds`` (the death deadline)."""
+        with self._lock:
+            if worker_id in self._dead:
+                return True
+            return self._clock() - self._last_heard[worker_id] > self.worker_timeout_seconds
+
+    # -- reporting ------------------------------------------------------------
+
+    def heartbeat_ages(self) -> Dict[str, float]:
+        """Seconds since each worker was last heard from."""
+        with self._lock:
+            now = self._clock()
+            return {worker: now - heard for worker, heard in self._last_heard.items()}
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            return {worker: self._state_locked(worker) for worker in self._last_heard}
+
+    def dead_workers(self) -> Dict[str, str]:
+        """Workers declared dead, with the recorded reason."""
+        with self._lock:
+            return dict(self._dead)

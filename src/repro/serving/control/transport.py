@@ -1,0 +1,247 @@
+"""Pluggable byte transports between the cluster and its workers.
+
+The worker message loop only ever needs four operations -- send a framed
+message, receive one, poll for readability, close -- so the control plane
+abstracts them behind :class:`Transport` and the rest of the serving tier
+(:mod:`repro.serving.worker`, :class:`~repro.serving.cluster.PretzelCluster`)
+never touches a pipe or a socket directly:
+
+* :class:`PipeTransport` wraps today's ``multiprocessing`` duplex pipe
+  byte-identically: every call delegates to the underlying
+  ``Connection`` method of the same name, so the wire bytes (and the pipe's
+  internal framing) are exactly what the pre-control-plane tier produced.
+* :class:`SocketTransport` speaks the existing
+  :func:`repro.net.serialize_message` payloads over TCP.  A stream has no
+  message boundaries, so each payload is length-prefixed
+  (:func:`repro.net.frame_payload`).  The connecting side (the cluster)
+  carries connect/read timeouts and *reconnect-once* semantics: a send that
+  trips over a dropped connection redials the peer exactly once and retries;
+  a second failure -- or any failure with no peer address to redial (the
+  worker's accepted socket) -- propagates.
+* :class:`SocketListener` is the worker-side acceptor behind ``--listen``:
+  bind, accept one cluster connection at a time, hand back a
+  :class:`SocketTransport`.
+
+``EOFError`` uniformly means "peer closed"; callers translate it into the
+typed worker-failure errors of :mod:`repro.serving.control.failure`.
+"""
+
+from __future__ import annotations
+
+import abc
+import select
+import socket
+from typing import Any, Optional, Tuple
+
+from repro.net import FRAME_HEADER_BYTES, frame_length, frame_payload
+
+__all__ = ["Transport", "PipeTransport", "SocketTransport", "SocketListener"]
+
+
+class Transport(abc.ABC):
+    """The four operations a framed request/reply channel needs."""
+
+    @abc.abstractmethod
+    def send_bytes(self, data: bytes) -> None:
+        """Send one complete message."""
+
+    @abc.abstractmethod
+    def recv_bytes(self) -> bytes:
+        """Block for one complete message; raise ``EOFError`` on peer close."""
+
+    @abc.abstractmethod
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True when a message (or EOF) is ready within ``timeout`` seconds."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the channel (idempotent)."""
+
+
+class PipeTransport(Transport):
+    """Adapter over a ``multiprocessing`` duplex pipe ``Connection``.
+
+    ``Connection`` already exposes the exact four methods with the exact
+    semantics the interface requires, so every call is a plain delegation --
+    the bytes on the pipe are identical to the pre-Transport serving tier.
+    """
+
+    def __init__(self, connection: Any):
+        self.connection = connection
+
+    def send_bytes(self, data: bytes) -> None:
+        self.connection.send_bytes(data)
+
+    def recv_bytes(self) -> bytes:
+        return self.connection.recv_bytes()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.connection.poll(timeout)
+
+    def close(self) -> None:
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
+
+class SocketTransport(Transport):
+    """Length-prefixed message framing over one TCP connection.
+
+    Build with :meth:`connect` on the dialing side (keeps the peer address,
+    enabling the reconnect-once retry) or wrap an accepted socket directly on
+    the listening side (no peer to redial; failures propagate immediately).
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        peer: Optional[Tuple[str, int]] = None,
+        connect_timeout: float = 5.0,
+        read_timeout: Optional[float] = None,
+    ):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(read_timeout)
+        self._sock = sock
+        self._peer = peer
+        self._connect_timeout = connect_timeout
+        self._read_timeout = read_timeout
+        self._buffer = bytearray()
+        self._closed = False
+        self.reconnects = 0
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        read_timeout: Optional[float] = None,
+    ) -> "SocketTransport":
+        """Dial ``host:port`` with a bounded handshake.
+
+        ``read_timeout`` bounds every subsequent blocking socket operation
+        (a ``recv`` stalled mid-frame, a wedged ``sendall``): a peer that
+        goes silent *inside* a frame cannot hang the caller past it.  The
+        dialing cluster always polls (with its own deadline) before reading,
+        so the timeout never fires on legitimate idle -- leave it ``None``
+        on the listening side, where blocking idle between requests is the
+        normal state.
+        """
+        sock = socket.create_connection((host, port), timeout=connect_timeout)
+        return cls(
+            sock,
+            peer=(host, port),
+            connect_timeout=connect_timeout,
+            read_timeout=read_timeout,
+        )
+
+    # -- Transport interface ---------------------------------------------------
+
+    def send_bytes(self, data: bytes) -> None:
+        if self._closed:
+            raise OSError("transport is closed")
+        frame = frame_payload(data)
+        try:
+            self._sock.sendall(frame)
+        except OSError:
+            # Reconnect-once: redial the peer a single time, then give up.
+            if not self._try_reconnect():
+                raise
+            self._sock.sendall(frame)
+
+    def recv_bytes(self) -> bytes:
+        header = self._read_exact(FRAME_HEADER_BYTES)
+        return self._read_exact(frame_length(header))
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            raise OSError("transport is closed")
+        if self._buffer:
+            return True
+        ready, _, _ = select.select([self._sock], [], [], max(0.0, timeout))
+        return bool(ready)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- internals -------------------------------------------------------------
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            try:
+                chunk = self._sock.recv(65536)
+            except ConnectionError:
+                raise EOFError("connection reset by peer") from None
+            if not chunk:
+                raise EOFError("peer closed the connection")
+            self._buffer.extend(chunk)
+        out = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return out
+
+    def _try_reconnect(self) -> bool:
+        """Redial the peer once; any in-flight frame on the old socket is lost."""
+        if self._peer is None or self._closed:
+            return False
+        try:
+            sock = socket.create_connection(self._peer, timeout=self._connect_timeout)
+        except OSError:
+            return False
+        sock.settimeout(self._read_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = sock
+        self._buffer.clear()
+        self.reconnects += 1
+        return True
+
+
+class SocketListener:
+    """Worker-side acceptor: bind a TCP port, accept cluster connections."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 4):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._sock.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def accept(self, timeout: Optional[float] = None) -> SocketTransport:
+        """Accept one connection (raises ``socket.timeout`` past ``timeout``)."""
+        self._sock.settimeout(timeout)
+        conn, _addr = self._sock.accept()
+        conn.settimeout(None)
+        return SocketTransport(conn)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -10,10 +10,18 @@ runs:
   observed load: the router's own in-flight count plus the queue backlog the
   worker reported on its last reply (the ``queue_depths``/``signature_backlog``
   numbers the scheduler's signature index exposes in ``runtime.stats()``).
+  A reported backlog *ages out* after ``backlog_ttl_seconds``: a worker that
+  went idle after reporting a deep queue is not shunned forever -- stale
+  reports count as zero until a fresh reply (or heartbeat ping, which also
+  piggybacks the backlog) refreshes them.
 * **Admission control** sheds load instead of queueing without bound: when
   every placed worker already carries ``max_inflight_per_worker`` in-flight
   dispatches, the router raises :class:`BackpressureError` -- a typed error
   the client can retry against -- and counts the shed in its stats.
+* **Membership** is dynamic: the control plane calls :meth:`evict_worker`
+  when a worker dies (drops it from the ring, from every placement and from
+  the load books) and :meth:`set_placement` after re-homing plans onto
+  survivors.
 """
 
 from __future__ import annotations
@@ -21,7 +29,10 @@ from __future__ import annotations
 import bisect
 import hashlib
 import threading
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.serving.control.failure import WorkerFailedError
 
 __all__ = ["BackpressureError", "ConsistentHashRing", "ShardRouter"]
 
@@ -30,9 +41,13 @@ class BackpressureError(RuntimeError):
     """The cluster is saturated; the request was shed, not queued.
 
     Raised by the router when every worker a plan is placed on already holds
-    ``max_inflight_per_worker`` in-flight dispatches.  Carries the load the
-    router observed so clients can implement informed backoff.
+    ``max_inflight_per_worker`` in-flight dispatches.  Retryable by contract
+    (``retryable`` is True, like :class:`~repro.serving.control.failure.
+    WorkerFailedError`); carries the load the router observed so clients can
+    implement informed backoff.
     """
+
+    retryable = True
 
     def __init__(self, plan_id: str, loads: Dict[str, int], max_inflight: int):
         self.plan_id = plan_id
@@ -100,17 +115,28 @@ class ShardRouter:
         replicas: int = 2,
         max_inflight_per_worker: int = 32,
         vnodes: int = 64,
+        backlog_ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if max_inflight_per_worker < 1:
             raise ValueError("max_inflight_per_worker must be >= 1")
-        self.ring = ConsistentHashRing(worker_ids, vnodes=vnodes)
+        if backlog_ttl_seconds is not None and backlog_ttl_seconds <= 0:
+            raise ValueError("backlog_ttl_seconds must be positive (or None)")
+        self.ring: Optional[ConsistentHashRing] = ConsistentHashRing(worker_ids, vnodes=vnodes)
         self.replicas = replicas
         self.max_inflight_per_worker = max_inflight_per_worker
+        self.backlog_ttl_seconds = backlog_ttl_seconds
+        self._clock = clock
         self._lock = threading.Lock()
         self._placements: Dict[str, List[str]] = {}
         self._inflight: Dict[str, int] = {worker: 0 for worker in self.ring.nodes}
-        #: queue backlog each worker reported on its most recent reply
+        #: queue backlog each worker reported on its most recent reply, with
+        #: the timestamp of the report (so stale depth ages out of dispatch)
         self._reported_backlog: Dict[str, int] = {worker: 0 for worker in self.ring.nodes}
+        self._backlog_reported_at: Dict[str, float] = {
+            worker: self._clock() for worker in self.ring.nodes
+        }
+        self._evicted: List[str] = []
         self.dispatched = 0
         self.shed = 0
 
@@ -121,6 +147,8 @@ class ShardRouter:
         with self._lock:
             placed = self._placements.get(plan_id)
             if placed is None:
+                if self.ring is None:
+                    raise WorkerFailedError(None, plan_id, "no surviving workers to place on")
                 placed = self.ring.placement(plan_id, replicas or self.replicas)
                 self._placements[plan_id] = placed
             return list(placed)
@@ -130,9 +158,48 @@ class ShardRouter:
             return {plan: list(workers) for plan, workers in self._placements.items()}
 
     def forget(self, plan_id: str) -> None:
-        """Drop a memoized placement (rollback of a failed registration)."""
+        """Drop a memoized placement (unregister, or registration rollback)."""
         with self._lock:
             self._placements.pop(plan_id, None)
+
+    def set_placement(self, plan_id: str, worker_ids: Sequence[str]) -> None:
+        """Overwrite a plan's placement (control-plane re-homing).
+
+        Workers no longer in the membership are dropped: a fail-over that
+        computed its survivor list before a *second* concurrent death must
+        not reinstate the newly dead worker (``evict_worker`` and this method
+        serialize on the router lock, so the filter is race-free).
+        """
+        with self._lock:
+            self._placements[plan_id] = [
+                worker for worker in worker_ids if worker in self._inflight
+            ]
+
+    # -- membership ------------------------------------------------------------
+
+    def evict_worker(self, worker_id: str) -> None:
+        """Remove a dead worker from the ring, every placement and the books.
+
+        Future ``place`` calls hash over the survivors only; existing
+        placements lose the worker immediately (the control plane then tops
+        them back up with :meth:`set_placement` after re-registering plans).
+        """
+        with self._lock:
+            if worker_id not in self._inflight:
+                return
+            survivors = [node for node in self.ring.nodes if node != worker_id] if self.ring else []
+            self.ring = ConsistentHashRing(survivors, vnodes=self.ring.vnodes) if survivors else None
+            self._inflight.pop(worker_id, None)
+            self._reported_backlog.pop(worker_id, None)
+            self._backlog_reported_at.pop(worker_id, None)
+            for workers in self._placements.values():
+                if worker_id in workers:
+                    workers.remove(worker_id)
+            self._evicted.append(worker_id)
+
+    def workers(self) -> List[str]:
+        with self._lock:
+            return list(self._inflight)
 
     # -- dispatch --------------------------------------------------------------
 
@@ -142,6 +209,8 @@ class ShardRouter:
             raise KeyError(f"plan {plan_id!r} has no placement (register it first)")
         with self._lock:
             candidates = self._placements[plan_id]
+            if not candidates:
+                raise WorkerFailedError(None, plan_id, "every placed worker was evicted")
             loads = {worker: self._inflight[worker] for worker in candidates}
             eligible = [
                 worker
@@ -151,10 +220,11 @@ class ShardRouter:
             if not eligible:
                 self.shed += 1
                 raise BackpressureError(plan_id, loads, self.max_inflight_per_worker)
+            now = self._clock()
             chosen = min(
                 eligible,
                 key=lambda worker: (
-                    self._inflight[worker] + self._reported_backlog[worker],
+                    self._inflight[worker] + self._effective_backlog(worker, now),
                     worker,
                 ),
             )
@@ -162,13 +232,31 @@ class ShardRouter:
             self.dispatched += 1
             return chosen
 
+    def _effective_backlog(self, worker_id: str, now: float) -> int:
+        """The reported backlog, unless the report has aged past the TTL."""
+        if self.backlog_ttl_seconds is not None:
+            if now - self._backlog_reported_at.get(worker_id, now) > self.backlog_ttl_seconds:
+                return 0
+        return self._reported_backlog.get(worker_id, 0)
+
     def release(self, worker_id: str, backlog: Optional[int] = None) -> None:
         """Return a dispatch slot; record the backlog the worker reported."""
         with self._lock:
             if self._inflight.get(worker_id, 0) > 0:
                 self._inflight[worker_id] -= 1
             if backlog is not None:
-                self._reported_backlog[worker_id] = backlog
+                self._report_backlog_locked(worker_id, backlog)
+
+    def report_backlog(self, worker_id: str, backlog: int) -> None:
+        """Record a backlog observation outside a dispatch (heartbeat pings)."""
+        with self._lock:
+            self._report_backlog_locked(worker_id, backlog)
+
+    def _report_backlog_locked(self, worker_id: str, backlog: int) -> None:
+        if worker_id not in self._inflight:
+            return  # evicted while the reply was in flight
+        self._reported_backlog[worker_id] = backlog
+        self._backlog_reported_at[worker_id] = self._clock()
 
     def inflight(self, worker_id: str) -> int:
         with self._lock:
@@ -179,12 +267,14 @@ class ShardRouter:
     def stats(self) -> Dict[str, object]:
         with self._lock:
             return {
-                "workers": list(self.ring.nodes),
+                "workers": list(self._inflight),
                 "replicas": self.replicas,
                 "max_inflight_per_worker": self.max_inflight_per_worker,
+                "backlog_ttl_seconds": self.backlog_ttl_seconds,
                 "plans_placed": len(self._placements),
                 "dispatched": self.dispatched,
                 "shed": self.shed,
                 "inflight": dict(self._inflight),
                 "reported_backlog": dict(self._reported_backlog),
+                "evicted_workers": list(self._evicted),
             }

@@ -194,8 +194,10 @@ class SharedMemoryArena:
         worker still serves a plan mapping it -- a recycled slab is
         overwritten by the next same-class ``put_array``, which would
         silently change the bytes under any still-adopted view.  The serving
-        tier never frees while plans are registered; a reference-counted
-        unregister protocol is the arena-eviction follow-up in the ROADMAP.
+        tier enforces this with the control plane's reference-counted plan
+        lifecycle (:class:`repro.serving.control.lifecycle.PlanLifecycle`):
+        a slab is freed only when the last plan referencing its checksum has
+        been torn down on every hosting worker.
         """
         with self._lock:
             ref = self._refs.pop(checksum, None)
@@ -250,6 +252,12 @@ class SharedMemoryArena:
                 "dedup_hits": self.dedup_hits,
                 "allocations": self.allocations,
                 "frees": self.frees,
+                # recycled slabs sitting on the size-class free lists, i.e.
+                # bytes reclaimable without growing the bump pointer
+                "free_slabs": sum(len(offsets) for offsets in self._free_lists.values()),
+                "free_slab_bytes": sum(
+                    size * len(offsets) for size, offsets in self._free_lists.items()
+                ),
             }
 
     # -- lifecycle ------------------------------------------------------------------
@@ -331,9 +339,71 @@ class ArenaClient(ParameterBacking):
         with self._lock:
             self._refs.update(refs)
 
+    def drop_refs(self, checksums: Any) -> int:
+        """Forget mappings whose slabs the owner is about to free.
+
+        Sent with plan-teardown messages: once a slab is recycled, adopting a
+        stale ref would map a *different* parameter's bytes.  Dropping the
+        mapping only affects future adoptions -- arrays already rebound stay
+        valid exactly as long as the owner's liveness contract guarantees
+        (they are released by the same teardown that carries this drop).
+        """
+        with self._lock:
+            dropped = 0
+            for checksum in checksums:
+                if self._refs.pop(checksum, None) is not None:
+                    dropped += 1
+            return dropped
+
     def view(self, ref: ArenaRef) -> np.ndarray:
         """Read-only array mapped over the shared slab."""
         return _view(self._shm.buf, ref, writeable=False)
+
+    def privatize(self, object_store: Any, checksums: Any) -> int:
+        """Replace adopted views of these checksums with private copies.
+
+        The budget-pressure eviction path: the owner wants the slabs back
+        while their plans are still registered, so before the slabs can be
+        freed every canonical operator attribute and every stored parameter
+        that maps them must be rebound onto process-private copies (one copy
+        per checksum, shared by every attribute that referenced the slab).
+        Ends by dropping the refs, so later registrations re-adopt nothing.
+        Returns how many operator arrays were privatized.
+        """
+        from repro.operators.base import _checksum_of
+
+        wanted = set(checksums)
+        if not wanted:
+            return 0
+        copies: Dict[str, np.ndarray] = {}
+        swapped = 0
+        for operator in object_store.operators():
+            attributes = getattr(operator, "__dict__", None)
+            if not attributes:
+                continue
+            for attr_name, value in list(attributes.items()):
+                if not self._is_arena_view(value):
+                    continue
+                checksum = _checksum_of(value)
+                if checksum not in wanted:
+                    continue
+                private = copies.get(checksum)
+                if private is None or private.shape != value.shape or private.dtype != value.dtype:
+                    private = np.array(value)
+                    copies[checksum] = private
+                setattr(operator, attr_name, private)
+                swapped += 1
+        for checksum in wanted:
+            private = copies.get(checksum)
+            if private is None:
+                ref = self._ref_for(checksum)
+                if ref is None:
+                    continue
+                private = np.array(self.view(ref))
+                copies[checksum] = private
+            object_store.replace_parameter_value(checksum, private)
+        self.drop_refs(wanted)
+        return swapped
 
     def _ref_for(self, checksum: str) -> Optional[ArenaRef]:
         with self._lock:

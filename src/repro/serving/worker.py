@@ -2,7 +2,12 @@
 
 Each worker owns a complete white-box runtime -- Object Store, stage
 batching, reservations, vector pools, telemetry -- and serves a message loop
-over the duplex connection its cluster handed it.  Messages are framed with
+over a :class:`~repro.serving.control.transport.Transport`.  The loop only
+ever touches the Transport interface (``send_bytes`` / ``recv_bytes`` /
+``poll`` / ``close``), so the same worker serves a ``multiprocessing`` duplex
+pipe (:class:`~repro.serving.control.transport.PipeTransport`, the cluster's
+default), a cluster-dialed TCP connection, or a standalone ``--listen``
+socket a remote cluster attaches to.  Messages are framed with
 :func:`repro.net.serialize_message` / :func:`repro.net.deserialize_message`
 (the same JSON wire format every front-end in this repository models), with
 one non-JSON exception: pickled model payloads travel base64-encoded inside
@@ -22,10 +27,18 @@ Wire protocol (all requests carry ``msg_id``; every reply echoes it):
 =============  =========================================================
 ``type``       payload
 =============  =========================================================
-``ping``       -> ``{"pong": true}``
+``ping``       -> ``{"pong": true, "backlog": int}`` (heartbeat; the
+               backlog keeps the router's load view fresh on idle workers)
 ``register``   ``plan_id``, ``model_b64`` (pickled ``(pipeline, stats)``),
                ``engine``, ``arena_refs`` -> registration summary
-``unregister`` ``plan_id`` -> ack (cluster-side rollback of partial failures)
+``unregister`` ``plan_id``, optional ``drop_checksums`` -> teardown ack
+               (full plan lifecycle: runtime teardown releases the Object
+               Store's operator/parameter holds, and the listed arena refs
+               are forgotten because the owner is about to free the slabs)
+``demote``     ``checksums`` -> ``{"privatized_arrays": int}`` (arena
+               budget-pressure eviction: adopted views are replaced by
+               private copies so the owner may recycle the slabs while the
+               plans keep serving)
 ``predict``    ``plan_id``, ``records``, ``latency_sensitive`` ->
                ``{"outputs": [...], "backlog": int}``
 ``stats``      -> ``{"stats": runtime.stats(), ...}``
@@ -36,21 +49,45 @@ Wire protocol (all requests carry ``msg_id``; every reply echoes it):
 Failures are replies, not crashes: any handler exception is reported as
 ``{"ok": false, "error": ..., "error_type": ...}`` and the loop keeps
 serving, so one bad request cannot take a shard down.
+
+Standalone (multi-host) mode::
+
+    python -m repro.serving.worker --listen 0.0.0.0:7733 --worker-id remote-0
+
+binds a :class:`~repro.serving.control.transport.SocketListener` and serves
+one cluster connection at a time (re-accepting after a drop, which is what
+makes the cluster side's reconnect-once retry work) until a ``shutdown``
+message arrives.
 """
 
 from __future__ import annotations
 
+import argparse
 import base64
 import pickle
+import socket
 import traceback
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.config import PretzelConfig
 from repro.core.runtime import PretzelRuntime
-from repro.net import deserialize_message, serialize_message
+from repro.net import deserialize_message, parse_host_port, serialize_message
+from repro.serving.control.transport import (
+    PipeTransport,
+    SocketListener,
+    Transport,
+)
 from repro.serving.shm_store import ArenaClient, ArenaRef
 
-__all__ = ["ServingWorker", "worker_main", "encode_model", "decode_model"]
+__all__ = [
+    "ServingWorker",
+    "worker_main",
+    "socket_worker_main",
+    "listen_and_serve",
+    "encode_model",
+    "decode_model",
+    "main",
+]
 
 
 def encode_model(pipeline: Any, stats: Optional[Dict[str, Any]]) -> str:
@@ -81,6 +118,15 @@ class ServingWorker:
         self.runtime = PretzelRuntime(self.config, parameter_backing=self.arena)
         self.served_predictions = 0
         self.failed_requests = 0
+        #: (msg_id, encoded reply) of the last request served.  The socket
+        #: transport's reconnect-once retry *resends* the in-flight frame, so
+        #: a worker that already processed it (the drop happened after
+        #: delivery) would otherwise execute a non-idempotent message -- e.g.
+        #: a register -- twice.  Replaying the cached reply makes the resend
+        #: exactly-once from the cluster's point of view.  It survives across
+        #: connections on purpose: the duplicate arrives on the re-accepted
+        #: connection.
+        self.last_reply: Optional[Tuple[Any, bytes]] = None
 
     # -- handlers ------------------------------------------------------------
 
@@ -107,7 +153,10 @@ class ServingWorker:
             }
 
     def _handle_ping(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        return {"pong": True}
+        # Pings double as idle heartbeats; piggybacking the backlog here (as
+        # predict replies already do) is what lets the router age out stale
+        # depth without extra stats round trips.
+        return {"pong": True, "backlog": self._backlog()}
 
     def _handle_register(self, message: Dict[str, Any]) -> Dict[str, Any]:
         pipeline, stats = decode_model(message["model_b64"])
@@ -133,9 +182,31 @@ class ServingWorker:
         }
 
     def _handle_unregister(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Drop a plan (used by the cluster to roll back partial registration)."""
+        """Tear a plan down (registration rollback, or full unregister).
+
+        ``drop_checksums`` lists the arena slabs the owner will free once
+        every hosting worker has acknowledged this teardown; forgetting the
+        refs here guarantees a recycled slab is never re-adopted under a
+        later registration.
+        """
         self.runtime.unregister(message["plan_id"])
-        return {"plan_id": message["plan_id"], "unregistered": True}
+        dropped = 0
+        if self.arena is not None:
+            dropped = self.arena.drop_refs(message.get("drop_checksums") or ())
+        return {
+            "plan_id": message["plan_id"],
+            "unregistered": True,
+            "dropped_refs": dropped,
+            "memory_bytes": self.runtime.memory_bytes(),
+        }
+
+    def _handle_demote(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Privatize adopted arena views ahead of a budget-pressure eviction."""
+        privatized = 0
+        checksums = message.get("checksums") or ()
+        if self.arena is not None and checksums:
+            privatized = self.arena.privatize(self.runtime.object_store, checksums)
+        return {"privatized_arrays": privatized}
 
     def _handle_predict(self, message: Dict[str, Any]) -> Dict[str, Any]:
         plan_id = message["plan_id"]
@@ -182,21 +253,27 @@ class ServingWorker:
             self.arena.close()
 
 
-def worker_main(
-    worker_id: str,
-    connection: Any,
-    config: PretzelConfig,
-    arena_segment: Optional[str],
-) -> None:
-    """Process entry point: serve the message loop until shutdown/EOF."""
-    worker = ServingWorker(worker_id, config=config, arena_segment=arena_segment)
-    try:
-        while True:
-            try:
-                payload = connection.recv_bytes()
-            except (EOFError, OSError):
-                break  # cluster died or closed the pipe: exit quietly
-            message = deserialize_message(payload)
+def _serve(worker: ServingWorker, transport: Transport) -> str:
+    """Serve one connection until shutdown or peer close.
+
+    Returns ``"shutdown"`` when a shutdown message ended the loop and
+    ``"eof"`` when the peer dropped the connection (a listening worker then
+    re-accepts, which is what the cluster's reconnect-once retry relies on).
+    """
+    while True:
+        try:
+            payload = transport.recv_bytes()
+        except (EOFError, OSError):
+            return "eof"
+        message = deserialize_message(payload)
+        msg_id = message.get("msg_id")
+        cached = worker.last_reply
+        if msg_id is not None and cached is not None and cached[0] == msg_id:
+            # A transport-level resend of a message this worker already
+            # processed (the connection dropped after delivery): replay the
+            # recorded reply instead of executing the handler twice.
+            encoded = cached[1]
+        else:
             reply = worker.handle(message)
             try:
                 encoded = serialize_message(reply)
@@ -206,19 +283,126 @@ def worker_main(
                 worker.failed_requests += 1
                 encoded = serialize_message(
                     {
-                        "msg_id": message.get("msg_id"),
+                        "msg_id": msg_id,
                         "ok": False,
-                        "worker_id": worker_id,
+                        "worker_id": worker.worker_id,
                         "error": f"reply not serializable: {error}",
                         "error_type": "TypeError",
                     }
                 )
-            connection.send_bytes(encoded)
-            if message.get("type") == "shutdown":
+            if msg_id is not None:
+                worker.last_reply = (msg_id, encoded)
+        try:
+            transport.send_bytes(encoded)
+        except OSError:
+            return "eof"
+        if message.get("type") == "shutdown":
+            return "shutdown"
+
+
+def worker_main(
+    worker_id: str,
+    connection: Any,
+    config: PretzelConfig,
+    arena_segment: Optional[str],
+) -> None:
+    """Process entry point: serve one connection until shutdown/EOF.
+
+    ``connection`` is either a :class:`Transport` or a raw ``multiprocessing``
+    ``Connection`` (wrapped in a :class:`PipeTransport`, byte-identically to
+    the pre-control-plane tier).
+    """
+    transport = (
+        connection if isinstance(connection, Transport) else PipeTransport(connection)
+    )
+    worker = ServingWorker(worker_id, config=config, arena_segment=arena_segment)
+    try:
+        _serve(worker, transport)
+    finally:
+        worker.close()
+        transport.close()
+
+
+def listen_and_serve(
+    worker: ServingWorker,
+    listener: SocketListener,
+    accept_timeout: Optional[float] = None,
+) -> None:
+    """Accept cluster connections one at a time until a shutdown message.
+
+    A dropped connection sends the loop back to ``accept`` instead of
+    exiting, so a cluster-side reconnect (the transport's reconnect-once
+    semantics) finds the worker -- with all its registered plans -- intact.
+    """
+    try:
+        while True:
+            try:
+                transport = listener.accept(timeout=accept_timeout)
+            except (socket.timeout, OSError):
+                break
+            try:
+                outcome = _serve(worker, transport)
+            finally:
+                transport.close()
+            if outcome == "shutdown":
                 break
     finally:
         worker.close()
-        try:
-            connection.close()
-        except OSError:
-            pass
+        listener.close()
+
+
+def socket_worker_main(
+    worker_id: str,
+    bootstrap: Any,
+    config: PretzelConfig,
+    arena_segment: Optional[str],
+    host: str = "127.0.0.1",
+) -> None:
+    """Process entry point for a cluster-spawned *socket* worker.
+
+    Binds an ephemeral port, reports it back over the one-shot ``bootstrap``
+    pipe (the only pipe traffic a socket worker ever sees), then serves TCP.
+    """
+    listener = SocketListener(host=host, port=0)
+    try:
+        bootstrap.send_bytes(serialize_message({"port": listener.port, "host": host}))
+    finally:
+        bootstrap.close()
+    worker = ServingWorker(worker_id, config=config, arena_segment=arena_segment)
+    listen_and_serve(worker, listener)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run a standalone listening worker a remote cluster can attach to."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.worker",
+        description="Serve a PretzelRuntime worker over a listening TCP socket.",
+    )
+    parser.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="address to bind (PORT 0 picks an ephemeral port)",
+    )
+    parser.add_argument("--worker-id", default="worker-listen", help="worker id for telemetry")
+    parser.add_argument(
+        "--arena",
+        default=None,
+        metavar="SEGMENT",
+        help="shared-memory arena segment to attach (same-host clusters only)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        host, port = parse_host_port(args.listen)
+    except ValueError:
+        parser.error("--listen must be HOST:PORT")
+    listener = SocketListener(host=host, port=port)
+    bound_host, bound_port = listener.address
+    print(f"pretzel worker {args.worker_id!r} listening on {bound_host}:{bound_port}", flush=True)
+    worker = ServingWorker(args.worker_id, config=PretzelConfig(), arena_segment=args.arena)
+    listen_and_serve(worker, listener)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,97 @@ class TestObjectStore:
         assert stats["operator_hits"] == 1 and stats["operator_misses"] == 1
 
 
+class TestObjectStoreRelease:
+    def _linear(self, seed):
+        rng = np.random.default_rng(seed)
+        model = LinearRegressor()
+        model.weights = rng.normal(size=16)
+        model.bias = 0.5
+        return model
+
+    def test_release_decrements_then_drops(self):
+        store = ObjectStore()
+        first = store.intern_operator(self._linear(1))
+        store.intern_operator(self._linear(1))  # second plan, same state
+        assert store.operator_refcount(first) == 2
+        assert store.release_operator(first) is False  # one plan remains
+        assert store.operator_refcount(first) == 1
+        assert store.unique_operator_count() == 1
+        assert store.release_operator(first) is True  # last plan gone
+        assert store.unique_operator_count() == 0
+        assert store.unique_parameter_count() == 0
+        assert store.memory_bytes() == 0
+
+    def test_release_unknown_operator_is_a_noop(self):
+        store = ObjectStore()
+        assert store.release_operator(self._linear(2)) is False
+
+    def test_release_disabled_store_is_a_noop(self):
+        store = ObjectStore(enabled=False)
+        model = store.intern_operator(self._linear(3))
+        assert store.release_operator(model) is False
+
+    def test_shared_parameter_survives_until_last_reference(self):
+        """A parameter interned directly AND through an operator only
+        disappears when both references are gone."""
+        store = ObjectStore()
+        model = self._linear(4)
+        canonical = store.intern_operator(model)
+        weights_param = next(
+            p for p in canonical.parameters() if isinstance(p.value, np.ndarray)
+        )
+        # Same (name, checksum) key as the operator's weights -> a dedup hit
+        # that adds a second reference to the stored parameter.
+        store.intern_parameter(Parameter(weights_param.name, weights_param.value.copy()))
+        before = store.unique_parameter_count()
+        assert store.release_operator(canonical) is True
+        # The direct intern still holds the weights; the bias went with the
+        # operator (its only reference).
+        assert store.unique_parameter_count() == before - (
+            len(canonical.parameters()) - 1
+        )
+        assert any(p.checksum == weights_param.checksum for p in store.parameters())
+
+    def test_replace_parameter_value_rebinds_stored_copy(self):
+        store = ObjectStore()
+        value = np.arange(8, dtype=np.float64)
+        stored = store.intern_parameter(Parameter("w", value))
+        replacement = value.copy()
+        assert store.replace_parameter_value(stored.checksum, replacement) == 1
+        refreshed = next(p for p in store.parameters() if p.checksum == stored.checksum)
+        assert refreshed.value is replacement
+        assert refreshed.nbytes == stored.nbytes
+
+
+def test_runtime_unregister_releases_object_store_holds(sa_pipeline):
+    """PretzelRuntime.unregister mirrors registration: the last plan using an
+    operator releases its canonical copy (and parameters), the stage catalog
+    drops stages no plan uses, and the footprint actually shrinks."""
+    from repro.core.config import PretzelConfig
+    from repro.core.runtime import PretzelRuntime
+
+    with PretzelRuntime(PretzelConfig()) as runtime:
+        baseline = runtime.memory_bytes()
+        runtime.register(sa_pipeline, plan_id="a")
+        runtime.register(sa_pipeline, plan_id="b")
+        registered_memory = runtime.memory_bytes()
+        assert registered_memory > baseline
+        operators = runtime.object_store.unique_operator_count()
+        assert operators > 0
+        runtime.unregister("a")
+        # Everything is still shared with "b": nothing was dropped.
+        assert runtime.object_store.unique_operator_count() == operators
+        assert runtime.predict("b", "some text") is not None
+        runtime.unregister("b")
+        assert runtime.object_store.unique_operator_count() == 0
+        assert runtime.object_store.unique_parameter_count() == 0
+        assert runtime.unique_stage_count() == 0
+        assert len(runtime.compiler.stage_catalog) == 0
+        assert runtime.memory_bytes() < registered_memory
+        # Unknown ids stay a no-op.
+        runtime.unregister("never-registered")
+
+
 class TestObjectStoreConcurrency:
     def test_concurrent_checksum_identical_registration_dedupes(self):
         """Two threads racing to register checksum-identical parameters must

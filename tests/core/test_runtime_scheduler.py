@@ -248,3 +248,59 @@ class TestFrontEnd:
         runtime.register(sa_pipeline)
         frontend = PretzelFrontEnd(runtime)
         assert frontend.memory_bytes() > runtime.memory_bytes()
+
+
+class TestReservationRelease:
+    def test_unreserve_returns_executor_to_shared_pool(self, runtime, sa_pipeline, sa_inputs):
+        scheduler = Scheduler()
+        scheduler.reserve("reserved-plan", executor_id=0)
+        assert scheduler.reservation_for("reserved-plan") == 0
+        assert scheduler.reserved_executor_ids() == [0]
+        # A shared request is invisible to the reserved executor...
+        plan_id = runtime.register(sa_pipeline)
+        scheduler.submit(InferenceRequest(plan_id, runtime.plan(plan_id), sa_inputs[0]))
+        assert scheduler.next_event(executor_id=0, timeout=0.01) is None
+        assert scheduler.unreserve("reserved-plan") is True
+        assert scheduler.reservation_for("reserved-plan") is None
+        assert scheduler.reserved_executor_ids() == []
+        # ...and served by it once the reservation is released.
+        assert scheduler.next_event(executor_id=0, timeout=0.01) is not None
+
+    def test_unreserve_requeues_stranded_private_events(self, runtime, sa_pipeline, sa_inputs):
+        scheduler = Scheduler()
+        plan_id = runtime.register(sa_pipeline)
+        scheduler.reserve(plan_id, executor_id=1)
+        scheduler.submit(InferenceRequest(plan_id, runtime.plan(plan_id), sa_inputs[0]))
+        events_before = scheduler.scheduled_events
+        assert scheduler.unreserve(plan_id) is True
+        # The queued event moved to the shared queues (not lost, not
+        # double-counted) and any executor can now pull it.
+        assert scheduler.scheduled_events == events_before
+        assert scheduler.queue_depths()["low"] == 1
+        assert scheduler.next_event(executor_id=0, timeout=0.01) is not None
+
+    def test_unreserve_keeps_executor_while_other_plan_holds_it(self):
+        scheduler = Scheduler()
+        scheduler.reserve("a", executor_id=0)
+        scheduler.reserve("b", executor_id=0)
+        assert scheduler.unreserve("a") is True
+        assert scheduler.reserved_executor_ids() == [0]  # "b" still holds it
+        assert scheduler.unreserve("b") is True
+        assert scheduler.reserved_executor_ids() == []
+
+    def test_unreserve_unknown_plan_is_a_noop(self):
+        assert Scheduler().unreserve("ghost") is False
+
+    def test_runtime_unregister_releases_reservation(self, runtime, sa_pipeline, sa_inputs):
+        """register(reserve=True) + unregister cycles must not permanently
+        dedicate executors to gone plans (pool starvation)."""
+        for cycle in range(3):
+            plan_id = runtime.register(sa_pipeline, reserve=True, plan_id=f"r{cycle}")
+            assert runtime.scheduler.reservation_for(plan_id) is not None
+            runtime.unregister(plan_id)
+            assert runtime.scheduler.reservation_for(plan_id) is None
+        assert runtime.scheduler.reserved_executor_ids() == []
+        # The batch engine still serves with its full shared pool.
+        plan_id = runtime.register(sa_pipeline, engine="batch")
+        outputs = runtime.predict_batch(plan_id, sa_inputs[:3], timeout=30.0)
+        assert outputs == pytest.approx([sa_pipeline.predict(t) for t in sa_inputs[:3]])

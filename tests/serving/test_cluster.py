@@ -198,3 +198,339 @@ def test_admission_control_sheds_under_overload(sa_pipeline, sa_inputs):
             count <= config.max_inflight_per_worker
             for count in stats["router"]["inflight"].values()
         )
+
+
+# -- control plane: transports, fail-over, lifecycle ---------------------------
+
+
+def test_socket_transport_serves_the_smoke_workload(
+    sa_pipeline, sa_pipeline_variant, sa_inputs
+):
+    """The serving-smoke scenario over TCP: a 2-worker socket cluster serves
+    100 predictions bit-equal to the single-process runtime."""
+    config = _config(transport="socket")
+    with PretzelRuntime(PretzelConfig()) as runtime, PretzelCluster(config) as cluster:
+        reference = {
+            "a": runtime.register(sa_pipeline, plan_id="a"),
+            "b": runtime.register(sa_pipeline_variant, plan_id="b"),
+        }
+        assert cluster.register(sa_pipeline, plan_id="a") == "a"
+        assert cluster.register(sa_pipeline_variant, plan_id="b") == "b"
+        served = 0
+        while served < 100:
+            for plan_id in ("a", "b"):
+                record = sa_inputs[served % len(sa_inputs)]
+                assert cluster.predict(plan_id, record) == pytest.approx(
+                    runtime.predict(reference[plan_id], record)
+                )
+                served += 1
+        stats = cluster.stats()
+        assert stats["served_predictions"] >= 100
+        assert stats["shed"] == 0
+        assert stats["control_plane"]["transport"] == "socket"
+        assert stats["control_plane"]["failovers"] == 0
+
+
+def test_socket_failover_zero_lost_requests(sa_pipeline, sa_inputs):
+    """The acceptance scenario (and the CI failover-smoke job): 4 clients
+    stream predictions over SocketTransport while one worker is killed
+    mid-stream; every request completes via typed-retryable errors and the
+    fail-over is counted in the control-plane stats."""
+    from repro.serving import WorkerFailedError
+
+    config = _config(
+        transport="socket",
+        heartbeat_interval_seconds=0.2,
+        worker_timeout_seconds=30.0,
+    )
+    clients, per_client = 4, 25
+    with PretzelCluster(config) as cluster:
+        plan_id = cluster.register(sa_pipeline)
+        results = [[] for _ in range(clients)]
+        kill_at = threading.Barrier(clients + 1)
+
+        def client(slot):
+            for index in range(per_client):
+                if index == per_client // 4:
+                    kill_at.wait()  # line every client up around the kill
+                record = sa_inputs[(slot + index) % len(sa_inputs)]
+                deadline = time.time() + 60.0
+                while True:
+                    try:
+                        results[slot].append(cluster.predict(plan_id, record))
+                        break
+                    except (WorkerFailedError, BackpressureError) as error:
+                        assert error.retryable is True
+                        assert time.time() < deadline, "retry never succeeded"
+                        time.sleep(0.005)
+
+        threads = [threading.Thread(target=client, args=(slot,)) for slot in range(clients)]
+        for thread in threads:
+            thread.start()
+        kill_at.wait()
+        victim = cluster.placement(plan_id)[0]
+        cluster._workers[victim].process.kill()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert all(not thread.is_alive() for thread in threads)
+        # Zero lost requests: every prediction completed, with correct values.
+        expected = {
+            record: sa_pipeline.predict(record) for record in sa_inputs
+        }
+        for slot in range(clients):
+            assert len(results[slot]) == per_client
+            for index, value in enumerate(results[slot]):
+                record = sa_inputs[(slot + index) % len(sa_inputs)]
+                assert value == pytest.approx(expected[record])
+        stats = cluster.stats()
+        control = stats["control_plane"]
+        assert control["failovers"] == 1
+        assert victim in control["dead_workers"]
+        assert control["worker_states"][victim] == "dead"
+        assert victim not in cluster.worker_ids()
+        assert victim not in cluster.placement(plan_id)
+
+
+def test_failover_rehomes_single_replica_plans(sa_pipeline, sa_pipeline_variant, sa_inputs):
+    """With replicas=1 a dead worker's plans must be re-registered onto the
+    survivor (the registration path + arena adoption, reused)."""
+    from repro.serving import WorkerFailedError
+
+    config = _config(placement_replicas=1, heartbeat_interval_seconds=0.2)
+    with PretzelCluster(config) as cluster:
+        ids = [
+            cluster.register(sa_pipeline, plan_id="a"),
+            cluster.register(sa_pipeline_variant, plan_id="b"),
+        ]
+        hosted = {plan: cluster.placement(plan)[0] for plan in ids}
+        victim = hosted["a"]
+        victim_plans = [plan for plan, worker in hosted.items() if worker == victim]
+        cluster._workers[victim].process.kill()
+        for plan in ids:
+            reference = sa_pipeline if plan == "a" else sa_pipeline_variant
+            deadline = time.time() + 60.0
+            while True:
+                try:
+                    value = cluster.predict(plan, sa_inputs[0])
+                    break
+                except WorkerFailedError:
+                    assert time.time() < deadline
+                    time.sleep(0.01)
+            assert value == pytest.approx(reference.predict(sa_inputs[0]))
+            assert victim not in cluster.placement(plan)
+        control = cluster.stats()["control_plane"]
+        assert control["failovers"] == 1
+        assert control["plans_failed_over"] == len(victim_plans)
+
+
+def test_idle_workers_are_pinged_and_stay_alive(sa_pipeline):
+    config = _config(heartbeat_interval_seconds=0.1)
+    with PretzelCluster(config) as cluster:
+        cluster.register(sa_pipeline)
+        deadline = time.time() + 10.0
+        while cluster.control.heartbeats_sent == 0:
+            assert time.time() < deadline, "no idle ping within 10s"
+            time.sleep(0.02)
+        control = cluster.stats()["control_plane"]
+        assert set(control["worker_states"].values()) == {"alive"}
+        assert control["heartbeat_interval_seconds"] == pytest.approx(0.1)
+        assert all(age < 5.0 for age in control["heartbeat_ages_seconds"].values())
+
+
+def test_unregister_reclaims_exclusive_slabs(sa_pipeline, sa_pipeline_variant, sa_inputs):
+    """The acceptance criterion: after unregister, the plan's exclusively
+    referenced slabs are back on the free lists and memory_bytes() drops;
+    slabs shared with a surviving plan stay live until the *last* plan
+    referencing their checksum unregisters."""
+    with PretzelCluster(_config()) as cluster:
+        # "a" and "a2" are checksum-identical (every slab shared between
+        # them); "b" has its own classifier weights (exclusive slabs).
+        cluster.register(sa_pipeline, plan_id="a")
+        cluster.register(sa_pipeline, plan_id="a2")
+        cluster.register(sa_pipeline_variant, plan_id="b")
+        arena_before = cluster.arena.stats()
+        assert arena_before["free_slabs"] == 0
+        memory_before = cluster.memory_bytes()
+        exclusive_b = cluster.lifecycle.exclusive_checksums("b")
+        shared_a = cluster.lifecycle.checksums("a")
+        assert exclusive_b and shared_a
+        assert cluster.lifecycle.exclusive_checksums("a") == set()
+
+        cluster.unregister("b")
+
+        arena_after = cluster.arena.stats()
+        assert arena_after["frees"] == len(exclusive_b)
+        assert arena_after["free_slabs"] == len(exclusive_b)
+        assert arena_after["free_slab_bytes"] > 0
+        assert arena_after["parameters"] == arena_before["parameters"] - len(exclusive_b)
+        assert arena_after["used_bytes"] < arena_before["used_bytes"]
+        assert cluster.memory_bytes() < memory_before
+        # The unregistered id is gone end to end (router included).
+        assert "b" not in cluster.plan_ids()
+        with pytest.raises(KeyError):
+            cluster.predict("b", sa_inputs[0])
+        assert cluster.stats()["control_plane"]["unregistered_plans"] == 1
+
+        # A slab frees only when the LAST plan referencing its checksum goes:
+        # dropping "a" keeps everything live for "a2"...
+        cluster.unregister("a")
+        assert cluster.arena.stats()["frees"] == len(exclusive_b)
+        for checksum in shared_a:
+            assert cluster.arena.get(checksum) is not None
+        assert cluster.predict("a2", sa_inputs[0]) == pytest.approx(
+            sa_pipeline.predict(sa_inputs[0])
+        )
+        # ...and dropping "a2" finally releases the shared slabs too.
+        cluster.unregister("a2")
+        assert cluster.arena.stats()["frees"] == len(exclusive_b) + len(shared_a)
+        assert cluster.arena.stats()["used_bytes"] == 0
+        # Freed ids stay reusable; recycled slabs are re-populated safely.
+        assert cluster.register(sa_pipeline, plan_id="a") == "a"
+        assert cluster.predict("a", sa_inputs[0]) == pytest.approx(
+            sa_pipeline.predict(sa_inputs[0])
+        )
+
+
+def test_unregister_unknown_plan_raises():
+    with PretzelCluster(_config(shm_budget_bytes=0)) as cluster:
+        with pytest.raises(KeyError):
+            cluster.unregister("never-registered")
+
+
+def test_arena_pressure_evicts_coldest_plan_and_it_keeps_serving(
+    sa_pipeline, sa_pipeline_variant, sa_inputs
+):
+    """Budget pressure: a registration that does not fit evicts the coldest
+    plan's exclusive slabs (traffic-EMA victim selection); the victim's
+    workers privatize those parameters first, so it keeps serving correctly."""
+    # Find how much one plan's shared set costs, then budget for ~1 plan.
+    with PretzelCluster(_config()) as probe:
+        probe.register(sa_pipeline, plan_id="probe")
+        per_plan = probe.arena.stats()["allocated_bytes"]
+    config = _config(shm_budget_bytes=per_plan + 1024)
+    with PretzelCluster(config) as cluster:
+        cluster.register(sa_pipeline, plan_id="cold")
+        # Heat a different plan?  No: "cold" is the only registered plan, so
+        # it is the coldest by construction when the next registration needs
+        # room for its distinct classifier weights.
+        cluster.register(sa_pipeline_variant, plan_id="warm")
+        stats = cluster.stats()
+        assert stats["control_plane"]["arena_evictions"] >= 1
+        assert stats["arena"]["frees"] >= 1
+        # Both plans keep serving bit-equal predictions -- the victim through
+        # its privatized copies, the newcomer through the arena.
+        assert cluster.predict("cold", sa_inputs[0]) == pytest.approx(
+            sa_pipeline.predict(sa_inputs[0])
+        )
+        assert cluster.predict("warm", sa_inputs[0]) == pytest.approx(
+            sa_pipeline_variant.predict(sa_inputs[0])
+        )
+
+
+def test_arena_eviction_policy_none_overflows_instead(
+    sa_pipeline, sa_pipeline_variant, sa_inputs
+):
+    with PretzelCluster(_config()) as probe:
+        probe.register(sa_pipeline, plan_id="probe")
+        per_plan = probe.arena.stats()["allocated_bytes"]
+    config = _config(shm_budget_bytes=per_plan + 1024, arena_eviction_policy="none")
+    with PretzelCluster(config) as cluster:
+        cluster.register(sa_pipeline, plan_id="first")
+        cluster.register(sa_pipeline_variant, plan_id="second")
+        stats = cluster.stats()
+        assert stats["control_plane"]["arena_evictions"] == 0
+        assert stats["arena_overflows"] >= 1
+        # Nothing was reclaimed under the first plan...
+        assert stats["arena"]["frees"] == 0
+        # ...and both plans serve correctly (the overflow stayed private).
+        assert cluster.predict("second", sa_inputs[0]) == pytest.approx(
+            sa_pipeline_variant.predict(sa_inputs[0])
+        )
+
+
+def test_unknown_transport_rejected():
+    with pytest.raises(ValueError):
+        PretzelCluster(_config(transport="carrier-pigeon"))
+
+
+def test_unknown_policies_rejected_at_construction():
+    """A typo in a policy knob must fail fast, not silently select the
+    degraded fallback behaviour (e.g. never re-homing plans)."""
+    with pytest.raises(ValueError):
+        PretzelCluster(_config(failover_policy="reregister"))
+    with pytest.raises(ValueError):
+        PretzelCluster(_config(arena_eviction_policy="lru"))
+
+
+def test_failed_registration_rolls_back_arena_slabs(sa_pipeline, sa_pipeline_variant):
+    """A rolled-back registration (application error on the second placed
+    worker) returns the plan's freshly allocated slabs to the arena -- the
+    acked rollback path of the liveness guard."""
+    from repro.serving.worker import encode_model
+
+    with PretzelCluster(_config()) as cluster:
+        cluster.register(sa_pipeline, plan_id="keeper")
+        arena_before = cluster.arena.stats()
+        placed = cluster.router.place("x")
+        # Occupy the id on the second placed worker so registration succeeds
+        # on the first and fails (ok=False, healthy channel) on the second.
+        cluster._workers[placed[1]].request(
+            {
+                "type": "register",
+                "msg_id": -1,
+                "plan_id": "x",
+                "model_b64": encode_model(sa_pipeline_variant, None),
+            },
+            timeout=60.0,
+        )
+        with pytest.raises(WorkerFailure):
+            cluster.register(sa_pipeline_variant, plan_id="x")
+        arena_after = cluster.arena.stats()
+        # The variant's exclusive weights were allocated then freed; nothing
+        # of the keeper's was touched.
+        assert arena_after["frees"] == arena_after["allocations"] - arena_before["allocations"]
+        assert arena_after["used_bytes"] == arena_before["used_bytes"]
+        assert arena_after["free_slabs"] > 0
+        assert "x" not in cluster.lifecycle.plans()
+
+
+def test_msg_ids_are_unique_per_cluster_generation(sa_pipeline):
+    """A standalone --listen worker outlives its cluster and replays cached
+    replies for repeated msg_ids, so two cluster generations must never
+    produce colliding ids."""
+    with PretzelCluster(_config(num_workers=1, shm_budget_bytes=0)) as first:
+        first_message = first._message("ping")
+        assert first_message["msg_id"].startswith(f"{first._msg_prefix}:")
+        with PretzelCluster(_config(num_workers=1, shm_budget_bytes=0)) as second:
+            assert first._msg_prefix != second._msg_prefix
+            assert second._message("ping")["msg_id"] != first_message["msg_id"]
+
+
+def test_teardown_guard_blocks_free_for_evicted_attached_workers():
+    """An attached worker evicted on connection loss may still be running
+    (and mapping slabs): the reclamation guard must refuse the free, while a
+    spawned worker whose process was terminated proves its mappings gone."""
+    from repro.serving.cluster import _WorkerHandle
+    from repro.serving.control.transport import PipeTransport
+
+    with PretzelCluster(_config(num_workers=1, shm_budget_bytes=0)) as cluster:
+        # Evicted *attached* worker (process is None): unknown liveness.
+        import multiprocessing
+
+        left, _right = multiprocessing.Pipe(duplex=True)
+        cluster._evicted_handles["ghost-attached"] = _WorkerHandle(
+            "ghost-attached", None, PipeTransport(left)
+        )
+        assert cluster._teardown_on_workers(
+            ["ghost-attached"], "unregister", plan_id="x", drop_checksums=[]
+        ) is False
+        # Evicted *spawned* worker: its process died with its mappings.
+        spawned = cluster._workers["worker-0"]
+        cluster._evicted_handles["ghost-spawned"] = spawned
+        assert cluster._teardown_on_workers(
+            ["ghost-spawned"], "unregister", plan_id="x", drop_checksums=[]
+        ) is True
+        # Unknown workers (never seen) are simply skipped.
+        assert cluster._teardown_on_workers(
+            ["never-existed"], "unregister", plan_id="x", drop_checksums=[]
+        ) is True

@@ -94,3 +94,172 @@ class TestShardRouter:
             router.acquire("plan")
         router.release(workers[0])
         assert router.acquire("plan") == workers[0]
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBackpressureRetryMetadata:
+    """The typed shed carries everything a client needs for informed retry."""
+
+    def test_error_carries_observed_loads_and_limit(self):
+        router = ShardRouter(["w0", "w1", "w2"], replicas=2, max_inflight_per_worker=1)
+        placed = router.place("plan")
+        for _ in placed:
+            router.acquire("plan")
+        with pytest.raises(BackpressureError) as excinfo:
+            router.acquire("plan")
+        error = excinfo.value
+        assert error.retryable is True
+        # The loads snapshot covers exactly the placed workers, at the limit.
+        assert error.loads == {worker: 1 for worker in placed}
+        assert error.max_inflight == 1
+        assert error.plan_id == "plan"
+        # The snapshot is a copy: releasing a slot does not mutate the error.
+        router.release(placed[0])
+        assert error.loads[placed[0]] == 1
+
+    def test_retry_after_release_succeeds(self):
+        router = ShardRouter(["w0", "w1"], replicas=2, max_inflight_per_worker=1)
+        placed = router.place("plan")
+        workers = [router.acquire("plan") for _ in placed]
+        with pytest.raises(BackpressureError):
+            router.acquire("plan")
+        router.release(workers[0])
+        assert router.acquire("plan") == workers[0]
+
+
+class TestPlacementDeterminismAcrossRestarts:
+    """A restarted router (same worker set) must re-derive identical placements."""
+
+    def test_same_plan_set_same_placements(self):
+        workers = [f"worker-{i}" for i in range(5)]
+        plans = [f"plan-{i}" for i in range(40)]
+        first = ShardRouter(list(workers), replicas=2)
+        before = {plan: first.place(plan) for plan in plans}
+        # New process, same configuration: placements are a pure function of
+        # (worker set, vnodes, plan id), not of registration order or history.
+        second = ShardRouter(list(reversed(workers)), replicas=2)
+        for plan in reversed(plans):
+            assert second.place(plan) == before[plan]
+
+    def test_replica_override_is_deterministic_too(self):
+        first = ShardRouter([f"w{i}" for i in range(4)], replicas=1)
+        second = ShardRouter([f"w{i}" for i in range(4)], replicas=1)
+        assert first.place("p", replicas=3) == second.place("p", replicas=3)
+
+
+class TestBacklogAging:
+    """A stale reported backlog must not shun an idle (recovered) worker."""
+
+    def _router(self, clock):
+        return ShardRouter(
+            ["w0", "w1"],
+            replicas=2,
+            max_inflight_per_worker=8,
+            backlog_ttl_seconds=5.0,
+            clock=clock,
+        )
+
+    def test_stale_backlog_ages_out(self):
+        clock = FakeClock()
+        router = self._router(clock)
+        first_worker, second_worker = router.place("plan")
+        router.release(first_worker, backlog=50)  # deep queue reported once
+        assert router.acquire("plan") == second_worker
+        router.release(second_worker)
+        # Within the TTL the report still steers dispatch away...
+        clock.advance(4.0)
+        assert router.acquire("plan") == second_worker
+        router.release(second_worker)
+        # ...but past it the stale depth counts as zero and the worker is
+        # eligible again (ties break lexicographically).
+        clock.advance(2.0)
+        assert router.acquire("plan") == first_worker
+
+    def test_fresh_report_resets_the_clock(self):
+        clock = FakeClock()
+        router = self._router(clock)
+        first_worker, second_worker = router.place("plan")
+        router.release(first_worker, backlog=50)
+        clock.advance(4.0)
+        router.report_backlog(first_worker, 50)  # heartbeat refreshes it
+        clock.advance(2.0)  # original report would have expired by now
+        assert router.acquire("plan") == second_worker
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(["w0"], backlog_ttl_seconds=0.0)
+
+
+class TestWorkerEviction:
+    def test_evicted_worker_leaves_ring_placements_and_books(self):
+        router = ShardRouter(["w0", "w1", "w2"], replicas=2)
+        placed = router.place("plan")
+        victim = placed[0]
+        router.evict_worker(victim)
+        assert victim not in router.workers()
+        assert victim not in router.place("plan")
+        assert victim not in router.ring.nodes
+        stats = router.stats()
+        assert stats["evicted_workers"] == [victim]
+        assert victim not in stats["inflight"]
+        # New plans hash over survivors only.
+        for index in range(20):
+            assert victim not in router.place(f"new-{index}")
+
+    def test_acquire_with_every_replica_evicted_raises_worker_failed(self):
+        from repro.serving.control.failure import WorkerFailedError
+
+        router = ShardRouter(["w0", "w1"], replicas=2)
+        for worker in list(router.place("plan")):
+            router.evict_worker(worker)
+        with pytest.raises(WorkerFailedError) as excinfo:
+            router.acquire("plan")
+        assert excinfo.value.retryable is True
+
+    def test_place_with_no_survivors_raises_worker_failed(self):
+        from repro.serving.control.failure import WorkerFailedError
+
+        router = ShardRouter(["w0"], replicas=1)
+        router.evict_worker("w0")
+        with pytest.raises(WorkerFailedError):
+            router.place("fresh-plan")
+
+    def test_set_placement_rehomes(self):
+        router = ShardRouter(["w0", "w1", "w2"], replicas=1)
+        router.place("plan")
+        router.set_placement("plan", ["w2"])
+        assert router.place("plan") == ["w2"]
+        assert router.acquire("plan") == "w2"
+
+    def test_release_after_eviction_is_ignored(self):
+        router = ShardRouter(["w0", "w1"], replicas=2)
+        router.place("plan")
+        worker = router.acquire("plan")
+        router.evict_worker(worker)
+        router.release(worker, backlog=9)  # reply raced the eviction
+        assert worker not in router.stats()["reported_backlog"]
+
+    def test_evicting_unknown_worker_is_a_noop(self):
+        router = ShardRouter(["w0"], replicas=1)
+        router.evict_worker("w9")
+        assert router.workers() == ["w0"]
+
+    def test_set_placement_filters_evicted_workers(self):
+        """A fail-over racing a second death must not reinstate a worker that
+        was evicted between the survivor snapshot and the re-homing write."""
+        router = ShardRouter(["w0", "w1", "w2"], replicas=2)
+        router.place("plan")
+        router.evict_worker("w1")
+        router.set_placement("plan", ["w1", "w2"])  # stale survivor list
+        assert router.place("plan") == ["w2"]
+        assert router.acquire("plan") == "w2"  # no KeyError on the dead member

@@ -24,7 +24,13 @@ def _wire(message):
 class TestHandlers:
     def test_ping(self, worker):
         reply = worker.handle(_wire({"type": "ping", "msg_id": 1}))
-        assert reply == {"pong": True, "msg_id": 1, "ok": True, "worker_id": "worker-test"}
+        assert reply == {
+            "pong": True,
+            "backlog": 0,
+            "msg_id": 1,
+            "ok": True,
+            "worker_id": "worker-test",
+        }
 
     def test_register_then_predict(self, worker, sa_pipeline, sa_inputs):
         reply = worker.handle(
@@ -169,3 +175,48 @@ class TestArenaBackedWorker:
                 assert np.isfinite(stats["memory_bytes"])
             finally:
                 worker.close()
+
+
+class TestResendDeduplication:
+    def test_transport_resend_of_processed_message_replays_reply(self, worker, sa_pipeline):
+        """The socket transport's reconnect-once retry resends the in-flight
+        frame; a worker that already processed it must replay the recorded
+        reply instead of executing a non-idempotent handler twice."""
+        import multiprocessing
+        import threading
+
+        from repro.serving.control.transport import PipeTransport
+        from repro.serving.worker import _serve
+
+        parent_end, child_end = multiprocessing.Pipe(duplex=True)
+        parent, child = PipeTransport(parent_end), PipeTransport(child_end)
+        server = threading.Thread(target=_serve, args=(worker, child))
+        server.start()
+        try:
+            message = serialize_message(
+                {
+                    "type": "register",
+                    "msg_id": 41,
+                    "plan_id": "sa",
+                    "model_b64": encode_model(sa_pipeline, None),
+                }
+            )
+            parent.send_bytes(message)
+            first = deserialize_message(parent.recv_bytes())
+            assert first["ok"] and first["plan_id"] == "sa"
+            # The duplicate delivery: same bytes, same msg_id.
+            parent.send_bytes(message)
+            second = deserialize_message(parent.recv_bytes())
+            assert second == first  # replayed, not re-executed
+            assert worker.runtime.plan_ids() == ["sa"]
+            assert worker.failed_requests == 0
+            # A *new* message with a fresh id still executes normally.
+            parent.send_bytes(
+                serialize_message({"type": "memory", "msg_id": 42})
+            )
+            assert deserialize_message(parent.recv_bytes())["ok"]
+        finally:
+            parent.send_bytes(serialize_message({"type": "shutdown", "msg_id": 43}))
+            deserialize_message(parent.recv_bytes())
+            server.join(timeout=10.0)
+            parent.close()
