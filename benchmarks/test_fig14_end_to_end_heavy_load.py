@@ -7,7 +7,11 @@ from repro.core.config import PretzelConfig
 from repro.core.frontend import FrontEndConfig
 from repro.core.runtime import PretzelRuntime
 from repro.simulation.calibrate import calibrate_container, calibrate_plan_stages
-from repro.simulation.queueing import ArrivalProcess, simulate_stage_scheduler, simulate_thread_per_request
+from repro.simulation.queueing import (
+    ArrivalProcess,
+    simulate_stage_scheduler,
+    simulate_thread_per_request,
+)
 from repro.telemetry.reporting import ExperimentReport
 from repro.workloads.zipf import zipf_request_sequence
 

@@ -15,8 +15,8 @@ import time
 
 from conftest import write_report
 from repro.core.scheduler import InferenceRequest, Scheduler
-from repro.testing import StubPlan
 from repro.telemetry.reporting import ExperimentReport
+from repro.testing import StubPlan
 
 #: backlog depths swept (a 10x range); per-pull cost must not grow ~10x
 DEPTHS = [2_000, 20_000]

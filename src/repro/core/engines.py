@@ -8,13 +8,16 @@ PRETZEL serves predictions through two engines (Section 4.2.1):
 * the **batch engine** (see :mod:`repro.core.scheduler`) routes per-stage
   events through the Scheduler onto shared Executors.
 
-Both engines share :func:`execute_plan_stage`, which layers sub-plan
-materialization and vector pooling around the physical stage call.  The batch
-engine additionally uses :func:`execute_plan_stage_batch` to serve a whole
-:class:`~repro.core.scheduler.StageBatch` -- stage events coalesced across
-requests (and plans) because they share one physical stage, formed in
-O(batch size) from the scheduler's signature-indexed ready queues -- with a
-single vectorized stage execution.
+Both engines share one stage-execution implementation:
+:func:`execute_plan_stage_batch` layers sub-plan materialization and pooled
+working memory around the physical stage call for any batch size, and
+:func:`execute_plan_stage` is its batch-of-1 entry point.  The batch engine
+feeds it a whole :class:`~repro.core.scheduler.StageBatch` -- stage events
+coalesced across requests (and plans) because they share one physical stage,
+formed in O(batch size) from the scheduler's signature-indexed ready queues
+-- which executes columnar
+(:class:`~repro.operators.batch.ColumnBatch`); a single event runs the
+compiled scalar path, bit-identical to the seed engine.
 """
 
 from __future__ import annotations
@@ -41,31 +44,37 @@ def execute_plan_stage(
     materializer: Optional[SubPlanMaterializer] = None,
     pool: Optional[VectorPool] = None,
 ) -> Any:
-    """Execute one plan stage, consulting the materialization cache first.
+    """Execute one plan stage for one request: the scalar fast path.
 
-    ``values`` is the per-request context holding every exported intermediate
-    value; it is updated in place.  Returns the stage's final output.
+    Semantically this is :func:`execute_plan_stage_batch` with a single item
+    (same gather, cache protocol, pooled working buffer and scatter; the
+    batch implementation's batch-of-one short circuit runs the identical
+    compiled scalar stage), but the request-response engine calls this per
+    stage per prediction, so the body avoids the batch path's per-call list
+    machinery -- the AC pipelines' stages are only tens of microseconds and
+    the wrapper overhead is measurable at fig12's scale.
     """
-    externals = [
-        record if upstream is None else values[(upstream, transform_id)]
-        for upstream, transform_id in stage.external_refs
-    ]
+    physical = stage.physical
     buffer = None
-    if pool is not None and stage.physical.max_vector_size:
+    if pool is not None and physical.max_vector_size:
         # Working memory for the stage comes from the executor's pool; with
         # pooling disabled this is a fresh allocation on the data path.
-        buffer = pool.acquire(stage.physical.max_vector_size)
+        buffer = pool.acquire(physical.max_vector_size)
     try:
+        externals = [
+            record if upstream is None else values[(upstream, transform_id)]
+            for upstream, transform_id in stage.external_refs
+        ]
         outputs = None
         if materializer is not None and materializer.enabled:
-            outputs = materializer.lookup(stage.physical, externals)
+            outputs = materializer.lookup(physical, externals)
         if outputs is None:
-            outputs = stage.physical.execute(externals)
+            outputs = physical.execute(externals)
             if materializer is not None and materializer.enabled:
-                materializer.store(stage.physical, externals, outputs)
+                materializer.store(physical, externals, outputs)
         for position, key in enumerate(stage.output_keys):
             values[key] = outputs[position]
-        return outputs[stage.physical.final_position()]
+        return outputs[physical.final_position()]
     finally:
         if buffer is not None and pool is not None:
             pool.release(buffer)
@@ -76,25 +85,32 @@ def execute_plan_stage_batch(
     materializer: Optional[SubPlanMaterializer] = None,
     pool: Optional[VectorPool] = None,
 ) -> List[Any]:
-    """Execute one *shared* plan stage for many requests at once.
+    """The engine's one stage-execution path, for any batch size >= 1.
 
     ``items`` holds one ``(stage, record, values)`` triple per request; every
     stage must wrap the same physical stage (same ``full_signature``) -- the
     invariant :meth:`Scheduler.next_batch` establishes.  The plan-level
     wrappers may still differ (each plan names its stages and exports its own
     keys), so externals are gathered and outputs scattered per request, while
-    the stage itself runs once over the whole batch.
+    the stage itself runs once over the whole batch, columnar
+    (:class:`~repro.operators.batch.ColumnBatch`) inside
+    :meth:`~repro.core.oven.physical.PhysicalStage.execute_batch`.
 
-    Records with a materialization-cache hit are excluded from the batched
-    execution; misses are stored back, exactly as the scalar path does.
-    Returns each request's final stage output, in ``items`` order.
+    Working memory comes from the executor's pool: a single record leases the
+    stage's scalar working buffer exactly as the seed engine did, a real batch
+    leases ``batch x max_vector_size`` scratch that the columnar gather stacks
+    external vectors into.  Records with a materialization-cache hit are
+    excluded from the batched execution; misses are stored back, exactly as
+    before.  Returns each request's final stage output, in ``items`` order.
     """
     if not items:
         return []
     physical = items[0][0].physical
     buffer = None
     if pool is not None and physical.max_vector_size:
-        buffer = pool.acquire(physical.max_vector_size)
+        # With pooling disabled this is a fresh allocation on the data path
+        # (the behaviour the Section 5.2.1 ablation measures).
+        buffer = pool.acquire(len(items) * physical.max_vector_size)
     try:
         externals_per_item: List[List[Any]] = []
         outputs_per_item: List[Optional[List[Any]]] = [None] * len(items)
@@ -111,16 +127,22 @@ def execute_plan_stage_batch(
                     outputs_per_item[index] = cached
                     continue
             misses.append(index)
-        if misses:
+        if len(misses) == 1:
+            # The compiled scalar fused path: what the seed engine ran for
+            # every record, bit-identical by construction.
+            batch_outputs = [physical.execute(externals_per_item[misses[0]])]
+        elif misses:
             batch_outputs = physical.execute_batch(
-                [externals_per_item[index] for index in misses]
+                [externals_per_item[index] for index in misses], scratch=buffer
             )
-            for position, index in enumerate(misses):
-                outputs = batch_outputs[position]
-                outputs_per_item[index] = outputs
-                if materializer is not None and materializer.enabled:
-                    stage = items[index][0]
-                    materializer.store(stage.physical, externals_per_item[index], outputs)
+        else:
+            batch_outputs = []
+        for position, index in enumerate(misses):
+            outputs = batch_outputs[position]
+            outputs_per_item[index] = outputs
+            if materializer is not None and materializer.enabled:
+                stage = items[index][0]
+                materializer.store(stage.physical, externals_per_item[index], outputs)
         results: List[Any] = []
         for index, (stage, _record, values) in enumerate(items):
             outputs = outputs_per_item[index]

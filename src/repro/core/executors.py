@@ -158,9 +158,9 @@ class ExecutorPool:
     def started(self) -> bool:
         return self._started
 
-    def preallocate(self, sizes: List[int]) -> None:
+    def preallocate(self, sizes: List[int], entries: Optional[int] = None) -> None:
         for executor in self.executors:
-            executor.vector_pool.preallocate(sizes)
+            executor.vector_pool.preallocate(sizes, entries=entries)
 
     def shutdown(self) -> None:
         self.scheduler.shutdown()

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.oven.logical import LogicalStage, StageInput
 from repro.operators.base import Operator
+from repro.operators.batch import ColumnBatch, as_column_batch
 from repro.operators.vectors import Vector
 
 __all__ = ["PhysicalStage", "hash_value"]
@@ -162,16 +163,43 @@ class PhysicalStage:
         self.executions += 1
         return self._compiled(list(external_values))
 
-    def execute_batch(self, batch: Sequence[Sequence[Any]]) -> List[List[Any]]:
+    @property
+    def supports_batch(self) -> bool:
+        """True when every bound operator has a vectorized batch kernel.
+
+        A ``False`` stage still executes batches correctly -- the base
+        :meth:`~repro.operators.base.Operator.transform_batch` is a per-record
+        loop -- but that loop fallback is the explicit escape hatch the
+        runtime records in its stage-batching telemetry at registration, so
+        un-vectorized stages are visible instead of silent.
+        """
+        return all(operator.supports_batch for operator in self.operators)
+
+    def loop_fallback_operators(self) -> List[str]:
+        """Names of the bound operators still served by the per-record loop."""
+        return [
+            operator.name for operator in self.operators if not operator.supports_batch
+        ]
+
+    def execute_batch(
+        self,
+        batch: Sequence[Sequence[Any]],
+        scratch: Optional[Any] = None,
+    ) -> List[List[Any]]:
         """Run the stage once for many records; returns per-record outputs.
 
         ``batch`` holds one external-input list per record; the result holds,
         for each record, the output value of every transform (the same shape
-        :meth:`execute` returns).  Each transform position is served by a
-        single :meth:`~repro.operators.base.Operator.transform_batch` call, so
-        operators with vectorized kernels (linear models, normalizers) process
-        the whole batch in one numpy pass, while others fall back to their
-        per-record loop.
+        :meth:`execute` returns).  Internally the batch travels columnar: each
+        external slot becomes one :class:`~repro.operators.batch.ColumnBatch`,
+        every transform position is served by a single
+        :meth:`~repro.operators.base.Operator.transform_batch` call over a
+        column (vectorized kernels process the whole batch in one numpy pass;
+        ``supports_batch=False`` operators loop per record), and only the
+        final scatter materializes rows again.  A batch of one short-circuits
+        to :meth:`execute` -- the compiled scalar path, bit-identical to the
+        request-response engine.  ``scratch`` optionally provides a pooled
+        flat float64 buffer the gather step stacks external columns into.
         """
         if not batch:
             return []
@@ -192,23 +220,32 @@ class PhysicalStage:
             self.batched_executions += 1
             return outputs
         n_records = len(batch)
-        per_transform: List[List[Any]] = []
+        if n_records == 1:
+            self.batched_executions += 1
+            return [self.execute(batch[0])]
+        external_columns = [
+            ColumnBatch.from_rows([batch[record][slot] for record in range(n_records)])
+            for slot in range(expected)
+        ]
+        if scratch is not None and expected == 1:
+            # One scratch lease per stage call: with a single external slot no
+            # second column can collide on the buffer while it is still read.
+            external_columns[0].attach_scratch(scratch)
+        per_transform: List[ColumnBatch] = []
         for position, bindings in enumerate(self._bindings):
             if len(bindings) == 1:
                 kind, slot = bindings[0]
-                if kind == "external":
-                    arguments = [batch[record][slot] for record in range(n_records)]
-                else:
-                    arguments = list(per_transform[slot])
+                argument = (
+                    external_columns[slot] if kind == "external" else per_transform[slot]
+                )
             else:
-                arguments = [
+                argument = ColumnBatch.multi(
                     [
-                        batch[record][slot] if kind == "external" else per_transform[slot][record]
+                        external_columns[slot] if kind == "external" else per_transform[slot]
                         for kind, slot in bindings
                     ]
-                    for record in range(n_records)
-                ]
-            outputs = self.operators[position].transform_batch(arguments)
+                )
+            outputs = as_column_batch(self.operators[position].transform_batch(argument))
             if len(outputs) != n_records:
                 raise ValueError(
                     f"{self.operators[position].name}.transform_batch returned "
@@ -217,8 +254,9 @@ class PhysicalStage:
             per_transform.append(outputs)
         self.executions += n_records
         self.batched_executions += 1
+        rows_per_transform = [column.rows for column in per_transform]
         return [
-            [per_transform[position][record] for position in range(len(per_transform))]
+            [rows[record] for rows in rows_per_transform]
             for record in range(n_records)
         ]
 

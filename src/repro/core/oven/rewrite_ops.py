@@ -15,18 +15,14 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch
 from repro.operators.linear import (
     LinearModel,
     LinearRegressor,
     LogisticRegressionClassifier,
     PoissonRegressor,
+    batch_margins,
 )
 from repro.operators.vectors import Vector, as_vector
 
@@ -49,6 +45,14 @@ LINK_FUNCTIONS: Dict[str, Callable[[float], float]] = {
     "identity": _identity,
     "sigmoid": _sigmoid,
     "exp": _exp,
+}
+
+#: vectorized counterparts evaluating the exact same expressions over a
+#: whole margin array (the batch kernels' half of the contract)
+ARRAY_LINK_FUNCTIONS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "identity": lambda margins: margins,
+    "sigmoid": lambda margins: 1.0 / (1.0 + np.exp(-np.clip(margins, -30.0, 30.0))),
+    "exp": lambda margins: np.exp(np.clip(margins, -30.0, 30.0)),
 }
 
 
@@ -83,9 +87,20 @@ class PartialLinearScorer(Operator):
         self.bias = float(bias)
         self.branch_index = int(branch_index)
 
+    supports_batch = True
+
     def transform(self, value: Any) -> float:
         vec = value if isinstance(value, Vector) else as_vector(value)
         return vec.dot(self.weights) + self.bias
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Partial margins for the whole batch via the shared linear kernel
+        (:func:`~repro.operators.linear.batch_margins`); the link is applied
+        once downstream by the :class:`MarginCombiner`."""
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_scalars(np.empty(0, dtype=np.float64))
+        return ColumnBatch.from_scalars(batch_margins(batch, self.weights, self.bias))
 
     def parameters(self) -> List[Parameter]:
         return [
@@ -116,12 +131,32 @@ class MarginCombiner(Operator):
         self.n_inputs = int(n_inputs)
         self._link_fn = LINK_FUNCTIONS[link]
 
+    supports_batch = True
+
     def transform(self, value: Any) -> float:
         if isinstance(value, (list, tuple)):
             margin = float(sum(float(v) for v in value))
         else:
             margin = float(value)
         return self._link_fn(margin)
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Sum the branch margin columns and apply the link once per batch."""
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_scalars(np.empty(0, dtype=np.float64))
+        parts = batch.parts
+        if parts is not None:
+            arrays = [part.scalar_array() for part in parts]
+        else:
+            arrays = [batch.scalar_array()]
+        if any(array is None for array in arrays):
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        margins = arrays[0]
+        # Left-to-right pairwise adds, matching the scalar sum() order.
+        for array in arrays[1:]:
+            margins = margins + array
+        return ColumnBatch.from_scalars(ARRAY_LINK_FUNCTIONS[self.link](margins))
 
     def parameters(self) -> List[Parameter]:
         return [Parameter("margincombiner.config", {"link": self.link, "n_inputs": self.n_inputs})]

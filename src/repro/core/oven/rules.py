@@ -21,11 +21,7 @@ from repro.core.oven.logical import (
     TransformGraph,
     TransformNode,
 )
-from repro.core.oven.rewrite_ops import (
-    MarginCombiner,
-    PartialLinearScorer,
-    link_name_for_model,
-)
+from repro.core.oven.rewrite_ops import MarginCombiner, PartialLinearScorer, link_name_for_model
 from repro.core.statistics import TransformStats
 from repro.operators.base import Annotation, OperatorKind, ValueKind
 from repro.operators.featurizers import ConcatFeaturizer

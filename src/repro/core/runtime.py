@@ -132,6 +132,18 @@ class PretzelRuntime:
         sizes = [stage.physical.max_vector_size for stage in plan.stages]
         self.executor_pool.preallocate(sizes)
         self._inline_pool.preallocate(sizes)
+        if self.config.enable_stage_batching:
+            # Pay the batch engine's gather-scratch allocations upfront too:
+            # a StageBatch of n records leases an n x max_vector_size buffer,
+            # and the power-of-two classes double up to the batch-size cap,
+            # so one buffer per doubling covers every class a batch can hit.
+            batch_sizes = []
+            scale = 2
+            while scale < self.config.max_stage_batch_size:
+                batch_sizes.extend(size * scale for size in sizes)
+                scale *= 2
+            batch_sizes.extend(size * self.config.max_stage_batch_size for size in sizes)
+            self.executor_pool.preallocate(batch_sizes, entries=1)
         return identifier
 
     def _compile_to_plan(
@@ -160,6 +172,13 @@ class PretzelRuntime:
             self._stage_plan_count[signature] = count
             if count >= 2:
                 self.materializer.mark_shared(signature)
+            if not stage.physical.supports_batch:
+                # Make the per-record escape hatch visible: stages whose
+                # operators lack a vectorized kernel show up in
+                # stats()["stage_batching"]["loop_fallback_stages"].
+                self.scheduler.batching.note_loop_fallback(
+                    signature, stage.physical.loop_fallback_operators()
+                )
 
     def _reserve_executor(self, plan_id: str) -> int:
         executor_id = self._next_reserved_executor % len(self.executor_pool.executors)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -39,16 +39,23 @@ class VectorPool:
         self.allocations = 0
         self.returned = 0
 
-    def preallocate(self, sizes: List[int]) -> None:
-        """Fill the pool for the given sizes (called at plan registration)."""
+    def preallocate(self, sizes: List[int], entries: Optional[int] = None) -> None:
+        """Fill the pool for the given sizes (called at plan registration).
+
+        ``entries`` caps how many buffers each size class is filled to
+        (default: the pool's ``entries_per_class``); batch-scratch classes
+        use 1 -- a stage executes one batch at a time per executor, and the
+        classes are large.
+        """
         if not self.enabled:
             return
+        target = self.entries_per_class if entries is None else min(entries, self.entries_per_class)
         with self._lock:
             for size in sizes:
                 if size <= 0:
                     continue
                 bucket = self._buckets[_size_class(size)]
-                while len(bucket) < self.entries_per_class:
+                while len(bucket) < target:
                     bucket.append(np.empty(_size_class(size), dtype=np.float64))
                     self.allocations += 1
 

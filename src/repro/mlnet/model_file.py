@@ -39,23 +39,14 @@ from repro.operators.featurizers import (
     MissingValueImputer,
     OneHotEncoder,
 )
-from repro.operators.linear import (
-    LinearRegressor,
-    LogisticRegressionClassifier,
-    PoissonRegressor,
-)
+from repro.operators.linear import LinearRegressor, LogisticRegressionClassifier, PoissonRegressor
 from repro.operators.text import (
     CharNgramFeaturizer,
     NgramDictionary,
     Tokenizer,
     WordNgramFeaturizer,
 )
-from repro.operators.trees import (
-    DecisionTree,
-    RandomForest,
-    TreeEnsembleClassifier,
-    TreeFeaturizer,
-)
+from repro.operators.trees import DecisionTree, RandomForest, TreeEnsembleClassifier, TreeFeaturizer
 
 __all__ = ["save_model", "load_model", "operator_state", "operator_from_state"]
 

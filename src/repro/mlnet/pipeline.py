@@ -13,8 +13,8 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.operators.base import Operator, OperatorKind, Parameter, ValueKind
 from repro.mlnet.dataview import DataView, MultiInputView, SourceView, TransformView
+from repro.operators.base import Operator, OperatorKind, Parameter, ValueKind
 
 __all__ = ["PipelineNode", "Pipeline", "PipelineValidationError"]
 

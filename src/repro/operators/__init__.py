@@ -15,7 +15,14 @@ from repro.operators.base import (
     Parameter,
     ValueKind,
 )
-from repro.operators.vectors import DenseVector, SparseVector, Vector, concat_vectors
+from repro.operators.batch import ColumnBatch, as_column_batch, batch_matrix
+from repro.operators.vectors import (
+    DenseVector,
+    SparseVector,
+    Vector,
+    concat_vectors,
+    densify,
+)
 from repro.operators.text import (
     CharNgramFeaturizer,
     NgramDictionary,
@@ -51,10 +58,14 @@ __all__ = [
     "OperatorKind",
     "Parameter",
     "ValueKind",
+    "ColumnBatch",
+    "as_column_batch",
+    "batch_matrix",
     "DenseVector",
     "SparseVector",
     "Vector",
     "concat_vectors",
+    "densify",
     "Tokenizer",
     "NgramDictionary",
     "CharNgramFeaturizer",

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import enum
 import hashlib
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.operators.batch import ColumnBatch, as_column_batch
 
 __all__ = ["ValueKind", "OperatorKind", "Annotation", "Parameter", "Operator"]
 
@@ -178,22 +180,42 @@ class Operator:
     #: static hint that the operator's output vectors are typically sparse
     #: (used by Oven's stage labelling when no training statistics exist)
     produces_sparse: bool = False
+    #: True when :meth:`transform_batch` is a genuinely vectorized kernel.
+    #: The base-class implementation is a per-record loop over
+    #: :meth:`transform` -- the explicit escape hatch the engine records as a
+    #: loop fallback in its stage-batching telemetry.
+    supports_batch: bool = False
 
     def fit(self, records: Sequence[Any], labels: Optional[Sequence[float]] = None) -> "Operator":
         """Estimate parameters from training data.  Returns ``self``."""
         return self
 
     def transform(self, value: Any) -> Any:
-        """Transform a single record's value."""
-        raise NotImplementedError
+        """Transform a single record's value.
 
-    def transform_batch(self, values: Sequence[Any]) -> List[Any]:
-        """Transform a batch of values.
-
-        The default implementation loops over :meth:`transform`; operators
-        with vectorizable kernels override this with a batched numpy path.
+        The batch kernel is the primary contract; the base implementation is
+        the derived batch-of-1 wrapper around :meth:`transform_batch`.  Most
+        operators override it with a scalar fast path (the request-response
+        engine executes one record at a time and must not pay batch set-up).
         """
-        return [self.transform(value) for value in values]
+        if type(self).transform_batch is Operator.transform_batch:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither transform nor transform_batch"
+            )
+        return self.transform_batch(ColumnBatch.from_rows([value])).row(0)
+
+    def transform_batch(self, values: Union[ColumnBatch, Sequence[Any]]) -> ColumnBatch:
+        """Transform a whole batch; the primary kernel of the contract.
+
+        Accepts (and returns) a :class:`~repro.operators.batch.ColumnBatch`;
+        plain sequences are coerced, so callers outside the engine can still
+        pass lists.  The base implementation is the ``supports_batch=False``
+        escape hatch: a per-record loop over :meth:`transform`.  Operators
+        with vectorizable kernels override it with a columnar numpy path and
+        declare ``supports_batch = True``.
+        """
+        batch = as_column_batch(values)
+        return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
 
     def parameters(self) -> List[Parameter]:
         """Trained state as a list of shareable :class:`Parameter` objects."""

@@ -1,0 +1,304 @@
+"""ColumnBatch: the columnar batch representation operators execute over.
+
+PRETZEL's stage-level batching only pays off when the layers underneath it
+are actually vectorized: a batch that travels as a Python list of per-record
+objects forces every operator kernel back into a per-record loop.  A
+:class:`ColumnBatch` keeps one *column* of the batch -- the value every
+record carries at one point of the pipeline -- in struct-of-arrays form
+(one numpy array for the whole batch plus dtype/shape metadata) whenever the
+values are uniformly numeric, while still round-tripping exactly to and from
+the row-major lists the scalar path and the wire format use.
+
+A column is in one of four storage kinds:
+
+``dense``
+    Every row is a :class:`~repro.operators.vectors.DenseVector` of one
+    width; the storage is a single ``(n_records, width)`` float64 matrix and
+    rows are materialized lazily as views into it.
+``scalar``
+    Every row is a float; the storage is a 1-D float64 array.
+``multi``
+    The column feeds an n-ary operator (Concat): storage is one
+    :class:`ColumnBatch` per upstream branch, and rows materialize as the
+    per-record argument lists the scalar contract passes.
+``rows``
+    Anything else (texts, token lists, sparse vectors, dict records, mixed
+    batches): storage is the plain row list -- the loop-fallback
+    representation.
+
+``ColumnBatch`` is also a read-only sequence of its rows (``len``, ``in``,
+indexing, iteration, equality against plain lists), so operator kernels and
+tests that treated batches as lists keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.operators.vectors import DenseVector, SparseVector, as_vector, densify
+
+__all__ = ["ColumnBatch", "as_column_batch"]
+
+
+class ColumnBatch:
+    """One column of a record batch, columnar when the values allow it."""
+
+    __slots__ = ("_rows", "_matrix", "_scalars", "_parts", "_scratch", "_length")
+
+    def __init__(self) -> None:  # use the from_* constructors
+        self._rows: Optional[List[Any]] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._scalars: Optional[np.ndarray] = None
+        self._parts: Optional[List["ColumnBatch"]] = None
+        self._scratch: Optional[np.ndarray] = None
+        self._length = 0
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Any]) -> "ColumnBatch":
+        """Wrap a row-major list of per-record values (any content)."""
+        batch = cls()
+        batch._rows = list(rows)
+        batch._length = len(batch._rows)
+        return batch
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "ColumnBatch":
+        """Wrap an ``(n_records, width)`` float64 matrix of dense vectors."""
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"from_matrix needs a 2-D array, got shape {arr.shape}")
+        batch = cls()
+        batch._matrix = arr
+        batch._length = int(arr.shape[0])
+        return batch
+
+    @classmethod
+    def from_scalars(cls, values: np.ndarray) -> "ColumnBatch":
+        """Wrap a 1-D float64 array of per-record scalar outputs."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError(f"from_scalars needs a 1-D array, got shape {arr.shape}")
+        batch = cls()
+        batch._scalars = arr
+        batch._length = int(arr.shape[0])
+        return batch
+
+    @classmethod
+    def multi(cls, parts: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Combine one column per upstream branch into an n-ary input column."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("multi needs at least one part")
+        lengths = {len(part) for part in parts}
+        if len(lengths) != 1:
+            raise ValueError(f"multi parts disagree on batch size: {sorted(lengths)}")
+        batch = cls()
+        batch._parts = parts
+        batch._length = len(parts[0])
+        return batch
+
+    # -- columnar views ------------------------------------------------------
+
+    def attach_scratch(self, buffer: Optional[np.ndarray]) -> "ColumnBatch":
+        """Offer a flat float64 scratch buffer for columnar materialization.
+
+        The engine leases the buffer from the executor's
+        :class:`~repro.core.vector_pool.VectorPool` for the duration of one
+        stage execution, so stacking this column into a matrix reuses pooled
+        memory instead of allocating on the data path.  Matrices written into
+        scratch are never cached on the column and never exposed through
+        :attr:`rows` (which always returns the original row objects), so no
+        reference can outlive the lease.
+        """
+        self._scratch = buffer
+        return self
+
+    def _scratch_matrix(self, n_rows: int, width: int) -> Optional[np.ndarray]:
+        """A contiguous ``(n_rows, width)`` view of the scratch buffer, if it fits."""
+        if self._scratch is None or width <= 0 or self._scratch.size < n_rows * width:
+            return None
+        return self._scratch[: n_rows * width].reshape(n_rows, width)
+
+    @property
+    def parts(self) -> Optional[List["ColumnBatch"]]:
+        """The per-branch columns of an n-ary input column (None otherwise)."""
+        return self._parts
+
+    @property
+    def width(self) -> Optional[int]:
+        """Vector width of a dense column, ``0`` for scalars, None otherwise."""
+        if self._matrix is not None:
+            return int(self._matrix.shape[1])
+        if self._scalars is not None:
+            return 0
+        return None
+
+    def dense_matrix(self, out: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+        """The batch as one ``(n_records, width)`` float64 matrix, or None.
+
+        Returns the columnar storage directly when the batch was built from a
+        matrix; otherwise the rows are stacked if (and only if) every row is a
+        :class:`DenseVector` of one width.  ``out`` optionally provides the
+        destination buffer (e.g. pooled scratch from a
+        :class:`~repro.core.vector_pool.VectorPool`); a stacked matrix written
+        into ``out`` is *not* cached, because pooled buffers are recycled.
+        """
+        if self._matrix is not None:
+            return self._matrix
+        rows = self._rows
+        if not rows:
+            return None
+        width = -1
+        for row in rows:
+            if not isinstance(row, DenseVector):
+                return None
+            if width < 0:
+                width = row.size
+            elif row.size != width:
+                return None
+        if out is None:
+            out = self._scratch_matrix(len(rows), width)
+        if out is not None and out.shape[0] >= len(rows) and out.shape[1] == width:
+            matrix = out[: len(rows)]
+            for index, row in enumerate(rows):
+                matrix[index] = row.values
+            return matrix
+        matrix = np.empty((len(rows), width), dtype=np.float64)
+        for index, row in enumerate(rows):
+            matrix[index] = row.values
+        self._matrix = matrix
+        return matrix
+
+    def scalar_array(self) -> Optional[np.ndarray]:
+        """The batch as one 1-D float64 array, or None when rows are not floats."""
+        if self._scalars is not None:
+            return self._scalars
+        rows = self._rows
+        if not rows:
+            return None
+        for row in rows:
+            if type(row) is not float and not isinstance(row, (int, np.floating)):
+                return None
+            if isinstance(row, bool):
+                return None
+        self._scalars = np.asarray(rows, dtype=np.float64)
+        return self._scalars
+
+    # -- row-major views -----------------------------------------------------
+
+    @property
+    def rows(self) -> List[Any]:
+        """The batch as the row-major list the scalar contract uses.
+
+        Dense and scalar columns materialize lazily: dense rows are
+        :class:`DenseVector` *views* into the columnar matrix (operators treat
+        vectors as immutable, so sharing the storage is safe and keeps the
+        batch one allocation).
+        """
+        if self._rows is None:
+            if self._matrix is not None:
+                self._rows = [DenseVector(row) for row in self._matrix]
+            elif self._scalars is not None:
+                self._rows = [float(value) for value in self._scalars]
+            elif self._parts is not None:
+                part_rows = [part.rows for part in self._parts]
+                self._rows = [list(values) for values in zip(*part_rows)]
+            else:
+                self._rows = []
+        return self._rows
+
+    def row(self, index: int) -> Any:
+        return self.rows[index]
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnBatch):
+            return self.rows == other.rows
+        if isinstance(other, (list, tuple)):
+            return self.rows == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if self._matrix is not None:
+            kind = f"dense[{self._matrix.shape[1]}]"
+        elif self._scalars is not None:
+            kind = "scalar"
+        elif self._parts is not None:
+            kind = f"multi[{len(self._parts)}]"
+        else:
+            kind = "rows"
+        return f"ColumnBatch(n={self._length}, kind={kind})"
+
+
+def as_column_batch(values: Any) -> ColumnBatch:
+    """Coerce a row-major sequence (or pass through a ColumnBatch)."""
+    if isinstance(values, ColumnBatch):
+        return values
+    if isinstance(values, np.ndarray) and values.ndim == 2:
+        return ColumnBatch.from_matrix(values)
+    return ColumnBatch.from_rows(list(values))
+
+
+def batch_matrix(batch: ColumnBatch, out: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+    """The batch as one ``(n, width)`` float64 matrix, densifying as needed.
+
+    Unlike :meth:`ColumnBatch.dense_matrix` (dense-vector rows only, zero
+    copy), this coerces every row the way the scalar kernels do
+    (``as_vector(value).to_numpy()``, densifying sparse rows), so numeric
+    kernels get a matrix for any vector-like batch.  Returns None when the
+    rows are not uniformly vector-like -- the caller then takes its
+    per-record fallback, which reports the real error for genuinely bad
+    records.
+    """
+    matrix = batch.dense_matrix(out=out)
+    if matrix is not None:
+        return matrix
+    rows = batch.rows
+    if not rows:
+        return None
+    if all(isinstance(row, SparseVector) for row in rows) and len(
+        {row.size for row in rows}
+    ) == 1:
+        if out is None:
+            out = batch._scratch_matrix(len(rows), rows[0].size)
+        return densify(rows, out=out)
+    arrays: List[np.ndarray] = []
+    width = -1
+    for value in rows:
+        try:
+            array = as_vector(value).to_numpy()
+        except Exception:
+            return None
+        if array.ndim != 1:
+            return None
+        if width < 0:
+            width = int(array.shape[0])
+        elif array.shape[0] != width:
+            return None
+        arrays.append(array)
+    if out is None:
+        out = batch._scratch_matrix(len(arrays), width)
+    if out is not None and out.shape[0] >= len(arrays) and out.shape[1] == width:
+        matrix = out[: len(arrays)]
+    else:
+        matrix = np.empty((len(arrays), width), dtype=np.float64)
+    for index, array in enumerate(arrays):
+        matrix[index] = array
+    return matrix

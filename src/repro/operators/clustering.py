@@ -6,13 +6,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch, batch_matrix
 from repro.operators.vectors import DenseVector, as_vector
 
 __all__ = ["KMeans"]
@@ -86,12 +81,29 @@ class KMeans(Operator):
         self.centroids = centers
         return self
 
+    supports_batch = True
+
     def transform(self, value: Any) -> DenseVector:
         if self.centroids is None:
             raise RuntimeError("KMeans used before fit()")
         features = as_vector(value).to_numpy()
         distances = np.linalg.norm(self.centroids - features[None, :], axis=1)
         return DenseVector(distances)
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """All records' centroid distances from one broadcast norm."""
+        if self.centroids is None:
+            raise RuntimeError("KMeans used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        distances = np.linalg.norm(
+            self.centroids[None, :, :] - matrix[:, None, :], axis=2
+        )
+        return ColumnBatch.from_matrix(distances)
 
     def predict_cluster(self, value: Any) -> int:
         return int(np.argmin(self.transform(value).values))

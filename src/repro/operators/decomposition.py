@@ -6,13 +6,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch, batch_matrix
 from repro.operators.vectors import DenseVector, as_vector
 
 __all__ = ["PCA"]
@@ -54,12 +49,27 @@ class PCA(Operator):
         self.explained_variance = (singular_values[: self.n_components] ** 2) / denom
         return self
 
+    supports_batch = True
+
     def transform(self, value: Any) -> DenseVector:
         if self.mean is None or self.components is None:
             raise RuntimeError("PCA used before fit()")
         features = as_vector(value).to_numpy()
         projected = self.components @ (features - self.mean)
         return DenseVector(projected)
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Project the whole batch with one centered matrix product."""
+        if self.mean is None or self.components is None:
+            raise RuntimeError("PCA used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        projected = (matrix - self.mean) @ self.components.T
+        return ColumnBatch.from_matrix(projected)
 
     def parameters(self) -> List[Parameter]:
         params = [Parameter("pca.config", {"n_components": self.n_components})]

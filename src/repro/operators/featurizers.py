@@ -11,20 +11,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
-from repro.operators.vectors import (
-    DenseVector,
-    SparseVector,
-    Vector,
-    as_vector,
-    concat_vectors,
-)
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch, batch_matrix
+from repro.operators.vectors import DenseVector, SparseVector, Vector, as_vector, concat_vectors
 
 __all__ = [
     "ColumnSelector",
@@ -58,6 +47,8 @@ class ColumnSelector(Operator):
         self.textual = textual
         self.output_kind = ValueKind.TEXT if textual else ValueKind.VECTOR
 
+    supports_batch = True
+
     def transform(self, value: Any) -> Any:
         if not isinstance(value, dict):
             raise TypeError(f"ColumnSelector expects a dict record, got {type(value)!r}")
@@ -68,6 +59,34 @@ class ColumnSelector(Operator):
             dtype=np.float64,
         )
         return DenseVector(row)
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Gather the selected fields of every record into one columnar matrix.
+
+        Field extraction from dict records is inherently per-record, but the
+        batch leaves here as a single ``(n, columns)`` matrix, so every
+        numeric kernel downstream runs columnar.
+        """
+        batch = as_column_batch(values)
+        rows = batch.rows
+        if self.textual:
+            column = self.columns[0]
+            texts = []
+            for value in rows:
+                if not isinstance(value, dict):
+                    raise TypeError(
+                        f"ColumnSelector expects a dict record, got {type(value)!r}"
+                    )
+                texts.append(value.get(column, ""))
+            return ColumnBatch.from_rows(texts)
+        matrix = np.empty((len(rows), len(self.columns)), dtype=np.float64)
+        for index, value in enumerate(rows):
+            if not isinstance(value, dict):
+                raise TypeError(f"ColumnSelector expects a dict record, got {type(value)!r}")
+            for position, column in enumerate(self.columns):
+                field = value.get(column, 0.0)
+                matrix[index, position] = float(field) if field is not None else 0.0
+        return ColumnBatch.from_matrix(matrix)
 
     def parameters(self) -> List[Parameter]:
         return [Parameter("selector.columns", {"columns": self.columns, "textual": self.textual})]
@@ -101,6 +120,8 @@ class ConcatFeaturizer(Operator):
         self.input_sizes = list(input_sizes) if input_sizes is not None else None
         self.dense_output = dense_output
 
+    supports_batch = True
+
     def transform(self, value: Any) -> Vector:
         if not isinstance(value, (list, tuple)):
             raise TypeError("Concat expects a list of vectors (one per upstream branch)")
@@ -108,6 +129,24 @@ class ConcatFeaturizer(Operator):
         if self.dense_output:
             return combined.to_dense()
         return combined
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Concatenate whole branch columns with one ``hstack`` when dense.
+
+        The engine hands n-ary operators a *multi* column (one
+        :class:`ColumnBatch` per upstream branch); when every branch is
+        uniformly dense and the output is dense, the combined buffer for the
+        whole batch is one horizontal stack.  Sparse branches fall back to the
+        per-record kernel, which preserves their sparsity exactly as the
+        scalar path does.
+        """
+        batch = as_column_batch(values)
+        parts = batch.parts
+        if parts is not None and self.dense_output and parts:
+            matrices = [part.dense_matrix() for part in parts]
+            if all(matrix is not None for matrix in matrices):
+                return ColumnBatch.from_matrix(np.hstack(matrices))
+        return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
 
     def parameters(self) -> List[Parameter]:
         return [Parameter("concat.config", {"input_sizes": self.input_sizes})]
@@ -184,6 +223,8 @@ class MissingValueImputer(Operator):
         self.fill_values = np.where(np.isnan(means), 0.0, means)
         return self
 
+    supports_batch = True
+
     def transform(self, value: Any) -> DenseVector:
         if self.fill_values is None:
             raise RuntimeError("MissingValueImputer used before fit()")
@@ -196,6 +237,24 @@ class MissingValueImputer(Operator):
         if mask.any():
             arr[mask] = self.fill_values[mask]
         return DenseVector(arr)
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Impute the whole batch with one ``where`` over the stacked matrix."""
+        if self.fill_values is None:
+            raise RuntimeError("MissingValueImputer used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        if matrix.shape[1] != self.fill_values.shape[0]:
+            raise ValueError(
+                f"expected {self.fill_values.shape[0]} features, got {matrix.shape[1]}"
+            )
+        return ColumnBatch.from_matrix(
+            np.where(np.isnan(matrix), self.fill_values, matrix)
+        )
 
     def parameters(self) -> List[Parameter]:
         params: List[Parameter] = []
@@ -234,17 +293,22 @@ class MinMaxNormalizer(Operator):
         safe_span = np.where(span == 0.0, 1.0, span)
         return DenseVector(np.clip((arr - self.minima) / safe_span, 0.0, 1.0))
 
-    def transform_batch(self, values: Sequence[Any]) -> List[DenseVector]:
+    supports_batch = True
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
         """Vectorized scaling: one clip over the stacked batch matrix."""
         if self.minima is None or self.maxima is None:
             raise RuntimeError("MinMaxNormalizer used before fit()")
-        if not values:
-            return []
-        matrix = np.vstack([as_vector(value).to_numpy() for value in values])
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
         span = self.maxima - self.minima
         safe_span = np.where(span == 0.0, 1.0, span)
         scaled = np.clip((matrix - self.minima) / safe_span, 0.0, 1.0)
-        return [DenseVector(row.copy()) for row in scaled]
+        return ColumnBatch.from_matrix(scaled)
 
     def parameters(self) -> List[Parameter]:
         params: List[Parameter] = []
@@ -279,17 +343,25 @@ class L2Normalizer(Operator):
             return vec
         return vec.scale(1.0 / norm)
 
-    def transform_batch(self, values: Sequence[Any]) -> List[Vector]:
-        """Vectorized normalization for all-dense batches (one norm pass)."""
-        vectors = [as_vector(value) for value in values]
-        if not vectors or not all(isinstance(vector, DenseVector) for vector in vectors):
-            return [self.transform(vector) for vector in vectors]
-        matrix = np.vstack([vector.to_numpy() for vector in vectors])
+    supports_batch = True
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Vectorized normalization for all-dense batches (one norm pass).
+
+        The per-row scale is ``row * (1.0 / norm)`` -- the exact expression
+        the scalar kernel evaluates -- so dense outputs stay bit-equal to the
+        per-record path.  Sparse rows keep their per-record kernel (and their
+        sparsity).
+        """
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch.dense_matrix()
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
         norms = np.linalg.norm(matrix, axis=1)
-        return [
-            vector if norm == 0.0 else DenseVector(row * (1.0 / norm))
-            for vector, row, norm in zip(vectors, matrix, norms)
-        ]
+        safe_norms = np.where(norms == 0.0, 1.0, norms)
+        return ColumnBatch.from_matrix(matrix * (1.0 / safe_norms)[:, None])
 
     def parameters(self) -> List[Parameter]:
         return [Parameter("l2norm.config", {"norm": "l2"})]

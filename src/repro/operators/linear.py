@@ -16,20 +16,42 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
-from repro.operators.vectors import DenseVector, Vector, as_vector
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch
+from repro.operators.vectors import Vector, as_vector
 
-__all__ = ["LinearModel", "LinearRegressor", "LogisticRegressionClassifier", "PoissonRegressor"]
+__all__ = [
+    "LinearModel",
+    "LinearRegressor",
+    "LogisticRegressionClassifier",
+    "PoissonRegressor",
+    "batch_margins",
+]
 
 
 def _design_matrix(records: Sequence[Any]) -> np.ndarray:
     return np.vstack([as_vector(record).to_numpy() for record in records])
+
+
+def batch_margins(batch: ColumnBatch, weights: np.ndarray, bias: float) -> np.ndarray:
+    """Raw margins ``w . x + b`` for one non-empty column of feature vectors.
+
+    The shared linear batch kernel (used by :class:`LinearModel` and the
+    optimizer's split ``PartialLinearScorer``): one matrix product for dense
+    batches; sparse inputs keep the per-record sparse dot, because densifying
+    a dictionary-wide batch would cost more than it saves.
+    """
+    matrix = batch.dense_matrix()
+    if matrix is not None:
+        if matrix.shape[1] != weights.shape[0]:
+            raise ValueError(
+                f"weight length {weights.shape[0]} != vector size {matrix.shape[1]}"
+            )
+        return matrix @ weights + bias
+    vectors = [
+        value if isinstance(value, Vector) else as_vector(value) for value in batch.rows
+    ]
+    return np.array([vector.dot(weights) + bias for vector in vectors])
 
 
 class LinearModel(Operator):
@@ -114,27 +136,18 @@ class LinearModel(Operator):
         margin = self.decision_value(value)
         return float(self._link(np.asarray(margin)))
 
-    def transform_batch(self, values: Sequence[Any]) -> List[float]:
-        """Vectorized batch scoring: one matrix product for dense batches.
+    supports_batch = True
 
-        Sparse inputs keep the per-record sparse dot (densifying them would
-        cost more than it saves) but still share a single vectorized link.
-        """
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Vectorized batch scoring: shared margins kernel + one link pass."""
         if self.weights is None:
             raise RuntimeError(f"{self.name} used before fit()")
-        if not values:
-            return []
-        vectors = [value if isinstance(value, Vector) else as_vector(value) for value in values]
-        if all(isinstance(vector, DenseVector) for vector in vectors):
-            matrix = np.vstack([vector.to_numpy() for vector in vectors])
-            if matrix.shape[1] != self.weights.shape[0]:
-                raise ValueError(
-                    f"weight length {self.weights.shape[0]} != vector size {matrix.shape[1]}"
-                )
-            margins = matrix @ self.weights + self.bias
-        else:
-            margins = np.array([vector.dot(self.weights) + self.bias for vector in vectors])
-        return [float(p) for p in self._link(margins)]
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_scalars(np.empty(0, dtype=np.float64))
+        return ColumnBatch.from_scalars(
+            self._link(batch_margins(batch, self.weights, self.bias))
+        )
 
     # -- model splitting (push-through-Concat) ----------------------------
 

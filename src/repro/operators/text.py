@@ -15,13 +15,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch
 from repro.operators.vectors import SparseVector
 
 __all__ = ["Tokenizer", "NgramDictionary", "CharNgramFeaturizer", "WordNgramFeaturizer"]
@@ -158,27 +153,38 @@ class _NgramFeaturizerBase(Operator):
 
     # -- inference --------------------------------------------------------
 
-    def transform(self, value: Any) -> SparseVector:
-        if self.dictionary is None:
-            raise RuntimeError(f"{self.name} used before fit(): no dictionary")
+    def _count_grams(self, value: Any) -> Tuple[Dict[int, float], int]:
+        """Count one record's in-vocabulary grams: ``(index -> count, total)``.
+
+        The shared core of the scalar and batch kernels; ``tf`` scaling by
+        ``total`` happens in the callers.
+        """
+        assert self.dictionary is not None
         units = self._units(value)
+        lookup = self.dictionary.lookup
         joiner = self._joiner()
         low, high = self.ngram_range
+        binary = self.weighting == "binary"
         counts: Dict[int, float] = {}
         total = 0
         for n in range(low, high + 1):
             if len(units) < n:
                 continue
             for start in range(len(units) - n + 1):
-                gram = joiner.join(units[start : start + n])
-                index = self.dictionary.lookup(gram)
+                index = lookup(joiner.join(units[start : start + n]))
                 total += 1
                 if index is None:
                     continue
-                if self.weighting == "binary":
+                if binary:
                     counts[index] = 1.0
                 else:
                     counts[index] = counts.get(index, 0.0) + 1.0
+        return counts, total
+
+    def transform(self, value: Any) -> SparseVector:
+        if self.dictionary is None:
+            raise RuntimeError(f"{self.name} used before fit(): no dictionary")
+        counts, total = self._count_grams(value)
         if self.weighting == "tf" and total > 0:
             counts = {idx: val / total for idx, val in counts.items()}
         if not counts:
@@ -186,6 +192,58 @@ class _NgramFeaturizerBase(Operator):
         indices = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
         values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
         return SparseVector(indices, values, self.dictionary.size)
+
+    supports_batch = True
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Featurize a whole batch with one shared vector-assembly pass.
+
+        Gram counting is inherently per-record string work, but the dense
+        portion -- turning every record's ``(index, count)`` pairs into
+        feature vectors -- is batched: all records' pairs land in two shared
+        arrays (``tf`` scaling is one vectorized divide over them) and the
+        per-record :class:`SparseVector` outputs are built from slices.
+        """
+        if self.dictionary is None:
+            raise RuntimeError(f"{self.name} used before fit(): no dictionary")
+        batch = as_column_batch(values)
+        rows = batch.rows
+        if not rows:
+            return ColumnBatch.from_rows([])
+        per_record = [self._count_grams(value) for value in rows]
+        lengths = np.fromiter(
+            (len(counts) for counts, _total in per_record),
+            dtype=np.int64,
+            count=len(per_record),
+        )
+        flat = int(lengths.sum())
+        all_indices = np.empty(flat, dtype=np.int64)
+        all_values = np.empty(flat, dtype=np.float64)
+        position = 0
+        for counts, _total in per_record:
+            count = len(counts)
+            all_indices[position : position + count] = np.fromiter(
+                counts.keys(), dtype=np.int64, count=count
+            )
+            all_values[position : position + count] = np.fromiter(
+                counts.values(), dtype=np.float64, count=count
+            )
+            position += count
+        if self.weighting == "tf":
+            totals = np.fromiter(
+                (total if total > 0 else 1 for _counts, total in per_record),
+                dtype=np.float64,
+                count=len(per_record),
+            )
+            all_values = all_values / np.repeat(totals, lengths)
+        size = self.dictionary.size
+        outputs: List[SparseVector] = []
+        position = 0
+        for length in lengths:
+            end = position + int(length)
+            outputs.append(SparseVector(all_indices[position:end], all_values[position:end], size))
+            position = end
+        return ColumnBatch.from_rows(outputs)
 
     def parameters(self) -> List[Parameter]:
         params = [

@@ -13,13 +13,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.operators.base import (
-    Annotation,
-    Operator,
-    OperatorKind,
-    Parameter,
-    ValueKind,
-)
+from repro.operators.base import Annotation, Operator, OperatorKind, Parameter, ValueKind
+from repro.operators.batch import ColumnBatch, as_column_batch, batch_matrix
 from repro.operators.vectors import DenseVector, SparseVector, as_vector
 
 __all__ = ["DecisionTree", "RandomForest", "TreeEnsembleClassifier", "TreeFeaturizer"]
@@ -184,11 +179,48 @@ class DecisionTree(Operator):
                 node = int(right[node])
         return node
 
+    def _leaves_of(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized level-order traversal over a whole batch.
+
+        Every record descends one tree level per pass: the records still at
+        internal nodes are gathered, their split comparisons run as one numpy
+        expression, and they step to their left/right child together.  The
+        per-record comparisons are exactly the scalar :meth:`_leaf_of` ones,
+        so the resulting leaves (and therefore outputs) are bit-equal.
+        """
+        assert self._nodes is not None
+        feature = self._nodes["feature"]
+        threshold = self._nodes["threshold"]
+        left = self._nodes["left"]
+        right = self._nodes["right"]
+        leaves = np.zeros(matrix.shape[0], dtype=np.int64)
+        active = np.flatnonzero(left[leaves] != -1)
+        while active.size:
+            current = leaves[active]
+            go_left = matrix[active, feature[current]] <= threshold[current]
+            leaves[active] = np.where(go_left, left[current], right[current])
+            active = active[left[leaves[active]] != -1]
+        return leaves
+
+    supports_batch = True
+
     def transform(self, value: Any) -> float:
         if self._nodes is None:
             raise RuntimeError("DecisionTree used before fit()")
         features = as_vector(value).to_numpy()
         return float(self._nodes["value"][self._leaf_of(features)])
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Score a whole batch with one level-order array traversal."""
+        if self._nodes is None:
+            raise RuntimeError("DecisionTree used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_scalars(np.empty(0, dtype=np.float64))
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        return ColumnBatch.from_scalars(self._nodes["value"][self._leaves_of(matrix)])
 
     def leaf_index(self, value: Any) -> int:
         """Index of the leaf the record falls into (used by TreeFeaturizer)."""
@@ -266,10 +298,27 @@ class RandomForest(Operator):
             self.trees.append(tree)
         return self
 
+    supports_batch = True
+
     def transform(self, value: Any) -> float:
         if not self.trees:
             raise RuntimeError("RandomForest used before fit()")
         return float(np.mean([tree.transform(value) for tree in self.trees]))
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """One level-order batch traversal per tree, one mean over the stack."""
+        if not self.trees:
+            raise RuntimeError("RandomForest used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_scalars(np.empty(0, dtype=np.float64))
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        scores = np.stack(
+            [tree._nodes["value"][tree._leaves_of(matrix)] for tree in self.trees]
+        )
+        return ColumnBatch.from_scalars(np.mean(scores, axis=0))
 
     def parameters(self) -> List[Parameter]:
         params = [
@@ -346,11 +395,28 @@ class TreeEnsembleClassifier(Operator):
             self.trees.append(tree)
         return self
 
+    supports_batch = True
+
     def transform(self, value: Any) -> DenseVector:
         if not self.trees:
             raise RuntimeError("TreeEnsembleClassifier used before fit()")
         scores = np.array([tree.transform(value) for tree in self.trees])
         return DenseVector(scores)
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Per-class score columns filled by one batch traversal per tree."""
+        if not self.trees:
+            raise RuntimeError("TreeEnsembleClassifier used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        scores = np.empty((matrix.shape[0], len(self.trees)), dtype=np.float64)
+        for position, tree in enumerate(self.trees):
+            scores[:, position] = tree._nodes["value"][tree._leaves_of(matrix)]
+        return ColumnBatch.from_matrix(scores)
 
     def predict_class(self, value: Any) -> int:
         return int(np.argmax(self.transform(value).values))
@@ -425,6 +491,8 @@ class TreeFeaturizer(Operator):
             self.trees.append(tree)
         return self
 
+    supports_batch = True
+
     def transform(self, value: Any) -> SparseVector:
         if not self.trees:
             raise RuntimeError("TreeFeaturizer used before fit()")
@@ -436,6 +504,26 @@ class TreeFeaturizer(Operator):
         total = offset
         return SparseVector(
             np.asarray(indices, dtype=np.int64), np.ones(len(indices), dtype=np.float64), total
+        )
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """All leaf indices for the whole batch from one traversal per tree."""
+        if not self.trees:
+            raise RuntimeError("TreeFeaturizer used before fit()")
+        batch = as_column_batch(values)
+        if not batch:
+            return ColumnBatch.from_rows([])
+        matrix = batch_matrix(batch)
+        if matrix is None:
+            return ColumnBatch.from_rows([self.transform(value) for value in batch.rows])
+        leaf_columns = np.empty((matrix.shape[0], len(self.trees)), dtype=np.int64)
+        offset = 0
+        for position, tree in enumerate(self.trees):
+            leaf_columns[:, position] = offset + tree._leaves_of(matrix)
+            offset += tree.n_nodes
+        ones = np.ones(len(self.trees), dtype=np.float64)
+        return ColumnBatch.from_rows(
+            [SparseVector(row, ones, offset) for row in leaf_columns]
         )
 
     def parameters(self) -> List[Parameter]:

@@ -57,10 +57,18 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.core.config import PretzelConfig
 from repro.core.statistics import TransformStats
 from repro.mlnet.pipeline import Pipeline
-from repro.net import deserialize_message, parse_host_port, serialize_message
+from repro.net import (
+    BINARY_MAGIC,
+    decode_payload,
+    deserialize_message,
+    encode_payload,
+    pack_value_batch,
+    parse_host_port,
+    unpack_value_batch,
+)
 from repro.serving.control.failure import WorkerFailedError
-from repro.serving.control.plane import ControlPlane
 from repro.serving.control.lifecycle import PlanLifecycle
+from repro.serving.control.plane import ControlPlane
 from repro.serving.control.transport import PipeTransport, SocketTransport, Transport
 from repro.serving.router import ShardRouter
 from repro.serving.shm_store import ArenaExhaustedError, SharedMemoryArena, _shareable
@@ -120,6 +128,14 @@ class _WorkerHandle:
         self.transport = transport
         self.lock = threading.Lock()
         self.requests = 0
+        #: wire accounting (message payloads, before transport framing):
+        #: binary messages carry columnar array frames, json messages are the
+        #: plain ``serialize_message`` envelope.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.binary_messages = 0
+        self.json_messages = 0
+        self.binary_replies = 0
 
     def process_alive(self) -> bool:
         """Liveness of the hosting process; attached workers report True
@@ -164,13 +180,23 @@ class _WorkerHandle:
         kind = str(message.get("type"))
         self.requests += 1
         try:
-            self.transport.send_bytes(serialize_message(message))
+            encoded = encode_payload(message)
+            self.bytes_sent += len(encoded)
+            if encoded.startswith(BINARY_MAGIC):
+                self.binary_messages += 1
+            else:
+                self.json_messages += 1
+            self.transport.send_bytes(encoded)
             deadline = time.monotonic() + timeout
             while True:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self.transport.poll(remaining):
                     raise WorkerTimeout(self.worker_id, timeout, kind)
-                reply = deserialize_message(self.transport.recv_bytes())
+                raw = self.transport.recv_bytes()
+                self.bytes_received += len(raw)
+                if raw.startswith(BINARY_MAGIC):
+                    self.binary_replies += 1
+                reply = decode_payload(raw)
                 if reply.get("msg_id") == message.get("msg_id"):
                     break
                 # A stale reply from a request that previously timed out:
@@ -721,7 +747,9 @@ class PretzelCluster:
                     self._message(
                         "predict",
                         plan_id=plan_id,
-                        records=records,
+                        # Uniform numeric batches travel as one columnar
+                        # binary frame; anything else stays the JSON row list.
+                        records=pack_value_batch(records),
                         latency_sensitive=latency_sensitive,
                     ),
                     self.config.worker_timeout_seconds,
@@ -739,7 +767,7 @@ class PretzelCluster:
             backlog = reply.get("backlog")
             self.control.record_reply(worker_id)
             self.lifecycle.note_traffic(plan_id, len(records))
-            return reply["outputs"]
+            return unpack_value_batch(reply["outputs"])
         finally:
             self.router.release(worker_id, backlog=backlog)
 
@@ -916,9 +944,27 @@ class PretzelCluster:
             "arena": arena_stats,
             "arena_overflows": self.arena_overflows,
             "control_plane": self.control.stats(),
+            "wire": self.wire_stats(),
             "memory_bytes": total_worker_bytes
             + (arena_stats["used_bytes"] if arena_stats else 0),
             "workers": workers,
+        }
+
+    def wire_stats(self) -> Dict[str, int]:
+        """Bytes and message counts on the cluster<->worker wire (no round trips).
+
+        ``binary_messages`` counts requests that shipped at least one columnar
+        array frame (:func:`repro.net.encode_payload`); ``json_messages`` are
+        plain envelopes.  Byte counts cover both directions of every request
+        this cluster generation sent, before transport framing.
+        """
+        handles = list(self._workers.values()) + list(self._evicted_handles.values())
+        return {
+            "bytes_sent": sum(handle.bytes_sent for handle in handles),
+            "bytes_received": sum(handle.bytes_received for handle in handles),
+            "binary_messages": sum(handle.binary_messages for handle in handles),
+            "json_messages": sum(handle.json_messages for handle in handles),
+            "binary_replies": sum(handle.binary_replies for handle in handles),
         }
 
     def memory_bytes(self) -> int:

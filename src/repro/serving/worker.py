@@ -8,10 +8,13 @@ ever touches the Transport interface (``send_bytes`` / ``recv_bytes`` /
 pipe (:class:`~repro.serving.control.transport.PipeTransport`, the cluster's
 default), a cluster-dialed TCP connection, or a standalone ``--listen``
 socket a remote cluster attaches to.  Messages are framed with
-:func:`repro.net.serialize_message` / :func:`repro.net.deserialize_message`
-(the same JSON wire format every front-end in this repository models), with
-one non-JSON exception: pickled model payloads travel base64-encoded inside
-the JSON envelope, exactly once per registration.
+:func:`repro.net.encode_payload` / :func:`repro.net.decode_payload`: the
+envelope is the same JSON wire format every front-end in this repository
+models (control messages stay byte-identical plain JSON), while uniform
+numeric batches -- ``predict`` records and outputs -- travel as one columnar
+binary frame (:func:`repro.net.pack_value_batch`) instead of N JSON-encoded
+records.  Pickled model payloads travel base64-encoded inside the JSON
+envelope, exactly once per registration.
 
 Parameter sharing survives the process boundary: when the cluster runs a
 :class:`~repro.serving.shm_store.SharedMemoryArena`, the worker attaches an
@@ -71,12 +74,15 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.config import PretzelConfig
 from repro.core.runtime import PretzelRuntime
-from repro.net import deserialize_message, parse_host_port, serialize_message
-from repro.serving.control.transport import (
-    PipeTransport,
-    SocketListener,
-    Transport,
+from repro.net import (
+    decode_payload,
+    encode_payload,
+    pack_value_batch,
+    parse_host_port,
+    serialize_message,
+    unpack_value_batch,
 )
+from repro.serving.control.transport import PipeTransport, SocketListener, Transport
 from repro.serving.shm_store import ArenaClient, ArenaRef
 
 __all__ = [
@@ -210,7 +216,10 @@ class ServingWorker:
 
     def _handle_predict(self, message: Dict[str, Any]) -> Dict[str, Any]:
         plan_id = message["plan_id"]
-        records = message["records"]
+        # Numeric batches arrive as one columnar binary frame; anything else
+        # is the original JSON row list.  Either way the rows below are
+        # exactly what the JSON path would have delivered.
+        records = unpack_value_batch(message["records"])
         registered = self.runtime.registered(plan_id)
         if registered.engine == "batch" and len(records) > 1:
             outputs = self.runtime.predict_batch(
@@ -224,7 +233,7 @@ class ServingWorker:
         self.served_predictions += len(records)
         # Piggyback the scheduler's queue depth so the router's dispatch
         # stays queue-depth-aware without extra stats round trips.
-        return {"outputs": outputs, "backlog": self._backlog()}
+        return {"outputs": pack_value_batch(outputs), "backlog": self._backlog()}
 
     def _handle_memory(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Footprint probe: just the number, not the full stats payload."""
@@ -265,7 +274,7 @@ def _serve(worker: ServingWorker, transport: Transport) -> str:
             payload = transport.recv_bytes()
         except (EOFError, OSError):
             return "eof"
-        message = deserialize_message(payload)
+        message = decode_payload(payload)
         msg_id = message.get("msg_id")
         cached = worker.last_reply
         if msg_id is not None and cached is not None and cached[0] == msg_id:
@@ -276,7 +285,7 @@ def _serve(worker: ServingWorker, transport: Transport) -> str:
         else:
             reply = worker.handle(message)
             try:
-                encoded = serialize_message(reply)
+                encoded = encode_payload(reply)
             except TypeError as error:
                 # A handler produced a non-JSON-able value (e.g. a plan whose
                 # sink emits a custom object); report instead of crashing.

@@ -13,7 +13,6 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
-
 from repro.clipper.container import ModelContainer
 from repro.core.engines import execute_plan_stage, execute_plan_stage_batch
 from repro.core.runtime import PretzelRuntime

@@ -28,6 +28,11 @@ class StageBatchTelemetry:
         self._max_observed: Dict[str, int] = {}
         #: signature -> summed coalescible backlog observed at pull time
         self._backlog_sum: Dict[str, int] = {}
+        #: signature -> names of the stage's operators without a vectorized
+        #: batch kernel (``supports_batch=False``); the runtime records these
+        #: at plan registration so loop-fallback stages are visible in
+        #: ``stats()["stage_batching"]`` instead of silently slow.
+        self._loop_fallbacks: Dict[str, List[str]] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -48,6 +53,22 @@ class StageBatchTelemetry:
                 self._max_observed[signature] = batch_size
             if backlog is not None:
                 self._backlog_sum[signature] = self._backlog_sum.get(signature, 0) + backlog
+
+    def note_loop_fallback(self, signature: str, operator_names: List[str]) -> None:
+        """Record that ``signature``'s batches run a per-record loop.
+
+        Called at plan registration for every stage whose
+        :attr:`~repro.core.oven.physical.PhysicalStage.supports_batch` is
+        False; ``operator_names`` are the offending operators (the explicit
+        escape hatch of the batch-first operator contract).
+        """
+        with self._lock:
+            self._loop_fallbacks[signature] = list(operator_names)
+
+    def loop_fallback_stages(self) -> Dict[str, List[str]]:
+        """Stage signature -> loop-fallback operator names (maybe empty)."""
+        with self._lock:
+            return {sig: list(names) for sig, names in self._loop_fallbacks.items()}
 
     # -- aggregates ----------------------------------------------------------
 
@@ -123,9 +144,19 @@ class StageBatchTelemetry:
                 "events": events,
                 "mean_batch_size": (events / batches) if batches else 0.0,
                 "stages": len(self._batches),
+                "loop_fallback_stages": {
+                    sig: list(names) for sig, names in self._loop_fallbacks.items()
+                },
             }
 
     def reset(self) -> None:
+        """Clear the accumulating counters.
+
+        The loop-fallback records survive a reset on purpose: they are
+        written once, at plan registration, and cannot re-accumulate from
+        traffic -- clearing them would silently re-hide un-vectorized stages
+        that are still registered.
+        """
         with self._lock:
             self._batches.clear()
             self._events.clear()

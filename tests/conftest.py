@@ -7,6 +7,7 @@ import pytest
 
 from repro.mlnet.pipeline import Pipeline
 from repro.operators import (
+    PCA,
     CharNgramFeaturizer,
     ColumnSelector,
     ConcatFeaturizer,
@@ -14,7 +15,6 @@ from repro.operators import (
     LogisticRegressionClassifier,
     MinMaxNormalizer,
     MissingValueImputer,
-    PCA,
     Tokenizer,
     WordNgramFeaturizer,
 )

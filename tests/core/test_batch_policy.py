@@ -6,8 +6,8 @@ import pytest
 
 from repro.core.batch_policy import AdaptiveBatchSizer, FixedBatchSizer, make_batch_sizer
 from repro.core.scheduler import InferenceRequest, Scheduler
-from repro.testing import StubPlan
 from repro.telemetry.batching import StageBatchTelemetry
+from repro.testing import StubPlan
 
 
 class TestFixedBatchSizer:

@@ -7,14 +7,11 @@ from repro.core.config import PretzelConfig
 from repro.core.flour import FlourContext, flour_from_pipeline
 from repro.core.object_store import ObjectStore
 from repro.core.oven.compiler import ModelPlanCompiler
-from repro.core.oven.logical import GraphValidationError, SOURCE, TransformGraph, TransformNode
+from repro.core.oven.logical import SOURCE, GraphValidationError, TransformGraph, TransformNode
 from repro.core.oven.optimizer import OvenOptimizer
 from repro.core.oven.rewrite_ops import LINK_FUNCTIONS, MarginCombiner, PartialLinearScorer
 from repro.core.oven.rules import PushLinearModelThroughConcatRule
-from repro.operators import (
-    Tokenizer,
-    WordNgramFeaturizer,
-)
+from repro.operators import Tokenizer, WordNgramFeaturizer
 from repro.operators.base import ValueKind
 from repro.operators.vectors import DenseVector
 

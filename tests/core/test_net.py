@@ -1,9 +1,21 @@
 """Round-trip regression tests for the wire framing in ``repro.net``."""
 
+import math
+import struct
+
 import numpy as np
 import pytest
 
-from repro.net import deserialize_message, serialize_message
+from repro.net import (
+    BINARY_MAGIC,
+    FrameFormatError,
+    decode_payload,
+    deserialize_message,
+    encode_payload,
+    pack_value_batch,
+    serialize_message,
+    unpack_value_batch,
+)
 
 
 class TestRoundTrip:
@@ -41,3 +53,139 @@ class TestRoundTrip:
         for bad in (Opaque(), {1, 2}, b"raw-bytes", object()):
             with pytest.raises(TypeError):
                 serialize_message({"value": bad})
+
+
+class TestBinaryFrames:
+    def test_no_arrays_encodes_byte_identical_to_json(self):
+        """Control-plane messages (no arrays) must not change on the wire:
+        the workers' msg-id replay cache and the heartbeat path compare and
+        cache these exact bytes."""
+        payload = {"type": "ping", "msg_id": "gen:1"}
+        assert encode_payload(payload) == serialize_message(payload)
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_arrays_round_trip_with_dtype_and_shape(self):
+        payload = {
+            "outputs": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "nested": {"ids": np.array([1, 2, 3], dtype=np.int64)},
+        }
+        encoded = encode_payload(payload)
+        assert encoded.startswith(BINARY_MAGIC)
+        decoded = decode_payload(encoded)
+        assert decoded["outputs"].dtype == np.float64
+        assert np.array_equal(decoded["outputs"], payload["outputs"])
+        assert decoded["nested"]["ids"].dtype == np.int64
+        assert np.array_equal(decoded["nested"]["ids"], payload["nested"]["ids"])
+
+    def test_nan_and_infinities_round_trip_exactly_in_binary(self):
+        """Binary frames carry the raw float64 bytes, so the IEEE specials
+        survive bit-exactly -- no reliance on JSON literal extensions."""
+        specials = np.array([float("nan"), float("inf"), float("-inf"), -0.0, 5e-324])
+        decoded = decode_payload(encode_payload({"values": specials}))["values"]
+        assert decoded.tobytes() == specials.tobytes()
+
+    def test_json_path_still_round_trips_nan_via_python_literals(self):
+        """Regression pin for the fallback path: Python's json module emits
+        the non-RFC ``NaN``/``Infinity`` literals and parses them back, so a
+        heterogeneous batch containing specials keeps round-tripping through
+        the JSON encoding (as it did before binary frames existed)."""
+        payload = {"records": [float("nan"), float("inf"), float("-inf"), "mixed"]}
+        decoded = deserialize_message(serialize_message(payload))
+        assert math.isnan(decoded["records"][0])
+        assert decoded["records"][1] == float("inf")
+        assert decoded["records"][2] == float("-inf")
+        assert decoded["records"][3] == "mixed"
+
+    def test_malformed_frames_raise_typed_error_not_struct_exception(self):
+        def message(envelope: bytes, frames: bytes) -> bytes:
+            return BINARY_MAGIC + struct.pack("!I", len(envelope)) + envelope + frames
+
+        frame = struct.pack("!Q", 32) + np.arange(4, dtype=np.float64).tobytes()
+        good = message(b'{"values": "__frame__:0:<f8:4"}', frame)
+        assert np.array_equal(decode_payload(good)["values"], np.arange(4.0))
+        cases = [
+            BINARY_MAGIC,  # nothing after the magic
+            BINARY_MAGIC + struct.pack("!I", 10),  # envelope length, no envelope
+            message(b"{}!!", b""),  # envelope not JSON
+            good[:-3],  # truncated inside the array data
+            # the placeholder's dtype/shape disagree with the frame's length
+            message(b'{"values": "__frame__:0:<f8:9"}', frame),
+            # frame index out of range
+            message(b'{"values": "__frame__:3:<f8:4"}', frame),
+            # unparseable dtype
+            message(b'{"values": "__frame__:0:no-such-dtype:4"}', frame),
+            # placeholder missing its index:dtype:shape fields
+            message(b'{"values": "__frame__:0"}', frame),
+        ]
+        for mangled in cases:
+            with pytest.raises(FrameFormatError):
+                decode_payload(mangled)
+        # FrameFormatError is a ValueError, never a bare struct.error.
+        assert issubclass(FrameFormatError, ValueError)
+
+    def test_rejects_object_dtype_frames(self):
+        envelope = b'{"values": "__frame__:0:|O:1"}'
+        data = (
+            BINARY_MAGIC
+            + struct.pack("!I", len(envelope))
+            + envelope
+            + struct.pack("!Q", 8)
+            + b"\x00" * 8
+        )
+        with pytest.raises(FrameFormatError):
+            decode_payload(data)
+
+    def test_object_dtype_arrays_fall_back_to_json(self):
+        """Object arrays have no raw-bytes form; shipping their pointer bytes
+        would crash the receiver, so the message keeps the JSON wire (where
+        ``tolist()`` has always handled them)."""
+        payload = {"records": np.array(["a", "bc"], dtype=object), "n": np.arange(2.0)}
+        encoded = encode_payload(payload)
+        assert not encoded.startswith(BINARY_MAGIC)
+        assert decode_payload(encoded) == {"records": ["a", "bc"], "n": [0.0, 1.0]}
+
+    def test_colliding_placeholder_strings_fall_back_to_json(self):
+        """A payload string that happens to carry the placeholder prefix must
+        not be misread as a frame (or rejected): the whole message falls back
+        to the JSON wire, where arrays still round-trip as lists."""
+        payload = {"text": "__frame__:0:<f8:4", "values": np.arange(3.0)}
+        encoded = encode_payload(payload)
+        assert not encoded.startswith(BINARY_MAGIC)
+        decoded = decode_payload(encoded)
+        assert decoded["text"] == "__frame__:0:<f8:4"
+        assert decoded["values"] == [0.0, 1.0, 2.0]
+
+
+class TestValueBatchPacking:
+    def test_float_outputs_pack_to_one_frame_and_round_trip(self):
+        outputs = [0.25, -1.5, float("nan"), float("inf")] * 16
+        packed = pack_value_batch(outputs)
+        assert isinstance(packed, dict) and "__batch__" in packed
+        rebuilt = unpack_value_batch(decode_payload(encode_payload({"o": packed}))["o"])
+        assert rebuilt[0] == 0.25 and rebuilt[1] == -1.5
+        assert math.isnan(rebuilt[2]) and rebuilt[3] == float("inf")
+        assert all(type(value) is float for value in rebuilt)
+
+    def test_small_scalar_batches_stay_json(self):
+        """Below the frame-cost crossover, bare float batches keep the JSON
+        encoding -- single-prediction replies must not pay frame overhead."""
+        assert pack_value_batch([0.25, 0.5]) == [0.25, 0.5]
+
+    def test_uniform_dict_records_pack_columnar(self):
+        records = [{"a": 1.0, "b": float("nan")}, {"a": 2.5, "b": 0.0}]
+        packed = pack_value_batch(records)
+        assert isinstance(packed, dict) and "__batch__" in packed
+        rebuilt = unpack_value_batch(decode_payload(encode_payload({"r": packed}))["r"])
+        assert rebuilt[0]["a"] == 1.0 and math.isnan(rebuilt[0]["b"])
+        assert rebuilt[1] == {"a": 2.5, "b": 0.0}
+
+    def test_heterogeneous_batches_fall_back_to_json_rows(self):
+        for rows in (
+            ["text", "more text"],  # strings
+            [{"a": 1.0}, {"b": 2.0}],  # differing keys
+            [{"a": 1}, {"a": 2}],  # ints must stay ints -> JSON
+            [[1.0, 2.0], [3.0]],  # ragged
+            [1.0, "mixed"],
+        ):
+            assert pack_value_batch(rows) == rows
+            assert unpack_value_batch(rows) == rows

@@ -5,10 +5,10 @@ import pytest
 
 from repro.core.config import PretzelConfig
 from repro.core.engines import execute_plan
+from repro.core.executors import Executor, ExecutorPool
 from repro.core.frontend import FrontEndConfig, PretzelFrontEnd
 from repro.core.runtime import PretzelRuntime
 from repro.core.scheduler import InferenceRequest, Scheduler
-from repro.core.executors import Executor, ExecutorPool
 
 
 @pytest.fixture()

@@ -17,7 +17,6 @@ from repro.core.config import PretzelConfig
 from repro.core.executors import Executor
 from repro.core.runtime import PretzelRuntime
 from repro.core.scheduler import InferenceRequest, Scheduler, StageBatch
-from repro.testing import StubPlan
 from repro.mlnet.pipeline import Pipeline
 from repro.operators import (
     CharNgramFeaturizer,
@@ -27,6 +26,7 @@ from repro.operators import (
     Tokenizer,
     WordNgramFeaturizer,
 )
+from repro.testing import StubPlan
 
 
 def _submit(scheduler, plan_id, plan, latency_sensitive=False, record="x"):
@@ -176,7 +176,13 @@ class TestFakeClockTimeout:
         assert len(scheduler.next_batch(0, timeout=0.0)) == 4
         assert len(scheduler.next_batch(0, timeout=0.0)) == 2
         snapshot = scheduler.batching.snapshot()
-        assert snapshot == {"batches": 2, "events": 6, "mean_batch_size": 3.0, "stages": 1}
+        assert snapshot == {
+            "batches": 2,
+            "events": 6,
+            "mean_batch_size": 3.0,
+            "stages": 1,
+            "loop_fallback_stages": {},
+        }
         assert scheduler.batching.mean_batch_size("tok") == 3.0
         assert scheduler.batching.occupancy(4) == pytest.approx(0.75)
 

@@ -2,21 +2,20 @@
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.mlnet.model_file import load_model, operator_from_state, operator_state, save_model
 from repro.operators import (
+    PCA,
     KMeans,
     LogisticRegressionClassifier,
-    PCA,
-    TreeFeaturizer,
     Tokenizer,
+    TreeFeaturizer,
     WordNgramFeaturizer,
 )
 from repro.operators.trees import DecisionTree
 from repro.operators.vectors import DenseVector
-
-import numpy as np
 
 
 class TestOperatorStateRoundTrip:

@@ -5,11 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.operators.linear import (
-    LinearRegressor,
-    LogisticRegressionClassifier,
-    PoissonRegressor,
-)
+from repro.operators.linear import LinearRegressor, LogisticRegressionClassifier, PoissonRegressor
 from repro.operators.vectors import DenseVector, SparseVector
 
 

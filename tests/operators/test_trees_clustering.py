@@ -5,12 +5,7 @@ import pytest
 
 from repro.operators.clustering import KMeans
 from repro.operators.decomposition import PCA
-from repro.operators.trees import (
-    DecisionTree,
-    RandomForest,
-    TreeEnsembleClassifier,
-    TreeFeaturizer,
-)
+from repro.operators.trees import DecisionTree, RandomForest, TreeEnsembleClassifier, TreeFeaturizer
 from repro.operators.vectors import DenseVector, SparseVector
 
 

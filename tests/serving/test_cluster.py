@@ -231,6 +231,36 @@ def test_socket_transport_serves_the_smoke_workload(
         assert stats["control_plane"]["failovers"] == 0
 
 
+def test_batch_path_smoke_binary_frames_over_socket(ac_pipeline):
+    """The batch-path-smoke scenario: a 2-worker socket cluster serves a
+    500-record ``predict_batch`` of structured numeric records, the records
+    and outputs travel as columnar binary frames, and every output matches
+    the single-process oracle bit-for-bit."""
+    from repro.workloads.events_data import generate_events
+
+    records = generate_events(n_events=500, seed=123).records
+    config = _config(transport="socket")
+    with PretzelRuntime(PretzelConfig()) as runtime, PretzelCluster(config) as cluster:
+        reference = runtime.register(ac_pipeline)
+        plan_id = cluster.register(ac_pipeline)
+        before = cluster.wire_stats()
+        outputs = cluster.predict_batch(plan_id, records)
+        wire = cluster.wire_stats()
+        oracle = [runtime.predict(reference, record) for record in records]
+        assert outputs == oracle  # bit-equal, not approx
+        # The batch went out as one columnar frame and came back as one:
+        # exactly one more binary request and one more binary reply.
+        assert wire["binary_messages"] == before["binary_messages"] + 1
+        assert wire["binary_replies"] == before["binary_replies"] + 1
+        # The columnar encoding must actually be the smaller one on the wire.
+        sent = wire["bytes_sent"] - before["bytes_sent"]
+        from repro.net import serialize_message
+
+        json_request_bytes = len(serialize_message({"records": records}))
+        assert 0 < sent < json_request_bytes
+        assert cluster.stats()["shed"] == 0
+
+
 def test_socket_failover_zero_lost_requests(sa_pipeline, sa_inputs):
     """The acceptance scenario (and the CI failover-smoke job): 4 clients
     stream predictions over SocketTransport while one worker is killed

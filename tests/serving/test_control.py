@@ -11,11 +11,7 @@ import pytest
 from repro.net import frame_length, frame_payload, serialize_message
 from repro.serving.control.failure import FailureDetector, WorkerFailedError
 from repro.serving.control.lifecycle import PlanLifecycle
-from repro.serving.control.transport import (
-    PipeTransport,
-    SocketListener,
-    SocketTransport,
-)
+from repro.serving.control.transport import PipeTransport, SocketListener, SocketTransport
 
 
 class FakeClock:

@@ -6,12 +6,7 @@ import pytest
 from repro.core.object_store import ObjectStore
 from repro.operators.base import Parameter, _checksum_of
 from repro.operators.linear import LinearRegressor
-from repro.serving.shm_store import (
-    ArenaClient,
-    ArenaExhaustedError,
-    ArenaRef,
-    SharedMemoryArena,
-)
+from repro.serving.shm_store import ArenaClient, ArenaExhaustedError, ArenaRef, SharedMemoryArena
 
 
 @pytest.fixture()

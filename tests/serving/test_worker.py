@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.config import PretzelConfig
-from repro.net import deserialize_message, serialize_message
+from repro.net import (
+    decode_payload,
+    deserialize_message,
+    encode_payload,
+    serialize_message,
+    unpack_value_batch,
+)
 from repro.serving.shm_store import SharedMemoryArena
 from repro.serving.worker import ServingWorker, decode_model, encode_model
 
@@ -18,7 +24,12 @@ def worker():
 
 def _wire(message):
     """Run a message through the real wire framing both ways."""
-    return deserialize_message(serialize_message(message))
+    return decode_payload(encode_payload(message))
+
+
+def _outputs(reply):
+    """Decode a predict reply's outputs as the cluster side would."""
+    return unpack_value_batch(reply["outputs"])
 
 
 class TestHandlers:
@@ -47,10 +58,10 @@ class TestHandlers:
             _wire({"type": "predict", "msg_id": 3, "plan_id": "sa", "records": sa_inputs[:3]})
         )
         assert predict["ok"]
-        assert len(predict["outputs"]) == 3
+        assert len(_outputs(predict)) == 3
         assert predict["backlog"] == 0
         expected = [sa_pipeline.predict(text) for text in sa_inputs[:3]]
-        assert predict["outputs"] == pytest.approx(expected)
+        assert _outputs(predict) == pytest.approx(expected)
         assert worker.served_predictions == 3
 
     def test_unregister_then_predict_fails(self, worker, sa_pipeline, sa_inputs):
@@ -163,7 +174,7 @@ class TestArenaBackedWorker:
                     {"type": "predict", "msg_id": 2, "plan_id": "sa", "records": sa_inputs[:2]}
                 )
                 expected = [sa_pipeline.predict(text) for text in sa_inputs[:2]]
-                assert predict["outputs"] == pytest.approx(expected)
+                assert _outputs(predict) == pytest.approx(expected)
                 stats = worker.handle({"type": "stats", "msg_id": 3})
                 # The canonical operators were rebound onto arena views when
                 # the store interned them (adopt_operator), and the adopted
