@@ -1,0 +1,190 @@
+"""Tiered parameter memory: plans-resident-per-GB and rehydration-miss cost.
+
+Registers a family of linear plans past a deliberately tight arena budget
+under both eviction policies and compares, at *equal* budget:
+
+* how many plans still have their parameters materialized in shared memory
+  (resident or compressed) -- normalized to plans per GB of arena budget;
+* the p99 first-touch (rehydration-miss) latency of a compressed plan
+  against the warm resident predict median;
+* bit-equality of every prediction across the compressed-tier round trip.
+
+The evict-only baseline pays its cliff at eviction time (victims are
+privatized onto workers and leave the arena for good); the compressed tier
+keeps them in shared memory at a fraction of the bytes and pays a bounded
+decompress-and-re-ship cost on first touch instead.
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from conftest import write_report
+from repro.core.config import PretzelConfig
+from repro.mlnet.pipeline import Pipeline
+from repro.operators.linear import LinearRegressor
+from repro.serving import PretzelCluster
+from repro.telemetry.reporting import ExperimentReport
+
+N_PLANS = 8
+WEIGHTS_N = 16384  # 128 KiB of float64 weights per plan
+RECORD = [1.0] * WEIGHTS_N
+REHYDRATION_CYCLES = 20
+
+
+def _pipeline(name, seed):
+    weights = ((np.arange(WEIGHTS_N, dtype=np.float64) % 17) + seed) * 0.25
+    pipeline = Pipeline(name)
+    pipeline.add("linear", LinearRegressor(weights=weights, bias=0.5), ["input"])
+    return pipeline
+
+
+def _config(policy, budget):
+    return PretzelConfig(
+        num_workers=2,
+        placement_replicas=2,
+        shm_budget_bytes=budget,
+        shm_min_parameter_bytes=1024,
+        worker_timeout_seconds=60.0,
+        arena_eviction_policy=policy,
+    )
+
+
+def _probe_plan_bytes():
+    with PretzelCluster(_config("traffic-ema", 64 * 1024 * 1024)) as probe:
+        probe.register(_pipeline("probe", seed=0), plan_id="probe")
+        return probe.arena.stats()["allocated_bytes"]
+
+
+def _plans_in_arena(cluster, plan_ids):
+    """Plans whose parameters are still materialized in the shared arena."""
+    return sum(1 for plan_id in plan_ids if cluster.lifecycle.checksums(plan_id))
+
+
+def test_tiered_memory_plans_per_gb_and_rehydration_cost():
+    per_plan = _probe_plan_bytes()
+    # Room for ~3.5 uncompressed plans: both policies must shed bytes for
+    # the other N_PLANS - 3 registrations.
+    budget = per_plan * 3 + per_plan // 2
+    plan_ids = [f"plan-{index}" for index in range(N_PLANS)]
+    pipelines = {
+        plan_id: _pipeline(plan_id, seed=index)
+        for index, plan_id in enumerate(plan_ids)
+    }
+    expected = {
+        plan_id: pipelines[plan_id].predict(RECORD) for plan_id in plan_ids
+    }
+
+    # -- evict-only baseline ------------------------------------------------
+    with PretzelCluster(_config("traffic-ema", budget)) as baseline:
+        for plan_id in plan_ids:
+            baseline.register(pipelines[plan_id], plan_id=plan_id)
+        baseline_in_arena = _plans_in_arena(baseline, plan_ids)
+        baseline_evictions = baseline.stats()["control_plane"]["arena_evictions"]
+        # Evicted plans keep serving from worker-private copies.
+        baseline_outputs = {
+            plan_id: baseline.predict(plan_id, RECORD) for plan_id in plan_ids
+        }
+        privatized_predict = statistics.median(
+            _timed(baseline.predict, plan_ids[0], RECORD) for _ in range(10)
+        )
+    assert baseline_evictions > 0, "budget was not tight enough to force eviction"
+    assert all(
+        baseline_outputs[plan_id] == expected[plan_id] for plan_id in plan_ids
+    )
+
+    # -- compressed tier ----------------------------------------------------
+    with PretzelCluster(_config("compress-tiered", budget)) as tiered:
+        before = {}
+        for plan_id in plan_ids:
+            tiered.register(pipelines[plan_id], plan_id=plan_id)
+        tiered_in_arena = _plans_in_arena(tiered, plan_ids)
+        stats = tiered.stats()
+        compressions = stats["control_plane"]["arena_compressions"]
+        tier = stats["arena"]["tier"]
+        compressed_ratio = (
+            tier["compressed_payload_bytes"] / tier["compressed_original_bytes"]
+            if tier["compressed_original_bytes"]
+            else 1.0
+        )
+        # Bit-equality across the compressed-tier round trip, every plan.
+        for plan_id in plan_ids:
+            before[plan_id] = tiered.predict(plan_id, RECORD)
+        assert all(before[plan_id] == expected[plan_id] for plan_id in plan_ids)
+
+        # First-touch (rehydration-miss) latency: demote, then predict.
+        anchor = plan_ids[0]
+        miss_seconds = []
+        for _ in range(REHYDRATION_CYCLES):
+            # Rehydrate first if a later registration already demoted it,
+            # so every cycle measures exactly one compressed -> resident miss.
+            tiered.predict(anchor, RECORD)
+            with tiered._lifecycle_lock:
+                demoted = tiered._demote_plan_compressed(anchor, frozenset())
+            assert demoted, "anchor plan failed to demote"
+            elapsed, output = _timed_value(tiered.predict, anchor, RECORD)
+            assert output == expected[anchor]
+            miss_seconds.append(elapsed)
+        warm_seconds = [
+            _timed(tiered.predict, anchor, RECORD) for _ in range(REHYDRATION_CYCLES)
+        ]
+        control = tiered.stats()["control_plane"]
+        p99_rehydration = control["p99_rehydration_seconds"]
+        assert control["rehydrations"] >= REHYDRATION_CYCLES
+        assert p99_rehydration is not None
+
+    gb = budget / float(1024**3)
+    baseline_per_gb = baseline_in_arena / gb
+    tiered_per_gb = tiered_in_arena / gb
+    # The acceptance criterion: strictly more plans materialized per GB of
+    # arena budget than the evict-only baseline at the same budget.
+    assert tiered_per_gb > baseline_per_gb
+    assert compressions > 0
+
+    miss_sorted = sorted(miss_seconds)
+    miss_p99 = miss_sorted[min(len(miss_sorted) - 1, int(0.99 * len(miss_sorted)))]
+    report = ExperimentReport(
+        "tiered_memory",
+        "Tiered parameter memory: plans per GB and rehydration cost",
+        [
+            {
+                "policy": "traffic-ema (evict only)",
+                "plans_in_arena": baseline_in_arena,
+                "plans_per_gb": round(baseline_per_gb, 1),
+                "budget_mib": round(budget / 1024**2, 2),
+                "pressure_events": baseline_evictions,
+            },
+            {
+                "policy": "compress-tiered",
+                "plans_in_arena": tiered_in_arena,
+                "plans_per_gb": round(tiered_per_gb, 1),
+                "budget_mib": round(budget / 1024**2, 2),
+                "pressure_events": compressions,
+            },
+        ],
+    )
+    lines = [
+        report.render(),
+        "",
+        f"plans registered:                {N_PLANS} x {WEIGHTS_N * 8 // 1024} KiB weights",
+        f"compressed payload ratio:        {compressed_ratio:.3f} of original bytes",
+        f"rehydration-miss p99 (measured): {miss_p99 * 1000:.2f} ms over {REHYDRATION_CYCLES} first-touch predicts",
+        f"rehydration p99 (control plane): {p99_rehydration * 1000:.2f} ms decompress+re-ship only",
+        f"warm resident predict median:    {statistics.median(warm_seconds) * 1000:.2f} ms",
+        f"privatized predict median:       {privatized_predict * 1000:.2f} ms (baseline, worker-private copies)",
+        "bit-equality:                    all predictions exact across compress/rehydrate round trips",
+    ]
+    write_report("tiered_memory", "\n".join(lines))
+
+
+def _timed(call, *args):
+    start = time.perf_counter()
+    call(*args)
+    return time.perf_counter() - start
+
+
+def _timed_value(call, *args):
+    start = time.perf_counter()
+    value = call(*args)
+    return time.perf_counter() - start, value

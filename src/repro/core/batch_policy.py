@@ -46,6 +46,9 @@ class FixedBatchSizer:
     def batch_cap(self, signature: Hashable, backlog: int) -> int:
         return self.max_batch_size
 
+    def forget(self, signature: Hashable) -> None:
+        """No per-signature state to drop (interface parity with adaptive)."""
+
 
 class AdaptiveBatchSizer:
     """Cap each pull at the smoothed per-signature backlog.
@@ -98,6 +101,15 @@ class AdaptiveBatchSizer:
     def smoothed_backlog(self, signature: Hashable) -> float:
         """The current EMA for ``signature`` (0.0 if never observed)."""
         return self._backlog_ema.get(signature, 0.0)
+
+    def forget(self, signature: Hashable) -> None:
+        """Drop a signature's EMA when its last plan unregisters.
+
+        Without this, plan churn grows ``_backlog_ema`` without bound and a
+        later plan re-creating the same physical stage would inherit a stale
+        backlog estimate instead of starting fresh.
+        """
+        self._backlog_ema.pop(signature, None)
 
 
 def make_batch_sizer(

@@ -106,8 +106,25 @@ class PretzelConfig:
         ``"traffic-ema"`` evicts the coldest plan's exclusively-referenced
         slabs (victims picked by per-plan request-rate EMA, Ariadne-style;
         the victim's workers privatize those parameters first, so it keeps
-        serving) or ``"none"`` (the new plan's overflowing parameters simply
-        stay private, the pre-control-plane behaviour).
+        serving), ``"compress-tiered"`` inserts a compressed tier before
+        that eviction -- the coldest resident plan's slabs are compressed in
+        place and the first request touching it rehydrates them; plans whose
+        slabs do not compress fall through to the privatize-then-evict path,
+        which becomes the final tier -- or ``"none"`` (the new plan's
+        overflowing parameters simply stay private, the pre-control-plane
+        behaviour).
+    arena_codec:
+        Codec for the compressed tier: ``"auto"`` picks per slab from the
+        slab size, the plan's traffic EMA and each codec's observed
+        compression-ratio EMA; or pin one of ``"zlib-fast"``, ``"zlib"``,
+        ``"lzma"``.  Ignored unless the policy is ``"compress-tiered"``.
+    arena_min_compress_ratio:
+        A slab enters the compressed tier only if compressed/raw is at or
+        below this (and the payload lands in a smaller slab class);
+        otherwise the plan skips straight to privatize-then-evict.
+    arena_cold_compress_ema:
+        Decayed-traffic threshold below which a large slab is considered
+        deep-cold and the heavier (better-ratio) codec is tried first.
     """
 
     enable_object_store: bool = True
@@ -133,6 +150,9 @@ class PretzelConfig:
     heartbeat_interval_seconds: float = 5.0
     failover_policy: str = "re-register"
     arena_eviction_policy: str = "traffic-ema"
+    arena_codec: str = "auto"
+    arena_min_compress_ratio: float = 0.9
+    arena_cold_compress_ema: float = 0.5
 
     def clone(self, **overrides: object) -> "PretzelConfig":
         """Copy the config with some fields replaced (used by ablation benches)."""

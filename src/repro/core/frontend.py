@@ -29,7 +29,7 @@ from typing import Any, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.core.runtime import PretzelRuntime
 from repro.net import NetworkModel
 
-__all__ = ["FrontEndConfig", "PretzelFrontEnd", "FrontEndResponse"]
+__all__ = ["FrontEndConfig", "PretzelFrontEnd", "FrontEndResponse", "FlushError"]
 
 #: upper bound on how long a flush waits for its submitted requests (matches
 #: the default timeout of :meth:`PretzelRuntime.predict_batch`)
@@ -69,6 +69,34 @@ class FrontEndResponse:
         return self.prediction_seconds + self.network_seconds
 
 
+class FlushError(RuntimeError):
+    """A delayed-batching flush could not complete its whole buffer.
+
+    Raised so clients never silently lose buffered records: ``outputs``
+    carries what did complete (in submission order), ``submitted_records``
+    how many records reached the runtime, and ``dropped_records`` how many
+    produced no output (never submitted, or submitted but failed/timed out).
+    The underlying failure is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        plan_id: str,
+        submitted_records: int,
+        dropped_records: int,
+        outputs: List[Any],
+    ):
+        self.plan_id = plan_id
+        self.submitted_records = submitted_records
+        self.dropped_records = dropped_records
+        self.outputs = outputs
+        super().__init__(
+            f"flush of plan {plan_id!r} dropped {dropped_records} of "
+            f"{len(outputs) + dropped_records} buffered records "
+            f"({submitted_records} submitted)"
+        )
+
+
 @dataclass
 class _DelayedBuffer:
     """Per-plan buffer of records awaiting a delayed-batching flush."""
@@ -102,6 +130,9 @@ class PretzelFrontEnd:
         #: errors raised inside deadline-timer flushes (never propagated into
         #: the timer thread's traceback machinery); bounded like auto_flushes
         self.flush_errors: "Deque[BaseException]" = deque(maxlen=_AUTO_FLUSH_HISTORY)
+        #: running total of buffered records that never produced an output
+        #: (see :class:`FlushError`) -- the client-visible loss counter
+        self.dropped_records = 0
 
     # -- caching helpers ---------------------------------------------------------
 
@@ -224,8 +255,37 @@ class PretzelFrontEnd:
         # re-forms the batch (possibly merged with other plans' events sharing
         # the same physical stages), which is the whole point of routing the
         # delayed path through the batch engine.
-        requests = [self.runtime.submit(plan_id, record) for record in buffer.records]
-        outputs = [request.wait(_FLUSH_WAIT_SECONDS) for request in requests]
+        #
+        # The flush is atomic from the client's point of view: if a submit
+        # fails mid-loop, every already-submitted request is still *waited*
+        # (their events are in the scheduler and their outputs are collected,
+        # not abandoned), and the failure surfaces as a FlushError that
+        # carries the partial outputs and the dropped-record count instead of
+        # silently vanishing records.
+        requests = []
+        failure: Optional[BaseException] = None
+        for record in buffer.records:
+            try:
+                requests.append(self.runtime.submit(plan_id, record))
+            except BaseException as error:  # noqa: BLE001 - reported via FlushError
+                failure = error
+                break
+        outputs: List[Any] = []
+        for request in requests:
+            try:
+                outputs.append(request.wait(_FLUSH_WAIT_SECONDS))
+            except BaseException as error:  # noqa: BLE001 - drain every request
+                if failure is None:
+                    failure = error
+        dropped = len(buffer.records) - len(outputs)
+        if failure is not None or dropped:
+            self.dropped_records += dropped
+            raise FlushError(
+                plan_id=plan_id,
+                submitted_records=len(requests),
+                dropped_records=dropped,
+                outputs=outputs,
+            ) from failure
         # Measured wait: buffer-open to last output, not a flat surcharge.
         prediction_seconds = time.perf_counter() - buffer.opened_at
         network, _rq, _rs = self.config.client_network.round_trip(

@@ -214,6 +214,11 @@ class PretzelRuntime:
                     if self._stage_plan_count[signature] <= 0:
                         del self._stage_plan_count[signature]
                         self.compiler.stage_catalog.pop(signature, None)
+                        # The physical stage no longer exists: drop its
+                        # batching telemetry and adaptive-sizer EMA too, or
+                        # plan churn grows them without bound and a
+                        # re-registered signature inherits stale state.
+                        self.scheduler.forget_signature(signature)
                 # One release per operator occurrence: registration interned
                 # each stage-graph node once, shared stages included.
                 for operator in stage.physical.operators:

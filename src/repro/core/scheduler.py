@@ -286,6 +286,19 @@ class Scheduler:
         self.scheduled_events = 0
         self.completed_requests = 0
 
+    # -- per-signature state ------------------------------------------------------
+
+    def forget_signature(self, signature: str) -> None:
+        """Drop batching state for a signature whose last plan unregistered.
+
+        Clears both the telemetry counters and the adaptive sizer's backlog
+        EMA so plan churn cannot grow them without bound, and a later plan
+        re-creating the same physical stage starts from a fresh estimate.
+        """
+        with self._condition:
+            self.batching.forget(signature)
+            self.batch_sizer.forget(signature)
+
     # -- reservations -----------------------------------------------------------
 
     def reserve(self, plan_id: str, executor_id: int) -> None:

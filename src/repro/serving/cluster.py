@@ -36,7 +36,12 @@ parameter sharing:
   every plan's arena checksums so :meth:`PretzelCluster.unregister` can give
   exclusively-referenced slabs back to the allocator's free lists, and picks
   budget-pressure eviction victims by per-plan traffic EMA
-  (``arena_eviction_policy="traffic-ema"``).
+  (``arena_eviction_policy="traffic-ema"``).  With
+  ``arena_eviction_policy="compress-tiered"`` the first response to pressure
+  is instead to *compress* the coldest plan's slabs in place; the first
+  request touching the demoted plan rehydrates them (decompress, re-ship
+  refs, workers re-adopt) before dispatch, and only incompressible plans
+  fall through to the privatize-then-evict final tier.
 
 The facade mirrors :class:`~repro.core.runtime.PretzelRuntime`:
 ``register`` / ``unregister`` / ``predict`` / ``predict_batch`` / ``stats``
@@ -254,10 +259,10 @@ class PretzelCluster:
                 f"unknown failover_policy {self.config.failover_policy!r} "
                 "(re-register or evict-only)"
             )
-        if self.config.arena_eviction_policy not in ("traffic-ema", "none"):
+        if self.config.arena_eviction_policy not in ("traffic-ema", "compress-tiered", "none"):
             raise ValueError(
                 f"unknown arena_eviction_policy {self.config.arena_eviction_policy!r} "
-                "(traffic-ema or none)"
+                "(traffic-ema, compress-tiered or none)"
             )
         num_workers = max(0 if attach else 1, int(self.config.num_workers))
         if num_workers + len(attach) < 1:
@@ -267,7 +272,15 @@ class PretzelCluster:
         )
         context = multiprocessing.get_context(method)
         self.arena: Optional[SharedMemoryArena] = (
-            SharedMemoryArena(self.config.shm_budget_bytes)
+            SharedMemoryArena(
+                self.config.shm_budget_bytes,
+                enable_compressed_tier=(
+                    self.config.arena_eviction_policy == "compress-tiered"
+                ),
+                codec=self.config.arena_codec,
+                min_compress_ratio=self.config.arena_min_compress_ratio,
+                cold_codec_traffic_ema=self.config.arena_cold_compress_ema,
+            )
             if self.config.shm_budget_bytes > 0
             else None
         )
@@ -466,6 +479,7 @@ class PretzelCluster:
                     "arena_refs": arena_refs,
                     "shared_parameters": len(arena_refs),
                     "rebound_arrays": rebound,
+                    "tier": "resident",
                 }
         except BaseException:
             self._roll_back_registration(
@@ -644,24 +658,205 @@ class PretzelCluster:
         registration already handed out.  Returns the new ref, or None when
         eviction cannot make room.
         """
-        if self.config.arena_eviction_policy != "traffic-ema" or self.arena is None:
+        return self._evict_until(
+            plan_id,
+            pinned,
+            lambda: self.arena.put_array(parameter.checksum, parameter.value),
+        )
+
+    def _evict_until(
+        self, plan_id: str, pinned: frozenset, attempt: Any
+    ) -> Optional[Any]:
+        """Demote cold plans until ``attempt()`` stops raising exhaustion.
+
+        Shared by registration (attempt = put the overflowing parameter) and
+        rehydration (attempt = decompress the touched plan's next slab).
+        Under ``"compress-tiered"`` each victim is first *compressed in
+        place* -- only plans whose slabs refuse to compress (or that are
+        already compressed) fall through to the final privatize-then-evict
+        tier.  Returns ``attempt()``'s result, or None when nothing more can
+        be freed.
+        """
+        if (
+            self.config.arena_eviction_policy not in ("traffic-ema", "compress-tiered")
+            or self.arena is None
+        ):
             return None
+        tiered = self.config.arena_eviction_policy == "compress-tiered"
         # Plans whose register messages are in flight carry their arena refs
         # inside those messages; evicting them would free slabs a worker is
         # about to adopt.  (Callers hold _lifecycle_lock, so the snapshot
         # cannot race a transition start.)
         tried: Set[str] = {plan_id} | set(self._in_transition)
         while True:
-            victim = self.lifecycle.victim(exclude=tried, pinned=pinned)
+            # Only resident plans are demotable under the tiered policy: a
+            # compressed plan's payload slabs are its sole copy of the bytes
+            # (the workers tore it down) and stay until rehydration or
+            # unregister frees them.
+            victim = self.lifecycle.victim(
+                exclude=tried,
+                pinned=pinned,
+                tiers=("resident",) if tiered else None,
+            )
             if victim is None:
                 return None
             tried.add(victim)
-            if not self._demote_plan(victim, pinned):
+            demoted = False
+            if tiered:
+                demoted = self._demote_plan_compressed(victim, pinned)
+            if not demoted and self.lifecycle.tier_of(victim) == "resident":
+                # Final tier: privatize on the workers, then free outright.
+                # Reached directly under "traffic-ema", or under the tiered
+                # policy when the victim's slabs refused to compress.
+                demoted = self._demote_plan(victim, pinned)
+            if not demoted:
                 continue
             try:
-                return self.arena.put_array(parameter.checksum, parameter.value)
+                return attempt()
             except ArenaExhaustedError:
                 continue
+
+    def _demote_plan_compressed(self, victim: str, pinned: frozenset) -> bool:
+        """Compress one cold plan's exclusive slabs in place (tier demotion).
+
+        The compressed tier's write path: every exclusive un-pinned slab is
+        trial-compressed first (pure read) -- if none qualifies the plan is
+        left untouched and the caller falls through to plain eviction.
+        Otherwise the plan is torn down on its hosting workers (the same
+        liveness protocol as unregister: the original slabs are about to be
+        recycled), gated to the compressed tier so dispatch rehydrates
+        before routing, and only then are the slabs actually moved.  If the
+        teardown is not fully acked nothing is freed -- the plan sits gated
+        with its payloads unwritten and heals through the rehydration path.
+        """
+        assert self.arena is not None
+        checksums = sorted(self.lifecycle.exclusive_checksums(victim) - set(pinned))
+        if not checksums:
+            return False
+        heat = self.lifecycle.traffic(victim)
+        qualified: List[Tuple[str, str, bytes]] = []
+        for checksum in checksums:
+            trial = self.arena.trial_compress(checksum, traffic_ema=heat)
+            if trial is not None:
+                qualified.append((checksum, trial[0], trial[1]))
+        if not qualified:
+            return False  # incompressible: skip straight to the final tier
+        with self._lock:
+            info = self._plans.get(victim)
+            hosting = list(info.get("workers", ())) if info else []
+        # Gate *before* the teardown round trips: a dispatch racing the
+        # demotion must either find the plan still registered on its workers
+        # or find the compressed gate and rehydrate (which serializes behind
+        # _lifecycle_lock, held by our caller).
+        self.lifecycle.set_tier(victim, "compressed")
+        with self._lock:
+            if info is not None:
+                info["tier"] = "compressed"
+        if not self._teardown_on_workers(
+            hosting, "unregister", plan_id=victim, drop_checksums=checksums
+        ):
+            # A live worker may still map the slabs: free nothing.  The plan
+            # is already gated, so the next request re-registers it through
+            # the rehydration path and the demotion is retried later.
+            return False
+        compressed = 0
+        for checksum, codec, payload in qualified:
+            if self.arena.commit_compress(checksum, codec, payload):
+                compressed += 1
+        with self._lock:
+            if info is not None:
+                info["workers"] = []
+        self.router.set_placement(victim, [])
+        if compressed:
+            self.control.arena_compressions += 1
+        return compressed > 0
+
+    def _rehydrate_plan(self, plan_id: str) -> bool:
+        """Rehydrate a compressed plan before dispatch (first-touch path).
+
+        Decompresses every restorable slab into fresh resident slabs (making
+        room through the normal demotion ladder if needed), re-ships the
+        (checksum -> ref) table with a ``replace`` register to the plan's
+        placement, and lifts the tier gate.  Workers re-adopt the views
+        during that registration, exactly as on first registration -- a slab
+        that cannot be restored (exhausted arena, unacked demotion) simply
+        ships no ref and stays worker-private.
+        """
+        started = time.perf_counter()
+        with self._lifecycle_lock:
+            with self._lock:
+                info = self._plans.get(plan_id)
+                if info is None or info.get("tier") != "compressed":
+                    return info is not None  # raced: someone else rehydrated
+                snapshot = dict(info)
+            self._in_transition.add(plan_id)
+            try:
+                owned = sorted(self.lifecycle.checksums(plan_id))
+                refs: Dict[str, Dict[str, Any]] = {}
+                for checksum in owned:
+                    assert self.arena is not None
+                    ref = self.arena.get(checksum)
+                    if ref is None:
+                        try:
+                            ref = self.arena.decompress(checksum)
+                        except KeyError:
+                            continue  # lost to an unacked demotion: stays private
+                        except ArenaExhaustedError:
+                            ref = self._evict_until(
+                                plan_id,
+                                frozenset(owned),
+                                lambda checksum=checksum: self.arena.decompress(checksum),
+                            )
+                            if ref is None:
+                                continue
+                    refs[checksum] = ref.to_dict()
+                survivors = [w for w in snapshot.get("workers", ()) if w in self._workers]
+                desired = min(
+                    int(snapshot.get("replicas") or self.config.placement_replicas),
+                    max(len(self._workers), 1),
+                )
+                if self.router.ring is not None and len(survivors) < desired:
+                    for candidate in self.router.ring.placement(plan_id, desired):
+                        if candidate not in survivors and candidate in self._workers:
+                            survivors.append(candidate)
+                            if len(survivors) >= desired:
+                                break
+                hosting: List[str] = []
+                for worker_id in survivors:
+                    handle = self._workers.get(worker_id)
+                    if handle is None:
+                        continue
+                    try:
+                        handle.request(
+                            self._message(
+                                "register",
+                                plan_id=plan_id,
+                                model_b64=snapshot["model_b64"],
+                                engine=snapshot["engine"],
+                                arena_refs=refs,
+                                replace=True,
+                            ),
+                            self.config.worker_timeout_seconds,
+                        )
+                    except (WorkerFailure, WorkerTimeout):
+                        continue
+                    hosting.append(worker_id)
+                if not hosting:
+                    return False  # stay gated; the next request retries
+                self.lifecycle.set_tier(plan_id, "resident")
+                with self._lock:
+                    live = self._plans.get(plan_id)
+                    if live is not None:
+                        live["tier"] = "resident"
+                        live["workers"] = hosting
+                        live["arena_refs"] = refs
+                        live["shared_parameters"] = len(refs)
+                self.router.set_placement(plan_id, hosting)
+                self.control.rehydrations += 1
+                self.control.rehydration_seconds.append(time.perf_counter() - started)
+                return True
+            finally:
+                self._in_transition.discard(plan_id)
 
     def _demote_plan(self, victim: str, pinned: frozenset) -> bool:
         """Privatize and free one plan's exclusive slabs (it keeps serving).
@@ -732,6 +927,32 @@ class PretzelCluster:
 
     def _dispatch(self, plan_id: str, records: List[Any], latency_sensitive: bool) -> List[Any]:
         self._ensure_open()
+        with self._lock:
+            info = self._plans.get(plan_id)
+            gated = info is not None and info.get("tier") == "compressed"
+        if info is None:
+            raise KeyError(f"plan {plan_id!r} is not registered")
+        if gated:
+            # First touch of a compressed plan: rehydrate before routing.
+            self._rehydrate_plan(plan_id)
+        try:
+            return self._dispatch_once(plan_id, records, latency_sensitive)
+        except WorkerFailure as error:
+            # A dispatch can race the demotion's teardown: the worker already
+            # dropped the plan (KeyError) but the tier gate was not yet
+            # visible when we checked.  Rehydrate and retry exactly once.
+            if error.error_type != "KeyError":
+                raise
+            with self._lock:
+                live = self._plans.get(plan_id)
+                compressed = live is not None and live.get("tier") == "compressed"
+            if not compressed or not self._rehydrate_plan(plan_id):
+                raise
+            return self._dispatch_once(plan_id, records, latency_sensitive)
+
+    def _dispatch_once(
+        self, plan_id: str, records: List[Any], latency_sensitive: bool
+    ) -> List[Any]:
         if plan_id not in self._plans:
             raise KeyError(f"plan {plan_id!r} is not registered")
         # May raise BackpressureError (saturated) or WorkerFailedError (every
@@ -839,6 +1060,10 @@ class PretzelCluster:
                         # Unregistered while queued, or still registering
                         # (that register call will roll back or finish on
                         # the survivors it reached).
+                        return False
+                    if live.get("tier") == "compressed":
+                        # Its recorded arena refs point at freed slabs; the
+                        # next request re-registers it through rehydration.
                         return False
                     info = dict(live)
                 survivors = [w for w in info["workers"] if w in self._workers]

@@ -51,6 +51,9 @@ class PlanLifecycle:
         self._checksum_plans: Dict[str, Set[str]] = {}
         self._traffic_ema: Dict[str, float] = {}
         self._traffic_at: Dict[str, float] = {}
+        #: plan -> memory tier ("resident" is implicit; only demoted plans
+        #: appear here, so the tier-less policies never see this state)
+        self._tier: Dict[str, str] = {}
 
     # -- registration ----------------------------------------------------------
 
@@ -70,6 +73,22 @@ class PlanLifecycle:
     def checksums(self, plan_id: str) -> Set[str]:
         with self._lock:
             return set(self._plan_checksums.get(plan_id, ()))
+
+    # -- tiers ------------------------------------------------------------------
+
+    def set_tier(self, plan_id: str, tier: str) -> None:
+        """Record which memory tier a plan's shared slabs occupy."""
+        with self._lock:
+            if plan_id not in self._plan_checksums:
+                return
+            if tier == "resident":
+                self._tier.pop(plan_id, None)
+            else:
+                self._tier[plan_id] = tier
+
+    def tier_of(self, plan_id: str) -> str:
+        with self._lock:
+            return self._tier.get(plan_id, "resident")
 
     # -- traffic ----------------------------------------------------------------
 
@@ -122,6 +141,7 @@ class PlanLifecycle:
                         del self._checksum_plans[checksum]
             self._traffic_ema.pop(plan_id, None)
             self._traffic_at.pop(plan_id, None)
+            self._tier.pop(plan_id, None)
             return freeable
 
     def remove_checksums(self, plan_id: str, checksums: Iterable[str]) -> None:
@@ -149,19 +169,26 @@ class PlanLifecycle:
         self,
         exclude: Iterable[str] = (),
         pinned: FrozenSet[str] = frozenset(),
+        tiers: Optional[Iterable[str]] = None,
     ) -> Optional[str]:
         """Coldest plan (lowest traffic EMA) with at least one freeable slab.
 
         ``exclude`` removes plans that must not be demoted (the one being
         registered); ``pinned`` removes checksums the caller already relies
-        on.  Returns ``None`` when eviction cannot free anything.
+        on; ``tiers`` restricts candidates to plans currently in one of the
+        given memory tiers (the compress-tiered policy demotes *resident*
+        plans first and only then evicts already-compressed ones).  Returns
+        ``None`` when eviction cannot free anything.
         """
         excluded = set(exclude)
+        allowed = None if tiers is None else set(tiers)
         with self._lock:
             candidates = [
                 plan_id
                 for plan_id in self._plan_checksums
-                if plan_id not in excluded and (self._exclusive_locked(plan_id) - set(pinned))
+                if plan_id not in excluded
+                and (allowed is None or self._tier.get(plan_id, "resident") in allowed)
+                and (self._exclusive_locked(plan_id) - set(pinned))
             ]
             if not candidates:
                 return None
@@ -177,4 +204,7 @@ class PlanLifecycle:
                 "traffic_ema": {
                     plan: round(self._decayed_locked(plan), 3) for plan in self._traffic_ema
                 },
+                # present only when some plan left the resident tier, so the
+                # tier-less policies' stats stay byte-identical
+                **({"tiers": dict(self._tier)} if self._tier else {}),
             }

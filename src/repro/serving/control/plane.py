@@ -25,6 +25,7 @@ error, or timeout) faster than any ping could.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import TYPE_CHECKING, Any, Dict, Optional, Set
 
 from repro.serving.control.failure import FailureDetector
@@ -61,6 +62,12 @@ class ControlPlane:
         self.arena_evictions = 0
         self.unregistered_plans = 0
         self.heartbeats_sent = 0
+        # compressed-tier accounting (only surfaced in stats() under the
+        # "compress-tiered" policy, so the other policies' stats stay
+        # byte-identical to the pre-tier control plane)
+        self.arena_compressions = 0
+        self.rehydrations = 0
+        self.rehydration_seconds: deque = deque(maxlen=256)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -147,7 +154,7 @@ class ControlPlane:
 
     def stats(self) -> Dict[str, Any]:
         ages = self.detector.heartbeat_ages()
-        return {
+        stats = {
             "transport": self.cluster.config.transport,
             "failover_policy": self.cluster.config.failover_policy,
             "arena_eviction_policy": self.cluster.config.arena_eviction_policy,
@@ -162,3 +169,13 @@ class ControlPlane:
             "dead_workers": sorted(self.detector.dead_workers()),
             "lifecycle": self.cluster.lifecycle.stats(),
         }
+        if self.cluster.config.arena_eviction_policy == "compress-tiered":
+            samples = sorted(self.rehydration_seconds)
+            stats["arena_compressions"] = self.arena_compressions
+            stats["rehydrations"] = self.rehydrations
+            stats["p99_rehydration_seconds"] = (
+                round(samples[min(len(samples) - 1, int(0.99 * len(samples)))], 6)
+                if samples
+                else None
+            )
+        return stats

@@ -26,6 +26,18 @@ white-box sharing across the process boundary:
   unpickling, so the private copies become garbage before the plan is
   registered.
 
+When the owner enables the **compressed tier** (the cluster's
+``arena_eviction_policy="compress-tiered"``), a cold parameter's slab can be
+*compressed in place*: its raw bytes are squeezed through a stdlib codec
+(:data:`CODECS` -- picked per slab by :class:`SizeAdaptiveCodecPolicy` from
+the slab size, the owning plan's traffic EMA and the ratios each codec has
+achieved so far), the payload moves into a smaller slab, and the original is
+freed.  Rehydration (:meth:`SharedMemoryArena.decompress`) restores the raw
+bytes into a fresh slab, bit-identically.  Because slabs are mapped by
+offset and cannot move, compaction is lazy and tail-only: when an allocation
+would otherwise exhaust the budget, free slabs touching the bump pointer are
+returned to the bump region where any size class can be carved from them.
+
 Only numpy arrays are arena-backed: a Python dict (e.g. an n-gram
 vocabulary) cannot be mapped from raw shared bytes without rebuilding -- and
 therefore duplicating -- its hash table, so dict parameters stay private to
@@ -34,23 +46,96 @@ each worker and are documented as the residual per-worker cost.
 
 from __future__ import annotations
 
+import lzma
 import os
 import threading
 import uuid
+import zlib
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.object_store import ParameterBacking
 from repro.operators.base import Parameter
 
-__all__ = ["ArenaRef", "ArenaExhaustedError", "SharedMemoryArena", "ArenaClient"]
+__all__ = [
+    "ArenaRef",
+    "ArenaExhaustedError",
+    "SharedMemoryArena",
+    "ArenaClient",
+    "SizeAdaptiveCodecPolicy",
+    "CODECS",
+]
 
 #: smallest slab handed out; anything below this would be dominated by
 #: rounding and bookkeeping.
 _MIN_SLAB_BYTES = 64
+
+#: codec registry for the compressed tier: name -> (compress, decompress).
+#: Stdlib only -- the serving tier must not grow binary dependencies.
+CODECS: Dict[str, Tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]] = {
+    "zlib-fast": (lambda raw: zlib.compress(raw, 1), zlib.decompress),
+    "zlib": (lambda raw: zlib.compress(raw, 6), zlib.decompress),
+    "lzma": (lambda raw: lzma.compress(raw, preset=0), lzma.decompress),
+}
+
+#: slabs at least this big on sufficiently cold plans lead with the heavier
+#: codec (better ratio, slower) -- the Ariadne-style size/hotness split
+_DEEP_COLD_SLAB_BYTES = 256 * 1024
+#: below this the fast codec leads: codec setup cost dominates tiny slabs
+_SMALL_SLAB_BYTES = 64 * 1024
+
+
+class SizeAdaptiveCodecPolicy:
+    """Order codec candidates per slab: size, coldness, observed ratio.
+
+    ``candidates`` returns codec names to try in order.  The static order
+    comes from the slab size and the owning plan's decayed traffic (big and
+    deep-cold leads with lzma, small leads with zlib level 1); on top of
+    that, a per-codec EMA of *achieved* compression ratios reorders the
+    list so a codec that demonstrably compresses this workload better gets
+    tried first.  Ratios are rounded before sorting so noise does not flip
+    the deterministic size order.  ``codec`` pins a single codec (the
+    ``arena_codec`` config knob); ``"auto"`` enables the adaptive order.
+    """
+
+    def __init__(self, codec: str = "auto", cold_traffic_ema: float = 0.5):
+        if codec != "auto" and codec not in CODECS:
+            raise ValueError(
+                f"unknown arena codec {codec!r} (auto, {', '.join(sorted(CODECS))})"
+            )
+        self.codec = codec
+        self.cold_traffic_ema = cold_traffic_ema
+        self._ratio_ema: Dict[str, float] = {}
+
+    def candidates(self, nbytes: int, traffic_ema: float) -> List[str]:
+        if self.codec != "auto":
+            return [self.codec]
+        if nbytes >= _DEEP_COLD_SLAB_BYTES and traffic_ema <= self.cold_traffic_ema:
+            order = ["lzma", "zlib"]
+        elif nbytes >= _SMALL_SLAB_BYTES:
+            order = ["zlib", "zlib-fast"]
+        else:
+            order = ["zlib-fast", "zlib"]
+        return sorted(order, key=lambda name: round(self._ratio_ema.get(name, 0.5), 1))
+
+    def record(self, codec: str, ratio: float) -> None:
+        """Fold one achieved (compressed/raw) ratio into the codec's EMA."""
+        previous = self._ratio_ema.get(codec)
+        self._ratio_ema[codec] = ratio if previous is None else 0.5 * previous + 0.5 * ratio
+
+
+@dataclass
+class _CompressedSlab:
+    """One compressed-tier entry: where the payload lives, how to restore."""
+
+    codec: str
+    #: slab holding the compressed payload (dtype uint8)
+    ref: ArenaRef
+    #: dtype/shape/nbytes of the original array (its offset is long freed)
+    original: "ArenaRef"
 
 
 class ArenaExhaustedError(MemoryError):
@@ -118,7 +203,15 @@ class SharedMemoryArena:
     the allocator metadata is needed.
     """
 
-    def __init__(self, budget_bytes: int, name: Optional[str] = None):
+    def __init__(
+        self,
+        budget_bytes: int,
+        name: Optional[str] = None,
+        enable_compressed_tier: bool = False,
+        codec: str = "auto",
+        min_compress_ratio: float = 0.9,
+        cold_codec_traffic_ema: float = 0.5,
+    ):
         if budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive")
         self.budget_bytes = budget_bytes
@@ -136,6 +229,22 @@ class SharedMemoryArena:
         self.allocations = 0
         self.frees = 0
         self._closed = False
+        # -- compressed tier (inert unless enabled: the "traffic-ema" policy
+        #    must keep allocator behavior and stats byte-identical) --
+        self.enable_compressed_tier = enable_compressed_tier
+        self.min_compress_ratio = min_compress_ratio
+        self.codec_policy = SizeAdaptiveCodecPolicy(
+            codec=codec, cold_traffic_ema=cold_codec_traffic_ema
+        )
+        #: checksum -> compressed payload entry (disjoint from ``_refs``)
+        self._compressed: Dict[str, _CompressedSlab] = {}
+        #: free slab offset -> size class (for tail reclamation)
+        self._free_offset_class: Dict[int, int] = {}
+        self.compressions = 0
+        self.rehydrations = 0
+        self.failed_compressions = 0
+        self.bump_reclaimed_bytes = 0
+        self._codec_counts: Dict[str, int] = {}
 
     @property
     def name(self) -> str:
@@ -144,12 +253,90 @@ class SharedMemoryArena:
 
     # -- allocation ----------------------------------------------------------
 
-    def _allocate(self, nbytes: int) -> Tuple[int, int]:
-        """Reserve one slab; returns (offset, size_class).  O(1)."""
-        size = _size_class(nbytes)
+    def _release_slab_locked(self, offset: int, size: int) -> None:
+        """Push a slab onto its size-class free list.  O(1)."""
+        self._free_lists.setdefault(size, []).append(offset)
+        self._free_offset_class[offset] = size
+
+    def _take_free_slab_locked(self, size: int) -> Optional[int]:
+        """Pop a recycled slab of this size class, if any.  O(1)."""
         free = self._free_lists.get(size)
-        if free:
-            return free.pop(), size
+        if not free:
+            return None
+        offset = free.pop()
+        self._free_offset_class.pop(offset, None)
+        return offset
+
+    def _reacquire_slab_locked(self, offset: int, size: int) -> None:
+        """Take back a specific just-freed slab (commit rollback path)."""
+        self._free_lists.get(size, []).remove(offset)
+        self._free_offset_class.pop(offset, None)
+
+    def _reclaim_tail_locked(self) -> int:
+        """Lazy tail-only compaction: fold free slabs back into the bump region.
+
+        Slabs cannot move (workers map them by offset), so only free slabs
+        that touch the bump pointer can be reclaimed -- but repeatedly, since
+        each reclamation may expose the next.  Returns bytes reclaimed.  Runs
+        only when the compressed tier is enabled: with plain eviction the
+        monotone bump pointer is part of the PR 5 behavior contract.
+        """
+        reclaimed = 0
+        while True:
+            tail = None
+            for offset, size in self._free_offset_class.items():
+                if offset + size == self._bump:
+                    tail = (offset, size)
+                    break
+            if tail is None:
+                return reclaimed
+            offset, size = tail
+            self._free_lists[size].remove(offset)
+            del self._free_offset_class[offset]
+            self._bump = offset
+            reclaimed += size
+            self.bump_reclaimed_bytes += size
+
+    def _split_free_slab_locked(self, size: int) -> Optional[int]:
+        """Split the smallest free slab larger than ``size`` (buddy-style).
+
+        Compressed payloads are far smaller than the parameter slabs whose
+        freeing made room for them, and the exact-class free lists cannot
+        serve them directly; halving a bigger slab keeps every piece a
+        power-of-two class so `free` and tail reclaim work unchanged.
+        Returns the carved offset, or None if no larger free slab exists.
+        Tier-gated like tail reclaim: plain eviction never splits.
+        """
+        larger = [s for s in self._free_lists if s > size and self._free_lists[s]]
+        if not larger:
+            return None
+        chunk = min(larger)
+        offset = self._take_free_slab_locked(chunk)
+        assert offset is not None
+        while chunk > size:
+            chunk //= 2
+            self._release_slab_locked(offset + chunk, chunk)
+        return offset
+
+    def _allocate(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve one slab; returns (offset, size_class).  O(1).
+
+        With the compressed tier enabled, a would-be exhaustion first tries
+        tail compaction (free slabs of *other* size classes adjoining the
+        bump pointer are returned to the carving region) and then splitting
+        a larger free slab (power-of-two halving, so a freed parameter slab
+        can serve the much smaller compressed payloads) before giving up.
+        """
+        size = _size_class(nbytes)
+        offset = self._take_free_slab_locked(size)
+        if offset is not None:
+            return offset, size
+        if self._bump + size > self.budget_bytes and self.enable_compressed_tier:
+            self._reclaim_tail_locked()
+            if self._bump + size > self.budget_bytes:
+                offset = self._split_free_slab_locked(size)
+                if offset is not None:
+                    return offset, size
         if self._bump + size > self.budget_bytes:
             raise ArenaExhaustedError(
                 f"arena {self.name} exhausted: {self._bump}B used of "
@@ -171,6 +358,12 @@ class SharedMemoryArena:
             if existing is not None:
                 self.dedup_hits += 1
                 return existing
+            if checksum in self._compressed:
+                # The bytes already live here, just squeezed: dedup by
+                # restoring the compressed entry instead of storing a twin.
+                ref = self._decompress_locked(checksum)
+                self.dedup_hits += 1
+                return ref
             offset, size = self._allocate(contiguous.nbytes)
             ref = ArenaRef(
                 segment=self.name,
@@ -198,15 +391,173 @@ class SharedMemoryArena:
         lifecycle (:class:`repro.serving.control.lifecycle.PlanLifecycle`):
         a slab is freed only when the last plan referencing its checksum has
         been torn down on every hosting worker.
+
+        After :meth:`close` this is a no-op returning False: a late teardown
+        (e.g. a raced unregister during shutdown) must not mutate allocator
+        metadata of an unlinked segment.  Compressed-tier entries are freed
+        the same way -- their payload slab is released.
         """
         with self._lock:
+            if self._closed:
+                return False
             ref = self._refs.pop(checksum, None)
             if ref is None:
-                return False
+                entry = self._compressed.pop(checksum, None)
+                if entry is None:
+                    return False
+                self._release_slab_locked(entry.ref.offset, _size_class(entry.ref.nbytes))
+                self.frees += 1
+                return True
             size = self._slab_class.pop(checksum)
-            self._free_lists.setdefault(size, []).append(ref.offset)
+            self._release_slab_locked(ref.offset, size)
             self.frees += 1
             return True
+
+    # -- compressed tier -------------------------------------------------------
+
+    def _require_tier(self) -> None:
+        if not self.enable_compressed_tier:
+            raise RuntimeError("compressed tier is disabled on this arena")
+
+    def trial_compress(
+        self, checksum: str, traffic_ema: float = 0.0
+    ) -> Optional[Tuple[str, bytes]]:
+        """Try codecs for one resident slab; return (codec, payload) or None.
+
+        Pure read: no allocator state changes, so the caller can trial every
+        slab of a victim plan and only commit if the whole plan benefits.  A
+        payload qualifies only if it beats ``min_compress_ratio`` AND lands
+        in a strictly smaller size class -- compression that does not shrink
+        the slab is footprint noise.  Misses feed ``failed_compressions`` so
+        the stats show incompressible plans skipping to eviction.
+        """
+        self._require_tier()
+        with self._lock:
+            ref = self._refs.get(checksum)
+            if ref is None:
+                return None
+            raw = bytes(_view(self._shm.buf, ref, writeable=False).tobytes())
+            for codec in self.codec_policy.candidates(ref.nbytes, traffic_ema):
+                payload = CODECS[codec][0](raw)
+                ratio = len(payload) / max(1, ref.nbytes)
+                self.codec_policy.record(codec, ratio)
+                if ratio <= self.min_compress_ratio and _size_class(len(payload)) < _size_class(
+                    ref.nbytes
+                ):
+                    return codec, payload
+            self.failed_compressions += 1
+            return None
+
+    def commit_compress(self, checksum: str, codec: str, payload: bytes) -> bool:
+        """Move a resident slab into the compressed tier.  Frees the original
+        slab, stores the payload in a (strictly smaller) slab, and records the
+        entry.  Returns False -- with the resident slab intact -- if the
+        checksum is gone or the payload slab cannot be placed.
+
+        Liveness contract as for :meth:`free`: the caller must have torn the
+        owning plan down on every worker first, since the original slab is
+        recycled here.
+        """
+        self._require_tier()
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r}")
+        with self._lock:
+            if self._closed:
+                return False
+            ref = self._refs.get(checksum)
+            if ref is None:
+                return False
+            size = self._slab_class[checksum]
+            # Free first so the payload can reuse the tail the original
+            # occupied.  Rollback is safe: the payload's size class is
+            # strictly smaller, so if its allocation still fails the freed
+            # slab cannot have been consumed -- it is either on the free list
+            # (re-acquirable) or was tail-reclaimed into a bump region large
+            # enough to carve the smaller slab from (contradiction).
+            del self._refs[checksum]
+            del self._slab_class[checksum]
+            self._release_slab_locked(ref.offset, size)
+            try:
+                offset, payload_size = self._allocate(len(payload))
+            except ArenaExhaustedError:
+                self._reacquire_slab_locked(ref.offset, size)
+                self._refs[checksum] = ref
+                self._slab_class[checksum] = size
+                return False
+            self.frees += 1
+            self.allocations += 1
+            payload_ref = ArenaRef(
+                segment=self.name,
+                offset=offset,
+                nbytes=len(payload),
+                dtype="uint8",
+                shape=(len(payload),),
+            )
+            destination = _view(self._shm.buf, payload_ref, writeable=True)
+            destination[...] = np.frombuffer(payload, dtype=np.uint8)
+            destination.flags.writeable = False
+            self._compressed[checksum] = _CompressedSlab(codec=codec, ref=payload_ref, original=ref)
+            self.compressions += 1
+            self._codec_counts[codec] = self._codec_counts.get(codec, 0) + 1
+            return True
+
+    def _decompress_locked(self, checksum: str) -> ArenaRef:
+        """Restore a compressed entry into a fresh resident slab (lock held)."""
+        entry = self._compressed[checksum]
+        original = entry.original
+        # Allocate the resident slab *first*: freeing the payload before a
+        # failed allocation would strand the compressed bytes with nothing to
+        # rehydrate from.  ArenaExhaustedError propagates with the entry
+        # intact, so the caller can make room and retry.
+        offset, size = self._allocate(original.nbytes)
+        self.allocations += 1
+        raw = CODECS[entry.codec][1](
+            bytes(_view(self._shm.buf, entry.ref, writeable=False).tobytes())
+        )
+        ref = ArenaRef(
+            segment=self.name,
+            offset=offset,
+            nbytes=original.nbytes,
+            dtype=original.dtype,
+            shape=original.shape,
+        )
+        destination = _view(self._shm.buf, ref, writeable=True)
+        destination[...] = np.frombuffer(raw, dtype=np.dtype(original.dtype)).reshape(
+            original.shape
+        )
+        destination.flags.writeable = False
+        self._refs[checksum] = ref
+        self._slab_class[checksum] = size
+        del self._compressed[checksum]
+        self._release_slab_locked(entry.ref.offset, _size_class(entry.ref.nbytes))
+        self.frees += 1
+        self.rehydrations += 1
+        return ref
+
+    def decompress(self, checksum: str) -> ArenaRef:
+        """Rehydrate one compressed entry; returns the new resident ref.
+
+        Raises KeyError for unknown checksums and ArenaExhaustedError (entry
+        preserved) when no resident slab fits.
+        """
+        self._require_tier()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            existing = self._refs.get(checksum)
+            if existing is not None:
+                return existing
+            if checksum not in self._compressed:
+                raise KeyError(checksum)
+            return self._decompress_locked(checksum)
+
+    def is_compressed(self, checksum: str) -> bool:
+        with self._lock:
+            return checksum in self._compressed
+
+    def compressed_checksums(self) -> List[str]:
+        with self._lock:
+            return list(self._compressed)
 
     # -- lookups ---------------------------------------------------------------
 
@@ -227,9 +578,15 @@ class SharedMemoryArena:
 
     @property
     def used_bytes(self) -> int:
-        """Payload bytes of live parameters (what dedup actually shares)."""
+        """Payload bytes of live parameters (what dedup actually shares).
+
+        Compressed-tier entries count at their *compressed* size -- that is
+        the whole point of the tier.  (Empty unless the tier is enabled.)
+        """
         with self._lock:
-            return sum(ref.nbytes for ref in self._refs.values())
+            resident = sum(ref.nbytes for ref in self._refs.values())
+            squeezed = sum(entry.ref.nbytes for entry in self._compressed.values())
+            return resident + squeezed
 
     @property
     def allocated_bytes(self) -> int:
@@ -242,8 +599,10 @@ class SharedMemoryArena:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            used = sum(ref.nbytes for ref in self._refs.values())
-            return {
+            used = sum(ref.nbytes for ref in self._refs.values()) + sum(
+                entry.ref.nbytes for entry in self._compressed.values()
+            )
+            stats: Dict[str, Any] = {
                 "segment": self.name,
                 "budget_bytes": self.budget_bytes,
                 "used_bytes": used,
@@ -259,6 +618,24 @@ class SharedMemoryArena:
                     size * len(offsets) for size, offsets in self._free_lists.items()
                 ),
             }
+            if self.enable_compressed_tier:
+                # Gated so the plain-eviction policy's stats stay byte-
+                # identical to the pre-tier arena.
+                stats["tier"] = {
+                    "compressed_parameters": len(self._compressed),
+                    "compressed_payload_bytes": sum(
+                        entry.ref.nbytes for entry in self._compressed.values()
+                    ),
+                    "compressed_original_bytes": sum(
+                        entry.original.nbytes for entry in self._compressed.values()
+                    ),
+                    "compressions": self.compressions,
+                    "rehydrations": self.rehydrations,
+                    "failed_compressions": self.failed_compressions,
+                    "bump_reclaimed_bytes": self.bump_reclaimed_bytes,
+                    "codecs": dict(self._codec_counts),
+                }
+            return stats
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -366,16 +743,29 @@ class ArenaClient(ParameterBacking):
         while their plans are still registered, so before the slabs can be
         freed every canonical operator attribute and every stored parameter
         that maps them must be rebound onto process-private copies (one copy
-        per checksum, shared by every attribute that referenced the slab).
-        Ends by dropping the refs, so later registrations re-adopt nothing.
-        Returns how many operator arrays were privatized.
+        per (checksum, dtype, shape), shared by every attribute that
+        referenced the slab with that layout -- two attributes holding
+        differently-reshaped views of the same bytes each keep their own
+        layout, and a stored parameter is rebound onto a copy matching *its*
+        value's layout, never a last-attribute-wins one).  Ends by dropping
+        the refs, so later registrations re-adopt nothing.  Returns how many
+        operator arrays were privatized.
         """
         from repro.operators.base import _checksum_of
 
         wanted = set(checksums)
         if not wanted:
             return 0
-        copies: Dict[str, np.ndarray] = {}
+        copies: Dict[Tuple[str, str, Tuple[int, ...]], np.ndarray] = {}
+
+        def private_copy(checksum: str, value: np.ndarray) -> np.ndarray:
+            key = (checksum, str(value.dtype), tuple(value.shape))
+            private = copies.get(key)
+            if private is None:
+                private = np.array(value)
+                copies[key] = private
+            return private
+
         swapped = 0
         for operator in object_store.operators():
             attributes = getattr(operator, "__dict__", None)
@@ -387,21 +777,24 @@ class ArenaClient(ParameterBacking):
                 checksum = _checksum_of(value)
                 if checksum not in wanted:
                     continue
-                private = copies.get(checksum)
-                if private is None or private.shape != value.shape or private.dtype != value.dtype:
-                    private = np.array(value)
-                    copies[checksum] = private
-                setattr(operator, attr_name, private)
+                setattr(operator, attr_name, private_copy(checksum, value))
                 swapped += 1
         for checksum in wanted:
-            private = copies.get(checksum)
-            if private is None:
+
+            def resolve(parameter: Parameter, checksum: str = checksum) -> Optional[np.ndarray]:
+                value = parameter.value
+                if isinstance(value, np.ndarray) and self._is_arena_view(value):
+                    return private_copy(checksum, value)
+                return None  # already private (or not an array): leave it alone
+
+            if hasattr(object_store, "rebind_parameters"):
+                object_store.rebind_parameters(checksum, resolve)
+            else:
                 ref = self._ref_for(checksum)
-                if ref is None:
-                    continue
-                private = np.array(self.view(ref))
-                copies[checksum] = private
-            object_store.replace_parameter_value(checksum, private)
+                if ref is not None:
+                    object_store.replace_parameter_value(
+                        checksum, private_copy(checksum, self.view(ref))
+                    )
         self.drop_refs(wanted)
         return swapped
 

@@ -33,7 +33,10 @@ Wire protocol (all requests carry ``msg_id``; every reply echoes it):
 ``ping``       -> ``{"pong": true, "backlog": int}`` (heartbeat; the
                backlog keeps the router's load view fresh on idle workers)
 ``register``   ``plan_id``, ``model_b64`` (pickled ``(pipeline, stats)``),
-               ``engine``, ``arena_refs`` -> registration summary
+               ``engine``, ``arena_refs``, optional ``replace`` (tear down
+               any existing registration of this id first -- the compressed
+               tier's rehydration re-ships refs this way) -> registration
+               summary
 ``unregister`` ``plan_id``, optional ``drop_checksums`` -> teardown ack
                (full plan lifecycle: runtime teardown releases the Object
                Store's operator/parameter holds, and the listed arena refs
@@ -165,6 +168,16 @@ class ServingWorker:
         return {"pong": True, "backlog": self._backlog()}
 
     def _handle_register(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Register a plan; ``replace=True`` re-registers an existing one.
+
+        The replace path is the rehydration re-adoption flow: a plan demoted
+        to the compressed tier was unregistered here, and the cluster now
+        re-ships the model together with the fresh post-decompress arena
+        refs.  Unregistering first is a no-op for unknown plan ids, so the
+        same message also lands the plan on a worker that never hosted it.
+        """
+        if message.get("replace"):
+            self.runtime.unregister(message["plan_id"])
         pipeline, stats = decode_model(message["model_b64"])
         rebound = 0
         if self.arena is not None:

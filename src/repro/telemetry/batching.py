@@ -149,6 +149,21 @@ class StageBatchTelemetry:
                 },
             }
 
+    def forget(self, signature: str) -> None:
+        """Drop every counter for one signature (its last plan unregistered).
+
+        Unlike :meth:`reset` this *does* clear the signature's loop-fallback
+        record: the stage it described no longer exists, and a re-registered
+        plan with the same signature re-records it at registration -- while
+        keeping it would leak an entry per churned plan.
+        """
+        with self._lock:
+            self._batches.pop(signature, None)
+            self._events.pop(signature, None)
+            self._max_observed.pop(signature, None)
+            self._backlog_sum.pop(signature, None)
+            self._loop_fallbacks.pop(signature, None)
+
     def reset(self) -> None:
         """Clear the accumulating counters.
 

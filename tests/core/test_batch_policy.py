@@ -20,6 +20,13 @@ class TestFixedBatchSizer:
         with pytest.raises(ValueError):
             FixedBatchSizer(0)
 
+    def test_forget_is_a_noop(self):
+        # Interface parity with AdaptiveBatchSizer: the scheduler calls
+        # forget() on whatever sizer it holds when a signature dies.
+        sizer = FixedBatchSizer(16)
+        sizer.forget("never-seen")
+        assert sizer.batch_cap("never-seen", 0) == 16
+
 
 class TestAdaptiveBatchSizer:
     def test_zero_backlog_means_singleton_cap(self):
@@ -57,6 +64,20 @@ class TestAdaptiveBatchSizer:
         # Without saturation the tentative cap stands.
         telemetry.record("cold", 1)
         assert sizer.batch_cap("cold", 3) == 4
+
+    def test_forget_drops_the_signature_ema(self):
+        """Regression: per-signature EMAs used to outlive their last plan,
+        so register/unregister churn grew ``_backlog_ema`` without bound and
+        a re-registered signature inherited a stale backlog estimate."""
+        sizer = AdaptiveBatchSizer(16)
+        sizer.batch_cap("sig", 8)
+        assert sizer.smoothed_backlog("sig") > 0.0
+        sizer.forget("sig")
+        assert sizer.smoothed_backlog("sig") == 0.0
+        assert sizer._backlog_ema == {}
+        # A fresh signature starts from scratch, not the old estimate.
+        assert sizer.batch_cap("sig", 0) == 1
+        sizer.forget("never-seen")  # unknown signatures are a no-op
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -14,7 +14,7 @@ import time
 import pytest
 
 from repro.core.config import PretzelConfig
-from repro.core.frontend import FrontEndConfig, PretzelFrontEnd
+from repro.core.frontend import FlushError, FrontEndConfig, PretzelFrontEnd
 from repro.core.runtime import PretzelRuntime
 
 
@@ -115,6 +115,83 @@ class TestDeadlineTimer:
         time.sleep(0.15)
         assert not frontend.auto_flushes
         assert not frontend.flush_errors
+
+
+class TestFlushAtomicity:
+    """Regression: a flush must fail or complete as a unit -- a mid-loop
+    submit failure used to abandon already-submitted requests, and the
+    deadline path swallowed the whole buffer silently."""
+
+    def test_flush_of_dead_plan_raises_flush_error_with_drop_count(
+        self, batching_runtime, sa_inputs
+    ):
+        frontend = PretzelFrontEnd(
+            batching_runtime, FrontEndConfig(max_batch_size=16, max_batch_delay_seconds=60.0)
+        )
+        frontend.predict_delayed("sa", sa_inputs[:3])
+        batching_runtime.unregister("sa")
+        with pytest.raises(FlushError) as excinfo:
+            frontend.flush("sa")
+        error = excinfo.value
+        assert error.plan_id == "sa"
+        assert error.submitted_records == 0
+        assert error.dropped_records == 3
+        assert error.outputs == []
+        assert error.__cause__ is not None
+        assert frontend.dropped_records == 3
+        # The buffer was consumed either way: nothing lingers to re-flush.
+        assert frontend.pending_counts() == {}
+
+    def test_mid_loop_submit_failure_drains_submitted_requests(
+        self, batching_runtime, sa_inputs
+    ):
+        frontend = PretzelFrontEnd(
+            batching_runtime, FrontEndConfig(max_batch_size=16, max_batch_delay_seconds=60.0)
+        )
+        real_submit = batching_runtime.submit
+        calls = []
+
+        def flaky_submit(plan_id, record):
+            calls.append(record)
+            if len(calls) == 3:
+                raise RuntimeError("injected submit failure")
+            return real_submit(plan_id, record)
+
+        frontend.predict_delayed("sa", sa_inputs[:4])
+        try:
+            batching_runtime.submit = flaky_submit
+            with pytest.raises(FlushError) as excinfo:
+                frontend.flush("sa")
+        finally:
+            batching_runtime.submit = real_submit
+        error = excinfo.value
+        # Two records made it in before the injected failure; both were
+        # waited and their outputs collected rather than abandoned.
+        assert error.submitted_records == 2
+        assert len(error.outputs) == 2
+        expected = [batching_runtime.predict("sa", text) for text in sa_inputs[:2]]
+        assert error.outputs == pytest.approx(expected)
+        assert error.dropped_records == 2
+        assert str(error.__cause__) == "injected submit failure"
+        assert frontend.dropped_records == 2
+
+    def test_deadline_flush_failure_is_recorded_not_swallowed(
+        self, batching_runtime, sa_inputs
+    ):
+        frontend = PretzelFrontEnd(
+            batching_runtime, FrontEndConfig(max_batch_size=16, max_batch_delay_seconds=0.05)
+        )
+        frontend.predict_delayed("sa", sa_inputs[:2])
+        batching_runtime.unregister("sa")
+        deadline = time.perf_counter() + 10.0
+        while not frontend.flush_errors and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        assert len(frontend.flush_errors) == 1
+        error = frontend.flush_errors[0]
+        assert isinstance(error, FlushError)
+        assert error.dropped_records == 2
+        assert frontend.dropped_records == 2
+        assert not frontend.auto_flushes
 
 
 class TestDelayedBatchingFeedsStageBatching:

@@ -17,6 +17,7 @@ from repro.core.config import PretzelConfig
 from repro.core.executors import Executor
 from repro.core.runtime import PretzelRuntime
 from repro.core.scheduler import InferenceRequest, Scheduler, StageBatch
+from repro.telemetry.batching import StageBatchTelemetry
 from repro.mlnet.pipeline import Pipeline
 from repro.operators import (
     CharNgramFeaturizer,
@@ -186,6 +187,39 @@ class TestFakeClockTimeout:
         assert scheduler.batching.mean_batch_size("tok") == 3.0
         assert scheduler.batching.occupancy(4) == pytest.approx(0.75)
 
+    def test_forget_clears_every_per_signature_counter(self):
+        """Regression: ``StageBatchTelemetry`` entries were never removed
+        when a signature's last plan unregistered, so plan churn leaked one
+        entry per dead stage (loop-fallback records included)."""
+        telemetry = StageBatchTelemetry()
+        telemetry.record("dead", 4, backlog=3)
+        telemetry.note_loop_fallback("dead", ["slow-op"])
+        telemetry.record("live", 2)
+        telemetry.forget("dead")
+        assert telemetry.mean_batch_size("dead") == 0.0
+        assert telemetry.mean_backlog("dead") == 0.0
+        assert "dead" not in telemetry.loop_fallback_stages()
+        # Unaffected signatures keep their counters.
+        assert telemetry.total_batches == 1
+        assert telemetry.mean_batch_size("live") == 2.0
+        telemetry.forget("never-seen")  # unknown signatures are a no-op
+
+    def test_scheduler_forget_signature_clears_telemetry_and_sizer(self):
+        scheduler = Scheduler(
+            enable_stage_batching=True,
+            max_stage_batch_size=16,
+            stage_batch_policy="adaptive",
+        )
+        plan = StubPlan("tok")
+        for index in range(6):
+            scheduler.submit(InferenceRequest(f"p{index}", plan, "x"))
+        assert scheduler.next_batch(0, timeout=0.0) is not None
+        assert scheduler.batching.total_batches == 1
+        assert scheduler.batch_sizer.smoothed_backlog("tok") > 0.0
+        scheduler.forget_signature("tok")
+        assert scheduler.batching.total_batches == 0
+        assert scheduler.batch_sizer.smoothed_backlog("tok") == 0.0
+
 
 def _build_sentiment_plans(corpus, count):
     """``count`` sentiment pipelines sharing trained featurizers.
@@ -263,6 +297,33 @@ class TestEndToEndBatching:
             # The shared tokenizer stage should have seen large batches.
             rows = telemetry.per_stage_rows()
             assert max(row["max_batch_size"] for row in rows) >= 16
+        finally:
+            runtime.shutdown()
+
+    def test_plan_churn_does_not_leak_per_signature_state(self, sa_pipeline, sa_inputs):
+        """Regression: unregistering a signature's last plan must drop its
+        telemetry counters and the adaptive sizer's EMA -- they used to
+        accumulate forever under register/unregister churn."""
+        runtime = PretzelRuntime(
+            PretzelConfig(
+                num_executors=2,
+                enable_stage_batching=True,
+                stage_batch_policy="adaptive",
+            )
+        )
+        try:
+            runtime.register(sa_pipeline, plan_id="first")
+            runtime.register(sa_pipeline, plan_id="second")
+            runtime.predict_batch("first", sa_inputs[:4], timeout=30.0)
+            assert runtime.scheduler.batching.total_batches > 0
+            runtime.unregister("first")
+            # "second" still references the shared stages: state survives.
+            assert runtime.scheduler.batching.total_batches > 0
+            runtime.unregister("second")
+            assert runtime.scheduler.batching._batches == {}
+            assert runtime.scheduler.batching._backlog_sum == {}
+            assert runtime.scheduler.batching._loop_fallbacks == {}
+            assert runtime.scheduler.batch_sizer._backlog_ema == {}
         finally:
             runtime.shutdown()
 
