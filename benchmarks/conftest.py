@@ -8,9 +8,11 @@ rows/series of the corresponding paper figure) to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import platform
+from typing import Any, Dict, Optional
 
 import pytest
 
@@ -32,35 +34,62 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.figure)
 
 
-def _environment() -> str:
-    """One-line provenance for result files: numbers are host-specific."""
-    cpu = ""
+def _cpu_model() -> str:
     try:
         with open("/proc/cpuinfo", encoding="utf-8") as handle:
             for line in handle:
                 if line.startswith("model name"):
-                    cpu = line.split(":", 1)[1].strip()
-                    break
+                    return line.split(":", 1)[1].strip()
     except OSError:
         pass
-    parts = [
-        platform.platform(),
-        f"python {platform.python_version()}",
-        f"{os.cpu_count()} cpu(s)",
-    ]
-    if cpu:
-        parts.append(cpu)
-    return ", ".join(parts)
+    return ""
 
 
-ENVIRONMENT = _environment()
+#: structured provenance attached to every result file: the figures are
+#: host-specific, so a number without these fields is not comparable.
+ENVIRONMENT_FIELDS: Dict[str, Any] = {
+    "platform": platform.platform(),
+    "python": platform.python_version(),
+    "cpus": os.cpu_count(),
+    "cpu_model": _cpu_model(),
+    "full_scale": FULL_SCALE,
+}
+
+ENVIRONMENT = ", ".join(
+    str(value)
+    for value in (
+        ENVIRONMENT_FIELDS["platform"],
+        f"python {ENVIRONMENT_FIELDS['python']}",
+        f"{ENVIRONMENT_FIELDS['cpus']} cpu(s)",
+        ENVIRONMENT_FIELDS["cpu_model"],
+    )
+    if value
+)
 
 
-def write_report(name: str, text: str) -> None:
-    """Persist a figure report so it survives pytest output capture."""
+def write_report(name: str, text: str, metrics: Optional[Dict[str, Any]] = None) -> None:
+    """Persist a figure report so it survives pytest output capture.
+
+    Writes ``results/{name}.txt`` (the human-readable rows, with a one-line
+    environment footer) and a machine-readable twin ``results/{name}.json``
+    carrying the report text, the caller's ``metrics`` (when given) and the
+    structured provenance fields -- so regression tooling can diff runs
+    without re-parsing the text tables.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
         handle.write(text + f"\nenvironment: {ENVIRONMENT}\n")
+    payload = {
+        "name": name,
+        "metrics": metrics if metrics is not None else {},
+        "text": text,
+        "environment": dict(ENVIRONMENT_FIELDS),
+    }
+    with open(
+        os.path.join(RESULTS_DIR, f"{name}.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
     print("\n" + text)
 
 

@@ -120,8 +120,7 @@ def test_tiered_memory_plans_per_gb_and_rehydration_cost():
             # Rehydrate first if a later registration already demoted it,
             # so every cycle measures exactly one compressed -> resident miss.
             tiered.predict(anchor, RECORD)
-            with tiered._lifecycle_lock:
-                demoted = tiered._demote_plan_compressed(anchor, frozenset())
+            demoted = tiered._demote_plan_compressed(anchor, frozenset())
             assert demoted, "anchor plan failed to demote"
             elapsed, output = _timed_value(tiered.predict, anchor, RECORD)
             assert output == expected[anchor]

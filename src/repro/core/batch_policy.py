@@ -18,11 +18,14 @@ decision.  Two policies are provided:
   for a signature filling most of their cap, the cap is doubled (still
   clamped to the ceiling) so a saturated stage ramps up quickly.
 
-Both policies are deterministic and single-threaded: the scheduler calls
-``batch_cap`` with its condition lock held, and the discrete-event simulator
-reuses :class:`AdaptiveBatchSizer` verbatim with ``(model, stage)`` tuples as
-signatures, so the simulated adaptive series exercises the same code path the
-real engine runs.
+Both policies are deterministic.  Since the scheduler's queues were sharded,
+``batch_cap`` is called *outside* any queue lock (on racy depth snapshots --
+a cap computed from a momentarily stale depth only changes how much of the
+backlog one pull coalesces, never correctness), and ``record`` is serialized
+by the telemetry's own lock.  The discrete-event simulator reuses
+:class:`AdaptiveBatchSizer` verbatim with ``(model, stage)`` tuples as
+signatures, so the simulated adaptive series exercises the same code path
+the real engine runs.
 """
 
 from __future__ import annotations

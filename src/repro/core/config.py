@@ -125,6 +125,29 @@ class PretzelConfig:
     arena_cold_compress_ema:
         Decayed-traffic threshold below which a large slab is considered
         deep-cold and the heavier (better-ratio) codec is tried first.
+    enable_profiling:
+        Run the always-on sampling profiler (:mod:`repro.profiling`): a
+        background thread samples per-thread frames, attributing self-time
+        to pipeline stages, and the runtime's named locks record contended
+        wait time.  Surfaced as ``stats()["profile"]``; overhead is bounded
+        by the contention microbench's <5% assert, so it defaults to on.
+    profiler_interval_seconds:
+        Sampling period of the profiler thread (default 5 ms / 200 Hz).
+    scheduler_shards:
+        Number of lock stripes per scheduler priority class.  ``1``
+        (default) keeps the scheduler's global FIFO order byte-identical to
+        the single-condition scheduler; higher values stripe each class by
+        physical-stage signature so producers and executors contend on
+        ``1/shards`` of the traffic (per-signature FIFO and stage batching
+        are preserved -- a signature always lives on one stripe).
+    arena_concurrency:
+        ``"lock-free"`` (default) serves the shared-memory arena's slab
+        alloc/free from per-size-class concurrent free lists (GIL-atomic
+        deque push/pop in the style of Blelloch & Wei's fixed-size-class
+        free lists) with only the bump pointer/compaction behind a narrow
+        lock; ``"locked"`` keeps every allocator operation behind one
+        global lock (the pre-profiling baseline the contention microbench
+        compares against).
     """
 
     enable_object_store: bool = True
@@ -153,6 +176,10 @@ class PretzelConfig:
     arena_codec: str = "auto"
     arena_min_compress_ratio: float = 0.9
     arena_cold_compress_ema: float = 0.5
+    enable_profiling: bool = True
+    profiler_interval_seconds: float = 0.005
+    scheduler_shards: int = 1
+    arena_concurrency: str = "lock-free"
 
     def clone(self, **overrides: object) -> "PretzelConfig":
         """Copy the config with some fields replaced (used by ablation benches)."""

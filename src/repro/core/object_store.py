@@ -186,8 +186,23 @@ class ObjectStore:
         """
         if not self.enabled:
             return operator
+        # Compute-then-publish: the signature (which checksums the trained
+        # state) and the parameter harvest are the expensive part of an
+        # intern and depend only on ``operator`` -- both run before the lock,
+        # which is held just for the table lookups/updates.  The hit path
+        # wastes one harvest; the lock stops being the registration-storm
+        # bottleneck.
         signature = operator.signature()
         with self._lock:
+            existing = self._operators.get(signature)
+            if existing is not None:
+                self._operator_refcount[signature] += 1
+                self.operator_hits += 1
+                return existing
+        parameters = operator.parameters()
+        with self._lock:
+            # Recheck: another thread may have interned the same trained
+            # state while we harvested its parameters.
             existing = self._operators.get(signature)
             if existing is not None:
                 self._operator_refcount[signature] += 1
@@ -200,7 +215,7 @@ class ObjectStore:
             self.operator_misses += 1
             # Register the operator's parameters as well so parameter-level
             # queries (and memory accounting) see them.
-            for parameter in operator.parameters():
+            for parameter in parameters:
                 key = f"{parameter.name}:{parameter.checksum}"
                 if key not in self._parameters:
                     self.parameter_misses += 1

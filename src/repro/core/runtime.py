@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import profiling
 from repro.core.config import PretzelConfig
 from repro.core.engines import RequestResponseEngine
 from repro.core.executors import ExecutorPool
@@ -74,6 +75,7 @@ class PretzelRuntime:
             enable_stage_batching=self.config.enable_stage_batching,
             max_stage_batch_size=self.config.max_stage_batch_size,
             stage_batch_policy=self.config.stage_batch_policy,
+            shards=self.config.scheduler_shards,
         )
         self.executor_pool = ExecutorPool(
             self.scheduler,
@@ -94,6 +96,10 @@ class PretzelRuntime:
         self._id_counter = itertools.count()
         self._lock = threading.Lock()
         self._next_reserved_executor = 0
+        if self.config.enable_profiling:
+            # One process-global sampler shared by every runtime; the first
+            # runtime's interval wins (restarting would tear attribution).
+            profiling.ensure_started(self.config.profiler_interval_seconds)
 
     # -- registration (off-line -> on-line handoff) -----------------------------
 
@@ -308,7 +314,7 @@ class PretzelRuntime:
         return sum(reg.registered_seconds for reg in self._plans.values())
 
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats: Dict[str, Any] = {
             "plans": len(self._plans),
             "unique_stages": self.unique_stage_count(),
             "shared_stages": self.shared_stage_count(),
@@ -321,6 +327,10 @@ class PretzelRuntime:
             "queue_depths": self.scheduler.queue_depths(),
             "signature_backlog": self.scheduler.signature_depths(),
         }
+        if self.config.enable_profiling:
+            # Gated so profiling-off runs keep the pre-profiler stats shape.
+            stats["profile"] = profiling.snapshot()
+        return stats
 
     # -- lifecycle -----------------------------------------------------------------------
 

@@ -41,6 +41,19 @@ Reservation-based scheduling (Section 4.2.2, "Reservation-based Scheduling")
 gives a plan a dedicated executor and a private queue, emulating
 container-style isolation while still sharing parameters and physical stages.
 
+**Sharded queue locking.**  The scheduler's shared state is no longer a
+single condition variable: each priority class is a list of ``shards``
+*stripes*, each its own (:class:`~repro.profiling.locks.ProfiledLock`,
+:class:`ReadyQueue`) pair, and events are routed to ``hash(signature) %
+shards`` -- a signature always lives on exactly one stripe, so per-signature
+FIFO order and stage batching are preserved while producers and executors
+contend on ``1/shards`` of the traffic.  ``shards=1`` (the default) keeps
+the global FIFO order of the single-condition scheduler.  Executors park on
+a separate sleep condition guarded by a sleeper count: a producer only
+touches the condition when someone is actually asleep, and a consumer
+re-polls the stripes *after* registering as a sleeper, which (under the
+GIL's sequential consistency) closes the missed-wakeup window.
+
 Shutting the scheduler down fails every still-queued request fast (instead of
 leaving callers blocked in :meth:`InferenceRequest.wait` until their timeout).
 """
@@ -56,6 +69,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.batch_policy import make_batch_sizer
 from repro.core.oven.plan import ModelPlan
+from repro.profiling.locks import ProfiledLock, ProfiledRLock
 from repro.telemetry.batching import StageBatchTelemetry
 
 __all__ = ["InferenceRequest", "StageEvent", "StageBatch", "ReadyQueue", "Scheduler"]
@@ -257,34 +271,87 @@ class ReadyQueue:
                 del self._coalescible[signature]
 
 
+class _Stripe:
+    """One lock+queue pair of a striped priority class.
+
+    Every stripe of a class shares one lock *name*, so the profiling
+    registry aggregates their wait time into a single per-class row.
+    """
+
+    __slots__ = ("lock", "queue")
+
+    def __init__(self, name: str) -> None:
+        self.lock = ProfiledLock(name)
+        self.queue = ReadyQueue()
+
+
 class Scheduler:
-    """Signature-indexed ready queues + reservation bookkeeping; executors pull from it."""
+    """Signature-indexed ready queues + reservation bookkeeping; executors pull from it.
+
+    Locking: each priority class is ``shards`` independently locked stripes
+    (events routed by signature hash, so per-signature FIFO and batching are
+    untouched); reservations live behind their own lock; sleeping executors
+    park on a dedicated condition that producers touch only when the sleeper
+    count says someone is actually waiting.  The ``scheduled_events`` /
+    ``completed_requests`` counters are bumped with plain ``+=`` -- a
+    preemption between read and store can drop an increment, which is
+    acceptable for telemetry and keeps the counters off every lock.
+    """
 
     def __init__(
         self,
         enable_stage_batching: bool = False,
         max_stage_batch_size: int = 16,
         stage_batch_policy: str = "fixed",
+        shards: int = 1,
     ) -> None:
         if max_stage_batch_size < 1:
             raise ValueError("max_stage_batch_size must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.enable_stage_batching = enable_stage_batching
         self.max_stage_batch_size = max_stage_batch_size
         self.stage_batch_policy = stage_batch_policy
+        self.shards = shards
         self.batching = StageBatchTelemetry()
         self.batch_sizer = make_batch_sizer(
             stage_batch_policy, max_stage_batch_size, telemetry=self.batching
         )
-        self._low = ReadyQueue()
-        self._high = ReadyQueue()
+        self._low = [_Stripe("scheduler.low") for _ in range(shards)]
+        self._high = [_Stripe("scheduler.high") for _ in range(shards)]
         #: plan id -> executor id holding the reservation
         self._reservations: Dict[str, int] = {}
         #: executor id -> private queue of events for its reserved plans
         self._reserved_queues: Dict[int, ReadyQueue] = {}
-        self._condition = threading.Condition()
+        #: guards the two reservation tables and every private queue;
+        #: reentrant because `unreserve` re-routes drained events through
+        #: `_enqueue`, whose reserved branch takes it again
+        self._reserve_lock = ProfiledRLock("scheduler.reserve")
+        #: executors park here; `_sleepers` gates producer-side notifies so
+        #: an uncontended submit never touches the condition
+        self._sleep_cond = threading.Condition()
+        self._sleepers = 0
         self._shutdown = False
         self.scheduled_events = 0
         self.completed_requests = 0
+
+    def _stripe_of(self, stripes: List[_Stripe], signature: str) -> _Stripe:
+        if len(stripes) == 1:
+            return stripes[0]
+        return stripes[hash(signature) % len(stripes)]
+
+    def _wake(self) -> None:
+        """Wake parked executors iff any are parked.
+
+        A producer that appended before a consumer registered as a sleeper
+        may read a zero count here -- but that consumer re-polls the stripes
+        *after* incrementing ``_sleepers`` and before waiting, so under the
+        GIL's total order it either sees the append or is seen by this read.
+        Never called with a stripe lock held (keeps the lock graph acyclic).
+        """
+        if self._sleepers:
+            with self._sleep_cond:
+                self._sleep_cond.notify_all()
 
     # -- per-signature state ------------------------------------------------------
 
@@ -294,16 +361,17 @@ class Scheduler:
         Clears both the telemetry counters and the adaptive sizer's backlog
         EMA so plan churn cannot grow them without bound, and a later plan
         re-creating the same physical stage starts from a fresh estimate.
+        (The telemetry is internally locked; the sizer's EMA table tolerates
+        a racing ``batch_cap`` resurrecting one forgotten entry.)
         """
-        with self._condition:
-            self.batching.forget(signature)
-            self.batch_sizer.forget(signature)
+        self.batching.forget(signature)
+        self.batch_sizer.forget(signature)
 
     # -- reservations -----------------------------------------------------------
 
     def reserve(self, plan_id: str, executor_id: int) -> None:
         """Dedicate ``executor_id`` to ``plan_id`` (container-like isolation)."""
-        with self._condition:
+        with self._reserve_lock:
             self._reservations[plan_id] = executor_id
             self._reserved_queues.setdefault(executor_id, ReadyQueue())
 
@@ -316,7 +384,8 @@ class Scheduler:
         down or that shared the reservation) so nothing is stranded in a
         queue no executor will ever drain again.
         """
-        with self._condition:
+        stranded: List[StageEvent] = []
+        with self._reserve_lock:
             executor_id = self._reservations.pop(plan_id, None)
             if executor_id is None:
                 return False
@@ -328,9 +397,13 @@ class Scheduler:
                 if event is None:
                     break
                 self.scheduled_events -= 1  # _enqueue re-counts it
-                self._enqueue(event)
-            self._condition.notify_all()
-            return True
+                if not self._enqueue(event):
+                    stranded.append(event)
+        self._wake()
+        for event in stranded:  # re-route raced shutdown: fail fast
+            if not event.request.done:
+                event.request.fail(RuntimeError("scheduler is shut down"))
+        return True
 
     def reservation_for(self, plan_id: str) -> Optional[int]:
         return self._reservations.get(plan_id)
@@ -347,27 +420,43 @@ class Scheduler:
         rather than queueing work that will never be served.
         """
         event = StageEvent(request, 0)
-        with self._condition:
-            if self._shutdown:
-                shut_down = True
-            else:
-                shut_down = False
-                self._enqueue(event)
-                self._condition.notify_all()
-        if shut_down:
+        if self._enqueue(event):
+            self._wake()
+        else:
             request.fail(RuntimeError("scheduler is shut down"))
         return request
 
-    def _enqueue(self, event: StageEvent) -> None:
-        self.scheduled_events += 1
-        executor_id = self._reservations.get(event.request.plan_id)
+    def _enqueue(self, event: StageEvent) -> bool:
+        """Route one event to its queue; False iff the scheduler is shut down.
+
+        The shutdown flag is re-checked *inside* the target queue's lock:
+        `shutdown` sets the flag and then drains each queue under its lock,
+        so an enqueue that wins its lock before the drain is drained, and one
+        that loses observes the flag -- either way nothing is stranded.
+        """
+        executor_id = self._reservations.get(event.request.plan_id)  # atomic probe
         if executor_id is not None:
-            self._reserved_queues[executor_id].append(event)
-            return
-        if event.is_first:
-            self._low.append(event)
-        else:
-            self._high.append(event)
+            with self._reserve_lock:
+                queue = self._reserved_queues.get(executor_id)
+                if (
+                    queue is not None
+                    and self._reservations.get(event.request.plan_id) == executor_id
+                ):
+                    if self._shutdown:
+                        return False
+                    self.scheduled_events += 1
+                    queue.append(event)
+                    return True
+            # reservation vanished between the probe and the lock: fall
+            # through to shared routing
+        stripes = self._low if event.is_first else self._high
+        stripe = self._stripe_of(stripes, event.signature)
+        with stripe.lock:
+            if self._shutdown:
+                return False
+            self.scheduled_events += 1
+            stripe.queue.append(event)
+        return True
 
     # -- executor protocol ---------------------------------------------------------
 
@@ -375,20 +464,10 @@ class Scheduler:
         """Late binding: a free executor pulls the next runnable event.
 
         Reserved executors only serve their private queue.  Shared executors
-        drain the high-priority queue (in-flight pipelines, which hold pooled
-        vectors) before admitting new pipelines from the low-priority queue.
+        drain the high-priority queues (in-flight pipelines, which hold pooled
+        vectors) before admitting new pipelines from the low-priority queues.
         """
-        deadline = time.perf_counter() + timeout
-        with self._condition:
-            while not self._shutdown:
-                event = self._pop_event(executor_id)
-                if event is not None:
-                    return event
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    return None
-                self._condition.wait(remaining)
-            return None
+        return self._next_ready(executor_id, time.perf_counter() + timeout)
 
     def next_batch(self, executor_id: int, timeout: float = 0.05) -> Optional[StageBatch]:
         """Pull the next runnable event plus every coalescible peer.
@@ -400,51 +479,103 @@ class Scheduler:
         the batch sizer's cap for this pull).  Queue order of non-coalesced
         events is preserved, and formation cost is O(batch size).
         """
-        deadline = time.perf_counter() + timeout
-        with self._condition:
-            while not self._shutdown:
-                event = self._pop_event(executor_id)
-                if event is not None:
-                    events = [event]
-                    backlog = 0
-                    if self.enable_stage_batching and not event.request.latency_sensitive:
-                        backlog = self._coalesce_into(events, executor_id)
-                    self.batching.record(event.signature, len(events), backlog=backlog)
-                    return StageBatch(events)
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    return None
-                self._condition.wait(remaining)
+        event = self._next_ready(executor_id, time.perf_counter() + timeout)
+        if event is None:
             return None
+        events = [event]
+        backlog = 0
+        if self.enable_stage_batching and not event.request.latency_sensitive:
+            backlog = self._coalesce_into(events, executor_id)
+        # internally-locked telemetry; recorded outside every queue lock
+        self.batching.record(event.signature, len(events), backlog=backlog)
+        return StageBatch(events)
 
-    def _pop_event(self, executor_id: int) -> Optional[StageEvent]:
-        """Pop the next runnable event for this executor (condition held)."""
-        reserved = self._reserved_queues.get(executor_id)
-        if reserved is not None:
-            return reserved.popleft()
-        if self._high:
-            return self._high.popleft()
-        return self._low.popleft()
+    def _next_ready(self, executor_id: int, deadline: float) -> Optional[StageEvent]:
+        """Poll, then park until an event arrives or the deadline passes."""
+        while not self._shutdown:
+            event = self._try_pop(executor_id)
+            if event is not None:
+                return event
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return None
+            with self._sleep_cond:
+                self._sleepers += 1
+                try:
+                    # Re-poll after becoming visible as a sleeper: any append
+                    # sequenced before our increment is found here, any append
+                    # after it sees the non-zero count and notifies.
+                    event = self._try_pop(executor_id)
+                    if event is not None:
+                        return event
+                    if self._shutdown:
+                        return None
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return None
+                    self._sleep_cond.wait(remaining)
+                finally:
+                    self._sleepers -= 1
+        return None
+
+    def _try_pop(self, executor_id: int) -> Optional[StageEvent]:
+        """One non-blocking pass over the queues visible to this executor."""
+        if executor_id in self._reserved_queues:  # atomic probe
+            with self._reserve_lock:
+                reserved = self._reserved_queues.get(executor_id)
+                if reserved is not None:
+                    return reserved.popleft()
+            # reservation dropped while we waited: fall through to shared
+        shards = self.shards
+        start = executor_id % shards
+        for stripes in (self._high, self._low):
+            for step in range(shards):
+                stripe = stripes[(start + step) % shards]
+                # Racy emptiness pre-check: skipping idle stripes without
+                # touching their locks is what keeps the scan O(1) in the
+                # common case.  A miss (emptied between check and pop) just
+                # returns None from popleft.
+                if not stripe.queue:
+                    continue
+                with stripe.lock:
+                    event = stripe.queue.popleft()
+                if event is not None:
+                    return event
+        return None
 
     def _coalesce_into(self, events: List[StageEvent], executor_id: int) -> int:
         """Pop same-signature peers from this executor's queues into ``events``.
 
         A reserved executor only coalesces from its private queue (isolation);
-        shared executors drain the high-priority bucket before the low-priority
-        one, mirroring the pull order.  Latency-sensitive events are never
-        indexed as coalescible, so they are skipped by construction.  Returns
-        the coalescible backlog observed behind the leader (for telemetry and
-        the adaptive sizer).
+        shared executors drain the high-priority stripe before the low-priority
+        one, mirroring the pull order.  Because stripes are routed by signature,
+        all of a leader's peers live on the leader's stripe index in each
+        class.  Latency-sensitive events are never indexed as coalescible, so
+        they are skipped by construction.  Returns the coalescible backlog
+        observed behind the leader (for telemetry and the adaptive sizer).
         """
         signature = events[0].signature
-        reserved = self._reserved_queues.get(executor_id)
-        queues = [reserved] if reserved is not None else [self._high, self._low]
-        backlog = sum(queue.coalescible_depth(signature) for queue in queues)
+        if executor_id in self._reserved_queues:
+            with self._reserve_lock:
+                reserved = self._reserved_queues.get(executor_id)
+                if reserved is not None:
+                    backlog = reserved.coalescible_depth(signature)
+                    limit = self.batch_sizer.batch_cap(signature, backlog)
+                    events.extend(reserved.pop_matching(signature, limit - len(events)))
+                    return backlog
+        high = self._stripe_of(self._high, signature)
+        low = self._stripe_of(self._low, signature)
+        # Depth reads are racy by design (atomic dict lookups; the backlog
+        # only steers the sizer); the pops below hold each stripe's lock.
+        backlog = high.queue.coalescible_depth(signature) + low.queue.coalescible_depth(
+            signature
+        )
         limit = self.batch_sizer.batch_cap(signature, backlog)
-        for queue in queues:
+        for stripe in (high, low):
             if len(events) >= limit:
                 break
-            events.extend(queue.pop_matching(signature, limit - len(events)))
+            with stripe.lock:
+                events.extend(stripe.queue.pop_matching(signature, limit - len(events)))
         return backlog
 
     def on_stage_complete(self, event: StageEvent, output: Any) -> None:
@@ -457,25 +588,16 @@ class Scheduler:
         request = event.request
         if event.is_last:
             request.complete(output)
-            with self._condition:
-                self.completed_requests += 1
-                self._condition.notify_all()
+            self.completed_requests += 1
             return
         next_event = StageEvent(request, event.stage_index + 1)
-        with self._condition:
-            if self._shutdown:
-                shut_down = True
-            else:
-                shut_down = False
-                self._enqueue(next_event)
-                self._condition.notify_all()
-        if shut_down:
+        if self._enqueue(next_event):
+            self._wake()
+        else:
             request.fail(RuntimeError("scheduler shut down before request completed"))
 
     def on_stage_error(self, event: StageEvent, error: BaseException) -> None:
         event.request.fail(error)
-        with self._condition:
-            self._condition.notify_all()
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -484,13 +606,20 @@ class Scheduler:
 
         Without this, a request whose events were queued but never pulled would
         block its caller in :meth:`InferenceRequest.wait` until the timeout.
+        Sets the flag first, then drains each queue under its own lock; an
+        enqueue racing this either lands before the drain (and is drained) or
+        observes the flag inside the lock and fails its request itself.
         """
-        with self._condition:
-            self._shutdown = True
-            abandoned = self._low.drain() + self._high.drain()
+        self._shutdown = True
+        abandoned: List[StageEvent] = []
+        for stripes in (self._low, self._high):
+            for stripe in stripes:
+                with stripe.lock:
+                    abandoned.extend(stripe.queue.drain())
+        with self._reserve_lock:
             for queue in self._reserved_queues.values():
                 abandoned.extend(queue.drain())
-            self._condition.notify_all()
+        self._wake()
         for event in abandoned:
             if not event.request.done:
                 event.request.fail(
@@ -504,11 +633,14 @@ class Scheduler:
         return self._shutdown
 
     def queue_depths(self) -> Dict[str, int]:
-        with self._condition:
-            depths = {"low": len(self._low), "high": len(self._high)}
+        depths = {
+            "low": sum(len(stripe.queue) for stripe in self._low),
+            "high": sum(len(stripe.queue) for stripe in self._high),
+        }
+        with self._reserve_lock:
             for executor_id, queue in self._reserved_queues.items():
                 depths[f"reserved[{executor_id}]"] = len(queue)
-            return depths
+        return depths
 
     def signature_depths(self) -> Dict[str, int]:
         """Queued events per physical-stage signature, across every queue.
@@ -517,10 +649,18 @@ class Scheduler:
         scanned -- so telemetry can sample the backlog shape cheaply even
         under deep queues.
         """
-        with self._condition:
-            totals: Dict[str, int] = {}
-            queues = [self._low, self._high, *self._reserved_queues.values()]
-            for queue in queues:
-                for signature, depth in queue.signature_depths().items():
+        totals: Dict[str, int] = {}
+        for stripes in (self._low, self._high):
+            for stripe in stripes:
+                with stripe.lock:
+                    merged = stripe.queue.signature_depths()
+                for signature, depth in merged.items():
                     totals[signature] = totals.get(signature, 0) + depth
-            return totals
+        with self._reserve_lock:
+            merged_reserved = [
+                queue.signature_depths() for queue in self._reserved_queues.values()
+            ]
+        for depths in merged_reserved:
+            for signature, depth in depths.items():
+                totals[signature] = totals.get(signature, 0) + depth
+        return totals

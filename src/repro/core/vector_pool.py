@@ -50,14 +50,31 @@ class VectorPool:
         if not self.enabled:
             return
         target = self.entries_per_class if entries is None else min(entries, self.entries_per_class)
+        # Compute-then-publish: the numpy allocations (the expensive part --
+        # registration-time prefills can be megabytes) happen outside the
+        # lock, which is held only to read each bucket's depth and to splice
+        # the fresh buffers in.  Racing prefills may overshoot ``target`` by
+        # a few buffers per class; acquire/release still bound the pool at
+        # ``entries_per_class``, so the overshoot is transient.
+        wanted: Dict[int, int] = {}
         with self._lock:
             for size in sizes:
                 if size <= 0:
                     continue
-                bucket = self._buckets[_size_class(size)]
-                while len(bucket) < target:
-                    bucket.append(np.empty(_size_class(size), dtype=np.float64))
-                    self.allocations += 1
+                cls = _size_class(size)
+                shortfall = target - len(self._buckets[cls])
+                if shortfall > 0:
+                    wanted[cls] = max(wanted.get(cls, 0), shortfall)
+        if not wanted:
+            return
+        fresh = {
+            cls: [np.empty(cls, dtype=np.float64) for _ in range(count)]
+            for cls, count in wanted.items()
+        }
+        with self._lock:
+            for cls, buffers in fresh.items():
+                self._buckets[cls].extend(buffers)
+                self.allocations += len(buffers)
 
     def acquire(self, size: int) -> np.ndarray:
         """Borrow a buffer of at least ``size`` elements."""

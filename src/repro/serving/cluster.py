@@ -43,6 +43,16 @@ parameter sharing:
   refs, workers re-adopt) before dispatch, and only incompressible plans
   fall through to the privatize-then-evict final tier.
 
+Lifecycle transitions are plan-parallel: each plan id owns a transition
+lock (registration, unregister, rehydration and fail-over re-homing of one
+plan serialize on it; demotion *try-acquires* its victim's, keeping the lock
+graph acyclic), and only the arena claim protocol -- dedup-claim,
+exclusivity recheck before a free/compress, release-on-teardown -- runs
+under a short global phase lock.  One plan's multi-second worker round
+trips therefore never stall another plan's registration or demotion
+(compress-while-serving); the named locks report contended wait time
+through ``stats()["profile"]["locks"]``.
+
 The facade mirrors :class:`~repro.core.runtime.PretzelRuntime`:
 ``register`` / ``unregister`` / ``predict`` / ``predict_batch`` / ``stats``
 / ``memory_bytes`` / ``shutdown`` plus the context-manager protocol, so a
@@ -59,8 +69,10 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import profiling
 from repro.core.config import PretzelConfig
 from repro.core.statistics import TransformStats
+from repro.profiling.locks import ProfiledLock, ProfiledRLock
 from repro.mlnet.pipeline import Pipeline
 from repro.net import (
     BINARY_MAGIC,
@@ -131,7 +143,7 @@ class _WorkerHandle:
         self.worker_id = worker_id
         self.process = process
         self.transport = transport
-        self.lock = threading.Lock()
+        self.lock = ProfiledLock("cluster.worker-channel")
         self.requests = 0
         #: wire accounting (message payloads, before transport framing):
         #: binary messages carry columnar array frames, json messages are the
@@ -280,6 +292,7 @@ class PretzelCluster:
                 codec=self.config.arena_codec,
                 min_compress_ratio=self.config.arena_min_compress_ratio,
                 cold_codec_traffic_ema=self.config.arena_cold_compress_ema,
+                concurrency=self.config.arena_concurrency,
             )
             if self.config.shm_budget_bytes > 0
             else None
@@ -297,11 +310,21 @@ class PretzelCluster:
         self._msg_prefix = uuid.uuid4().hex[:8]
         self._msg_ids = itertools.count()
         self._lock = threading.Lock()
-        #: serializes every arena allocation/reclamation phase (share,
-        #: evict/demote, unregister-free, rollback-free) so one thread's
-        #: eviction can never free a slab another thread's in-progress
-        #: registration has dedup-hit but not yet recorded in the lifecycle.
-        self._lifecycle_lock = threading.RLock()
+        #: short global "phase" lock serializing only the arena *claim
+        #: protocol*: dedup-claim (slab probe + lifecycle note), the
+        #: exclusivity recheck before any free/compress, and
+        #: release-on-teardown.  Each section holds it for microseconds, so
+        #: one thread's eviction can never free a slab another thread's
+        #: in-progress registration has dedup-hit but not yet claimed --
+        #: without serializing whole registrations behind each other.
+        self._phase_lock = ProfiledRLock("cluster.phase")
+        #: per-plan transition locks (created on first use, never removed --
+        #: one small object per distinct plan id ever seen).  A plan's
+        #: registration, unregister, rehydration and re-home serialize on
+        #: its own lock; demotion try-acquires its victim's lock, so the
+        #: lock graph stays acyclic and plans transition in parallel.
+        self._plan_locks: Dict[str, ProfiledRLock] = {}
+        self._plan_locks_guard = threading.Lock()
         #: plans whose register messages (initial registration or fail-over
         #: re-homing) are currently in flight: their arena refs travel inside
         #: those messages, so eviction must not pick them as victims even
@@ -309,6 +332,9 @@ class PretzelCluster:
         self._in_transition: Set[str] = set()
         self._closed = False
         self.arena_overflows = 0
+        if self.config.enable_profiling:
+            # One process-global sampler, shared with any in-process runtime.
+            profiling.ensure_started(self.config.profiler_interval_seconds)
         try:
             for index in range(num_workers):
                 worker_id = f"worker-{index}"
@@ -390,6 +416,18 @@ class PretzelCluster:
 
     # -- registration ---------------------------------------------------------
 
+    def _plan_lock(self, plan_id: str) -> ProfiledRLock:
+        """The per-plan transition lock (created on first use, kept forever).
+
+        Every plan lock shares one stat name, so the wait registry reports
+        their aggregate contention as a single ``cluster.plan`` line.
+        """
+        with self._plan_locks_guard:
+            lock = self._plan_locks.get(plan_id)
+            if lock is None:
+                lock = self._plan_locks[plan_id] = ProfiledRLock("cluster.plan")
+            return lock
+
     def register(
         self,
         pipeline: Pipeline,
@@ -419,76 +457,79 @@ class PretzelCluster:
             self._plans[identifier] = {"workers": [], "engine": engine}
         registered_on: List[str] = []
         uncertain: Optional[str] = None
-        lifecycle_noted = False
-        try:
-            with self._lifecycle_lock:
-                # Allocation + lifecycle note are one atomic step: a dedup
-                # hit is only safe if the checksum is recorded (or pinned)
-                # before any other thread's eviction can run.
+        # The plan's own transition lock serializes this registration against
+        # a concurrent unregister / rehydration / re-home of the same id
+        # while *other* plans register, demote and rehydrate in parallel;
+        # the arena claim protocol itself is the short phase-locked section
+        # inside _put_shared.
+        with self._plan_lock(identifier):
+            try:
+                with self._phase_lock:
+                    # Visible before the first slab claim: eviction snapshots
+                    # this set under the same lock, and the demote path's
+                    # try-acquire of our plan lock backstops any staleness.
+                    self._in_transition.add(identifier)
                 arena_refs = self._share_parameters(identifier, pipeline, stats)
-                self.lifecycle.note_registered(identifier, list(arena_refs))
-                lifecycle_noted = True
-                self._in_transition.add(identifier)
-            placed = self.router.place(identifier, replicas)
-            model_b64 = encode_model(pipeline, stats)
-            rebound = 0
-            for worker_id in placed:
-                handle = self._workers.get(worker_id)
-                if handle is None:
-                    # Evicted between placement and this round trip: the
-                    # caller gets the same typed retryable contract as a
-                    # dispatch racing a fail-over.
-                    raise WorkerFailedError(
-                        worker_id, identifier, "worker evicted during registration"
-                    )
-                try:
-                    reply = handle.request(
-                        self._message(
-                            "register",
-                            plan_id=identifier,
-                            model_b64=model_b64,
-                            engine=engine,
-                            arena_refs=arena_refs,
-                        ),
-                        self.config.worker_timeout_seconds,
-                    )
-                except (WorkerFailure, WorkerTimeout) as error:
-                    # A timeout or connection loss leaves the worker's state
-                    # unknown -- it may have completed the registration and
-                    # mapped the slabs.  An application error (ok=False over
-                    # a healthy channel) means it registered nothing.
-                    if isinstance(error, WorkerTimeout) or error.connection_lost:
-                        uncertain = worker_id
-                    raise
-                registered_on.append(worker_id)
-                rebound += int(reply.get("rebound_arrays", 0))
-            # The complete record (hosting workers included) must be visible
-            # before the plan leaves the in-transition set: an eviction that
-            # picks this plan as victim the instant the flag drops must see
-            # who hosts it, or _demote_plan would "ack" against an empty
-            # worker list and free freshly adopted slabs.  A worker evicted
-            # *during* the round trips is filtered out -- the fail-over that
-            # evicted it could not see this plan yet, so reinstating the dead
-            # id here would poison later teardown acks.
-            with self._lock:
-                self._plans[identifier] = {
-                    "workers": [w for w in registered_on if w in self._workers],
-                    "engine": engine,
-                    "replicas": replicas or self.config.placement_replicas,
-                    "model_b64": model_b64,
-                    "arena_refs": arena_refs,
-                    "shared_parameters": len(arena_refs),
-                    "rebound_arrays": rebound,
-                    "tier": "resident",
-                }
-        except BaseException:
-            self._roll_back_registration(
-                identifier, registered_on, uncertain, lifecycle_noted
-            )
-            raise
-        finally:
-            with self._lifecycle_lock:
-                self._in_transition.discard(identifier)
+                placed = self.router.place(identifier, replicas)
+                model_b64 = encode_model(pipeline, stats)
+                rebound = 0
+                for worker_id in placed:
+                    handle = self._workers.get(worker_id)
+                    if handle is None:
+                        # Evicted between placement and this round trip: the
+                        # caller gets the same typed retryable contract as a
+                        # dispatch racing a fail-over.
+                        raise WorkerFailedError(
+                            worker_id, identifier, "worker evicted during registration"
+                        )
+                    try:
+                        reply = handle.request(
+                            self._message(
+                                "register",
+                                plan_id=identifier,
+                                model_b64=model_b64,
+                                engine=engine,
+                                arena_refs=arena_refs,
+                            ),
+                            self.config.worker_timeout_seconds,
+                        )
+                    except (WorkerFailure, WorkerTimeout) as error:
+                        # A timeout or connection loss leaves the worker's
+                        # state unknown -- it may have completed the
+                        # registration and mapped the slabs.  An application
+                        # error (ok=False over a healthy channel) means it
+                        # registered nothing.
+                        if isinstance(error, WorkerTimeout) or error.connection_lost:
+                            uncertain = worker_id
+                        raise
+                    registered_on.append(worker_id)
+                    rebound += int(reply.get("rebound_arrays", 0))
+                # The complete record (hosting workers included) must be
+                # visible before the plan leaves the in-transition set: an
+                # eviction that picks this plan as victim the instant the
+                # flag drops must see who hosts it, or _demote_plan would
+                # "ack" against an empty worker list and free freshly
+                # adopted slabs.  A worker evicted *during* the round trips
+                # is filtered out -- the fail-over that evicted it could not
+                # see this plan yet, so reinstating the dead id here would
+                # poison later teardown acks.
+                with self._lock:
+                    self._plans[identifier] = {
+                        "workers": [w for w in registered_on if w in self._workers],
+                        "engine": engine,
+                        "replicas": replicas or self.config.placement_replicas,
+                        "model_b64": model_b64,
+                        "arena_refs": arena_refs,
+                        "shared_parameters": len(arena_refs),
+                        "rebound_arrays": rebound,
+                        "tier": "resident",
+                    }
+            except BaseException:
+                self._roll_back_registration(identifier, registered_on, uncertain)
+                raise
+            finally:
+                with self._phase_lock:
+                    self._in_transition.discard(identifier)
         return identifier
 
     def _teardown_on_workers(
@@ -533,34 +574,33 @@ class PretzelCluster:
         plan_id: str,
         registered_on: List[str],
         uncertain: Optional[str],
-        lifecycle_noted: bool,
     ) -> None:
         """Undo a partial registration so the id and placement stay reusable.
 
-        Mirrors :meth:`unregister`'s liveness guard: the plan's exclusive
-        slabs are freed only when every worker that *may* host it (the ones
-        that acked registration, plus the one whose round trip failed
-        indeterminately) acknowledged the teardown or is provably dead --
-        a worker whose register timed out may well have completed it and
-        still map the slabs, so freeing without its ack would recycle bytes
-        under its adopted views.
+        The caller holds the plan's transition lock.  Mirrors
+        :meth:`unregister`'s liveness guard: the plan's exclusive slabs are
+        freed only when every worker that *may* host it (the ones that acked
+        registration, plus the one whose round trip failed indeterminately)
+        acknowledged the teardown or is provably dead -- a worker whose
+        register timed out may well have completed it and still map the
+        slabs, so freeing without its ack would recycle bytes under its
+        adopted views.  Claims are noted incrementally by ``_put_shared``,
+        so a failure mid-share releases whatever subset was claimed.
         """
-        with self._lifecycle_lock:
-            drop = (
-                sorted(self.lifecycle.exclusive_checksums(plan_id))
-                if lifecycle_noted
-                else []
-            )
-            targets = list(registered_on) + ([uncertain] if uncertain else [])
-            acked = self._teardown_on_workers(
-                targets, "unregister", plan_id=plan_id, drop_checksums=drop
-            )
-            self.router.forget(plan_id)
-            if lifecycle_noted:
-                freeable = self.lifecycle.release(plan_id)
-                if self.arena is not None and acked:
-                    for checksum in freeable:
-                        self.arena.free(checksum)
+        drop = sorted(self.lifecycle.exclusive_checksums(plan_id))
+        targets = list(registered_on) + ([uncertain] if uncertain else [])
+        acked = self._teardown_on_workers(
+            targets, "unregister", plan_id=plan_id, drop_checksums=drop
+        )
+        self.router.forget(plan_id)
+        with self._phase_lock:
+            # Release + free are one phase-locked step: a checksum that lost
+            # exclusivity to a concurrent registrant's dedup claim since the
+            # drop-list snapshot is recomputed (and kept alive) here.
+            freeable = self.lifecycle.release(plan_id)
+            if self.arena is not None and acked:
+                for checksum in freeable:
+                    self.arena.free(checksum)
         with self._lock:
             self._plans.pop(plan_id, None)
 
@@ -576,12 +616,13 @@ class PretzelCluster:
         surviving plan stays live until *its* last plan goes.
         """
         self._ensure_open()
-        with self._lifecycle_lock:
-            # Popping the plan under the lifecycle lock serializes the
-            # teardown against a concurrent fail-over re-homing of the same
-            # plan: either the re-home finished (and info["workers"] includes
-            # the new host, which then acks below) or it has not started yet
-            # (and will find the plan gone).
+        with self._plan_lock(plan_id):
+            # Popping the plan under its transition lock serializes the
+            # teardown against a concurrent fail-over re-homing or
+            # rehydration of the same plan: either that writer finished (and
+            # info["workers"] includes the new host, which then acks below)
+            # or it has not started yet (and will find the plan gone).
+            # Other plans keep registering and serving in parallel.
             with self._lock:
                 info = self._plans.pop(plan_id, None)
             if info is None:
@@ -595,10 +636,15 @@ class PretzelCluster:
             acked = self._teardown_on_workers(
                 info["workers"], "unregister", plan_id=plan_id, drop_checksums=drop
             )
-            freeable = self.lifecycle.release(plan_id)
-            if self.arena is not None and acked:
-                for checksum in freeable:
-                    self.arena.free(checksum)
+            with self._phase_lock:
+                # Freeability is decided under the phase lock, *after* the
+                # teardown acks: a dedup claim recorded by a concurrent
+                # registration since the drop-list snapshot keeps the slab
+                # (release recomputes exclusivity here, not above).
+                freeable = self.lifecycle.release(plan_id)
+                if self.arena is not None and acked:
+                    for checksum in freeable:
+                        self.arena.free(checksum)
         self.control.unregistered_plans += 1
 
     def _share_parameters(
@@ -637,7 +683,7 @@ class PretzelCluster:
             if parameter.nbytes < self.config.shm_min_parameter_bytes:
                 continue
             try:
-                ref = self.arena.put_array(parameter.checksum, parameter.value)
+                ref = self._put_shared(plan_id, parameter)
             except ArenaExhaustedError:
                 ref = self._evict_for(plan_id, parameter, pinned=frozenset(refs))
                 if ref is None:
@@ -647,6 +693,35 @@ class PretzelCluster:
                     continue
             refs[parameter.checksum] = ref.to_dict()
         return refs
+
+    def _put_shared(self, plan_id: str, parameter: Any) -> Any:
+        """Claim one parameter's slab for ``plan_id`` (copy outside the lock).
+
+        The arena claim protocol: a dedup hit on another plan's slab is only
+        safe if the claim (``note_registered``) lands before any demote or
+        unregister rechecks that slab's exclusivity -- and both sides run
+        under the global phase lock, so the recheck is authoritative.  The
+        expensive part (the memcpy + checksum of a first-time put) runs
+        *outside* that lock: a brand-new slab has no lifecycle entry yet, so
+        nothing can free it before the claim below.
+        """
+        assert self.arena is not None
+        checksum = parameter.checksum
+        if self.arena.get(checksum) is None:
+            # First put of these bytes (or a compressed-tier re-inflation):
+            # do the copy without stalling other plans' phase transitions.
+            # May raise ArenaExhaustedError -> the caller evicts and retries.
+            self.arena.put_array(checksum, parameter.value)
+        with self._phase_lock:
+            # Probe-and-claim atomically: a demote/unregister may have freed
+            # or compressed the slab between the put above and here (we held
+            # no claim yet).  Re-putting under the phase lock is then a rare
+            # one-off copy, never the common case.
+            ref = self.arena.get(checksum)
+            if ref is None:
+                ref = self.arena.put_array(checksum, parameter.value)
+            self.lifecycle.note_registered(plan_id, [checksum])
+        return ref
 
     def _evict_for(
         self, plan_id: str, parameter: Any, pinned: frozenset
@@ -661,7 +736,7 @@ class PretzelCluster:
         return self._evict_until(
             plan_id,
             pinned,
-            lambda: self.arena.put_array(parameter.checksum, parameter.value),
+            lambda: self._put_shared(plan_id, parameter),
         )
 
     def _evict_until(
@@ -685,9 +760,11 @@ class PretzelCluster:
         tiered = self.config.arena_eviction_policy == "compress-tiered"
         # Plans whose register messages are in flight carry their arena refs
         # inside those messages; evicting them would free slabs a worker is
-        # about to adopt.  (Callers hold _lifecycle_lock, so the snapshot
-        # cannot race a transition start.)
-        tried: Set[str] = {plan_id} | set(self._in_transition)
+        # about to adopt.  The snapshot is taken under the phase lock; a
+        # transition starting *after* it is still safe, because every demote
+        # try-acquires its victim's plan lock -- which that transition holds.
+        with self._phase_lock:
+            tried: Set[str] = {plan_id} | set(self._in_transition)
         while True:
             # Only resident plans are demotable under the tiered policy: a
             # compressed plan's payload slabs are its sole copy of the bytes
@@ -728,48 +805,67 @@ class PretzelCluster:
         before routing, and only then are the slabs actually moved.  If the
         teardown is not fully acked nothing is freed -- the plan sits gated
         with its payloads unwritten and heals through the rehydration path.
+
+        Self-locking: the victim's plan lock is *try*-acquired, so a caller
+        holding its own plan lock never blocks on another plan's (acyclic
+        lock graph) -- a victim mid-transition is simply skipped this round.
         """
         assert self.arena is not None
-        checksums = sorted(self.lifecycle.exclusive_checksums(victim) - set(pinned))
-        if not checksums:
+        victim_lock = self._plan_lock(victim)
+        if not victim_lock.acquire(blocking=False):
             return False
-        heat = self.lifecycle.traffic(victim)
-        qualified: List[Tuple[str, str, bytes]] = []
-        for checksum in checksums:
-            trial = self.arena.trial_compress(checksum, traffic_ema=heat)
-            if trial is not None:
-                qualified.append((checksum, trial[0], trial[1]))
-        if not qualified:
-            return False  # incompressible: skip straight to the final tier
-        with self._lock:
-            info = self._plans.get(victim)
-            hosting = list(info.get("workers", ())) if info else []
-        # Gate *before* the teardown round trips: a dispatch racing the
-        # demotion must either find the plan still registered on its workers
-        # or find the compressed gate and rehydrate (which serializes behind
-        # _lifecycle_lock, held by our caller).
-        self.lifecycle.set_tier(victim, "compressed")
-        with self._lock:
-            if info is not None:
-                info["tier"] = "compressed"
-        if not self._teardown_on_workers(
-            hosting, "unregister", plan_id=victim, drop_checksums=checksums
-        ):
-            # A live worker may still map the slabs: free nothing.  The plan
-            # is already gated, so the next request re-registers it through
-            # the rehydration path and the demotion is retried later.
-            return False
-        compressed = 0
-        for checksum, codec, payload in qualified:
-            if self.arena.commit_compress(checksum, codec, payload):
-                compressed += 1
-        with self._lock:
-            if info is not None:
-                info["workers"] = []
-        self.router.set_placement(victim, [])
-        if compressed:
-            self.control.arena_compressions += 1
-        return compressed > 0
+        try:
+            checksums = sorted(self.lifecycle.exclusive_checksums(victim) - set(pinned))
+            if not checksums:
+                return False
+            heat = self.lifecycle.traffic(victim)
+            qualified: List[Tuple[str, str, bytes]] = []
+            for checksum in checksums:
+                trial = self.arena.trial_compress(checksum, traffic_ema=heat)
+                if trial is not None:
+                    qualified.append((checksum, trial[0], trial[1]))
+            if not qualified:
+                return False  # incompressible: skip straight to the final tier
+            with self._lock:
+                info = self._plans.get(victim)
+                hosting = list(info.get("workers", ())) if info else []
+            # Gate *before* the teardown round trips: a dispatch racing the
+            # demotion must either find the plan still registered on its
+            # workers or find the compressed gate and rehydrate (which
+            # serializes behind the victim's plan lock, held here).
+            self.lifecycle.set_tier(victim, "compressed")
+            with self._lock:
+                if info is not None:
+                    info["tier"] = "compressed"
+            if not self._teardown_on_workers(
+                hosting, "unregister", plan_id=victim, drop_checksums=checksums
+            ):
+                # A live worker may still map the slabs: free nothing.  The
+                # plan is already gated, so the next request re-registers it
+                # through the rehydration path and the demotion is retried
+                # later.
+                return False
+            compressed = 0
+            with self._phase_lock:
+                # A registrant may have dedup-claimed one of these checksums
+                # since the exclusivity snapshot above; its claim was
+                # recorded under the phase lock, so rechecking here (same
+                # lock) is authoritative before any slab is moved.
+                still = self.lifecycle.exclusive_checksums(victim)
+                for checksum, codec, payload in qualified:
+                    if checksum not in still:
+                        continue
+                    if self.arena.commit_compress(checksum, codec, payload):
+                        compressed += 1
+            with self._lock:
+                if info is not None:
+                    info["workers"] = []
+            self.router.set_placement(victim, [])
+            if compressed:
+                self.control.arena_compressions += 1
+            return compressed > 0
+        finally:
+            victim_lock.release()
 
     def _rehydrate_plan(self, plan_id: str) -> bool:
         """Rehydrate a compressed plan before dispatch (first-touch path).
@@ -783,13 +879,18 @@ class PretzelCluster:
         ships no ref and stays worker-private.
         """
         started = time.perf_counter()
-        with self._lifecycle_lock:
+        # The plan's transition lock makes first-touch rehydration exclusive
+        # with a concurrent demote, re-home or unregister of the same plan;
+        # concurrent dispatchers of *this* plan queue here briefly and then
+        # take the raced-early-return below, while other plans keep serving.
+        with self._plan_lock(plan_id):
             with self._lock:
                 info = self._plans.get(plan_id)
                 if info is None or info.get("tier") != "compressed":
                     return info is not None  # raced: someone else rehydrated
                 snapshot = dict(info)
-            self._in_transition.add(plan_id)
+            with self._phase_lock:
+                self._in_transition.add(plan_id)
             try:
                 owned = sorted(self.lifecycle.checksums(plan_id))
                 refs: Dict[str, Dict[str, Any]] = {}
@@ -856,7 +957,8 @@ class PretzelCluster:
                 self.control.rehydration_seconds.append(time.perf_counter() - started)
                 return True
             finally:
-                self._in_transition.discard(plan_id)
+                with self._phase_lock:
+                    self._in_transition.discard(plan_id)
 
     def _demote_plan(self, victim: str, pinned: frozenset) -> bool:
         """Privatize and free one plan's exclusive slabs (it keeps serving).
@@ -865,26 +967,43 @@ class PretzelCluster:
         adopted views with private copies) before a single slab is freed --
         a worker we cannot reach keeps the slabs alive (no free) unless it
         is provably dead.
+
+        Self-locking, like :meth:`_demote_plan_compressed`: the victim's
+        plan lock is try-acquired so demotion never blocks on (or deadlocks
+        with) a victim that is mid-registration or mid-rehydration.
         """
-        checksums = sorted(self.lifecycle.exclusive_checksums(victim) - set(pinned))
-        if not checksums:
+        victim_lock = self._plan_lock(victim)
+        if not victim_lock.acquire(blocking=False):
             return False
-        with self._lock:
-            hosting = list(self._plans.get(victim, {}).get("workers", ()))
-        if not self._teardown_on_workers(hosting, "demote", checksums=checksums):
-            return False
-        assert self.arena is not None
-        for checksum in checksums:
-            self.arena.free(checksum)
-        self.lifecycle.remove_checksums(victim, checksums)
-        with self._lock:
-            info = self._plans.get(victim)
-            if info is not None and "arena_refs" in info:
+        try:
+            checksums = sorted(self.lifecycle.exclusive_checksums(victim) - set(pinned))
+            if not checksums:
+                return False
+            with self._lock:
+                hosting = list(self._plans.get(victim, {}).get("workers", ()))
+            if not self._teardown_on_workers(hosting, "demote", checksums=checksums):
+                return False
+            assert self.arena is not None
+            with self._phase_lock:
+                # Exclusivity is rechecked under the phase lock: a checksum
+                # dedup-claimed by a concurrent registrant since the snapshot
+                # stays live.  The victim's claim is dropped either way --
+                # its workers privatized the parameter regardless.
+                still = self.lifecycle.exclusive_checksums(victim)
                 for checksum in checksums:
-                    info["arena_refs"].pop(checksum, None)
-                info["shared_parameters"] = len(info["arena_refs"])
-        self.control.arena_evictions += 1
-        return True
+                    if checksum in still:
+                        self.arena.free(checksum)
+                self.lifecycle.remove_checksums(victim, checksums)
+            with self._lock:
+                info = self._plans.get(victim)
+                if info is not None and "arena_refs" in info:
+                    for checksum in checksums:
+                        info["arena_refs"].pop(checksum, None)
+                    info["shared_parameters"] = len(info["arena_refs"])
+            self.control.arena_evictions += 1
+            return True
+        finally:
+            victim_lock.release()
 
     def _compiled_parameters(
         self, pipeline: Pipeline, stats: Optional[Dict[str, TransformStats]]
@@ -1045,14 +1164,16 @@ class PretzelCluster:
     def _rehome_one(self, plan_id: str) -> bool:
         """Top a plan's placement back up to its replica count.
 
-        The whole re-home holds the lifecycle lock, serializing it against
-        a concurrent unregister, budget-pressure eviction, or another
-        worker's fail-over touching the same plan -- so the arena refs the
-        re-register messages carry cannot be freed mid-flight, and the
-        worker-list update cannot lose a concurrent writer's ack.
+        The whole re-home holds the plan's transition lock, serializing it
+        against a concurrent unregister, budget-pressure demotion, or
+        another worker's fail-over touching the *same* plan -- so the arena
+        refs the re-register messages carry cannot be freed mid-flight, and
+        the worker-list update cannot lose a concurrent writer's ack.
+        Re-homes of different plans run in parallel.
         """
-        with self._lifecycle_lock:
-            self._in_transition.add(plan_id)
+        with self._plan_lock(plan_id):
+            with self._phase_lock:
+                self._in_transition.add(plan_id)
             try:
                 with self._lock:
                     live = self._plans.get(plan_id)
@@ -1108,7 +1229,8 @@ class PretzelCluster:
                 self.router.set_placement(plan_id, survivors)
                 return gained
             finally:
-                self._in_transition.discard(plan_id)
+                with self._phase_lock:
+                    self._in_transition.discard(plan_id)
 
     # -- introspection ----------------------------------------------------------
 
@@ -1159,7 +1281,7 @@ class PretzelCluster:
         router_stats = self.router.stats()
         arena_stats = self.arena.stats() if self.arena is not None else None
         total_worker_bytes = sum(entry["memory_bytes"] for entry in live)
-        return {
+        result: Dict[str, Any] = {
             "plans": len(self._plans),
             "num_workers": len(self._workers),
             "served_predictions": sum(w["served_predictions"] for w in live),
@@ -1174,6 +1296,13 @@ class PretzelCluster:
             + (arena_stats["used_bytes"] if arena_stats else 0),
             "workers": workers,
         }
+        if self.config.enable_profiling:
+            # The cluster *process*'s view: sampler self-time of the dispatch
+            # threads plus contended wait on the named locks (arena.meta,
+            # cluster.phase, cluster.plan, cluster.worker-channel).  Each
+            # worker's own profile rides in workers[id]["stats"]["profile"].
+            result["profile"] = profiling.snapshot()
+        return result
 
     def wire_stats(self) -> Dict[str, int]:
         """Bytes and message counts on the cluster<->worker wire (no round trips).

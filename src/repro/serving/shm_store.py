@@ -11,10 +11,19 @@ white-box sharing across the process boundary:
   constant time in the style of fixed-size-class allocators (Blelloch & Wei,
   "Concurrent Fixed-Size Allocation and Free in Constant Time"): each
   power-of-two size class keeps a free list of slab offsets, a bump pointer
-  carves fresh slabs, and both operations are a single list push/pop.
-  Parameter buffers are deduplicated by the same content checksum the
-  Object Store compares (:attr:`repro.operators.base.Parameter.checksum`), so
-  a weight array registered by every worker occupies exactly one slab.
+  carves fresh slabs, and both operations are a single push/pop.  With
+  ``concurrency="lock-free"`` (default) the free lists are *concurrent*:
+  each class is a ``collections.deque`` whose append/pop are single C calls
+  -- atomic under the GIL, CPython's stand-in for the paper's CAS -- so the
+  fast-path alloc and free take **no lock at all**; only the bump pointer,
+  tail compaction and slab splitting sit behind a narrow metadata lock, and
+  the compressed tier keeps its operations fully serialized.
+  ``concurrency="locked"`` keeps every operation behind one global lock
+  (the pre-profiling baseline ``benchmarks/test_contention_microbench.py``
+  measures against).  Parameter buffers are deduplicated by the same content
+  checksum the Object Store compares
+  (:attr:`repro.operators.base.Parameter.checksum`), so a weight array
+  registered by every worker occupies exactly one slab.
 * :class:`ArenaRef` -- a picklable/JSON-able handle (segment, offset, dtype,
   shape) a worker needs to map one parameter.
 * :class:`ArenaClient` -- the worker-side attachment.  It implements the
@@ -51,14 +60,17 @@ import os
 import threading
 import uuid
 import zlib
+from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.object_store import ParameterBacking
 from repro.operators.base import Parameter
+from repro.profiling.locks import ProfiledLock
 
 __all__ = [
     "ArenaRef",
@@ -72,6 +84,9 @@ __all__ = [
 #: smallest slab handed out; anything below this would be dominated by
 #: rounding and bookkeeping.
 _MIN_SLAB_BYTES = 64
+
+#: shared no-op context for paths where the metadata lock is already held
+_NULL_CONTEXT = nullcontext()
 
 #: codec registry for the compressed tier: name -> (compress, decompress).
 #: Stdlib only -- the serving tier must not grow binary dependencies.
@@ -211,20 +226,34 @@ class SharedMemoryArena:
         codec: str = "auto",
         min_compress_ratio: float = 0.9,
         cold_codec_traffic_ema: float = 0.5,
+        concurrency: str = "lock-free",
     ):
         if budget_bytes <= 0:
             raise ValueError("budget_bytes must be positive")
+        if concurrency not in ("lock-free", "locked"):
+            raise ValueError(
+                f"unknown arena concurrency {concurrency!r} (lock-free or locked)"
+            )
         self.budget_bytes = budget_bytes
+        self.concurrency = concurrency
         segment_name = name or f"pretzel-arena-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         self._shm = shared_memory.SharedMemory(create=True, size=budget_bytes, name=segment_name)
-        self._lock = threading.Lock()
+        #: the metadata lock.  ``"locked"`` mode holds it for every
+        #: operation (the baseline).  ``"lock-free"`` mode narrows it to the
+        #: slow paths only: bump-pointer carving, tail compaction, slab
+        #: splitting, the compressed tier, and close -- the fast-path
+        #: alloc/free never touch it.
+        self._lock = ProfiledLock("arena.meta")
         self._bump = 0
-        #: size class -> free slab offsets (constant-time alloc/free)
-        self._free_lists: Dict[int, List[int]] = {}
-        #: checksum -> live ref
+        #: size class -> free slab offsets (constant-time alloc/free).
+        #: ``deque.append``/``deque.pop`` are single C calls -- atomic under
+        #: the GIL -- so in lock-free mode the deque itself is the ownership
+        #: token: whoever pops (or ``remove``s) an offset owns the slab.
+        self._free_lists: Dict[int, Deque[int]] = {}
+        #: checksum -> live ref.  In lock-free mode ``dict.setdefault`` is
+        #: the publish point of `put_array` and ``dict.pop`` the claim point
+        #: of `free`; both are single atomic C calls.
         self._refs: Dict[str, ArenaRef] = {}
-        #: checksum -> slab size class (for :meth:`free`)
-        self._slab_class: Dict[str, int] = {}
         self.dedup_hits = 0
         self.allocations = 0
         self.frees = 0
@@ -253,23 +282,40 @@ class SharedMemoryArena:
 
     # -- allocation ----------------------------------------------------------
 
-    def _release_slab_locked(self, offset: int, size: int) -> None:
-        """Push a slab onto its size-class free list.  O(1)."""
-        self._free_lists.setdefault(size, []).append(offset)
-        self._free_offset_class[offset] = size
+    def _release_slab(self, offset: int, size: int) -> None:
+        """Push a slab onto its size-class free list.  O(1).
 
-    def _take_free_slab_locked(self, size: int) -> Optional[int]:
-        """Pop a recycled slab of this size class, if any.  O(1)."""
+        Safe without the metadata lock: the offset-class record is written
+        *before* the deque publish, so tail reclamation never successfully
+        claims an offset whose class it does not know, and ``deque.append``
+        is the single atomic call that makes the slab allocatable.
+        """
+        self._free_offset_class[offset] = size
+        self._free_lists.setdefault(size, deque()).append(offset)
+
+    def _take_free_slab(self, size: int) -> Optional[int]:
+        """Pop a recycled slab of this size class, if any.  O(1).
+
+        ``deque.pop`` is one atomic C call: whoever gets the offset owns the
+        slab, so this needs no lock in lock-free mode (a raced-empty pop is
+        a miss, not an error).  The offset-class record is dropped after the
+        pop; a release/pop interleaving can at worst leave a slab without a
+        record, which only costs a missed tail-reclaim opportunity -- the
+        slab itself stays allocatable from its deque.
+        """
         free = self._free_lists.get(size)
         if not free:
             return None
-        offset = free.pop()
+        try:
+            offset = free.pop()
+        except IndexError:
+            return None
         self._free_offset_class.pop(offset, None)
         return offset
 
     def _reacquire_slab_locked(self, offset: int, size: int) -> None:
-        """Take back a specific just-freed slab (commit rollback path)."""
-        self._free_lists.get(size, []).remove(offset)
+        """Take back a specific just-freed slab (locked-mode commit rollback)."""
+        self._free_lists.get(size, deque()).remove(offset)
         self._free_offset_class.pop(offset, None)
 
     def _reclaim_tail_locked(self) -> int:
@@ -280,19 +326,34 @@ class SharedMemoryArena:
         each reclamation may expose the next.  Returns bytes reclaimed.  Runs
         only when the compressed tier is enabled: with plain eviction the
         monotone bump pointer is part of the PR 5 behavior contract.
+
+        Holds the metadata lock, but in lock-free mode allocators race it:
+        ``deque.remove`` is the atomic claim -- success means this thread
+        owns the slab (nobody else can pop a removed offset), ``ValueError``
+        means an allocator took it after our snapshot and we just drop the
+        stale record.
         """
         reclaimed = 0
         while True:
             tail = None
-            for offset, size in self._free_offset_class.items():
+            for offset, size in list(self._free_offset_class.items()):
                 if offset + size == self._bump:
                     tail = (offset, size)
                     break
             if tail is None:
                 return reclaimed
             offset, size = tail
-            self._free_lists[size].remove(offset)
-            del self._free_offset_class[offset]
+            free = self._free_lists.get(size)
+            try:
+                free.remove(offset)  # type: ignore[union-attr]
+            except (AttributeError, ValueError):
+                # Raced: a lock-free allocator popped this slab between the
+                # snapshot and our claim.  Its record is stale; drop it so
+                # the rescan makes progress (the owner's own record pop is a
+                # no-op either way).
+                self._free_offset_class.pop(offset, None)
+                continue
+            self._free_offset_class.pop(offset, None)
             self._bump = offset
             reclaimed += size
             self.bump_reclaimed_bytes += size
@@ -305,21 +366,25 @@ class SharedMemoryArena:
         serve them directly; halving a bigger slab keeps every piece a
         power-of-two class so `free` and tail reclaim work unchanged.
         Returns the carved offset, or None if no larger free slab exists.
-        Tier-gated like tail reclaim: plain eviction never splits.
+        Tier-gated like tail reclaim: plain eviction never splits.  A pop
+        raced empty by a lock-free allocator just moves on to the next
+        larger class.
         """
-        larger = [s for s in self._free_lists if s > size and self._free_lists[s]]
-        if not larger:
-            return None
-        chunk = min(larger)
-        offset = self._take_free_slab_locked(chunk)
-        assert offset is not None
-        while chunk > size:
-            chunk //= 2
-            self._release_slab_locked(offset + chunk, chunk)
-        return offset
+        larger = sorted(
+            s for s, free in list(self._free_lists.items()) if s > size and free
+        )
+        for chunk in larger:
+            offset = self._take_free_slab(chunk)
+            if offset is None:
+                continue
+            while chunk > size:
+                chunk //= 2
+                self._release_slab(offset + chunk, chunk)
+            return offset
+        return None
 
-    def _allocate(self, nbytes: int) -> Tuple[int, int]:
-        """Reserve one slab; returns (offset, size_class).  O(1).
+    def _allocate_locked(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve one slab with the metadata lock held; (offset, size_class).
 
         With the compressed tier enabled, a would-be exhaustion first tries
         tail compaction (free slabs of *other* size classes adjoining the
@@ -328,7 +393,7 @@ class SharedMemoryArena:
         can serve the much smaller compressed payloads) before giving up.
         """
         size = _size_class(nbytes)
-        offset = self._take_free_slab_locked(size)
+        offset = self._take_free_slab(size)
         if offset is not None:
             return offset, size
         if self._bump + size > self.budget_bytes and self.enable_compressed_tier:
@@ -346,39 +411,126 @@ class SharedMemoryArena:
         self._bump += size
         return offset, size
 
+    def _allocate(self, nbytes: int) -> Tuple[int, int]:
+        """Lock-free-mode allocation: free-list pop first, lock only on miss.
+
+        The fast path -- a recycled slab of the right class exists -- is a
+        single lock-free deque pop.  Only a miss falls into the metadata
+        lock for bump carving (which re-checks the free list: a slab may
+        have been freed while we waited).
+        """
+        size = _size_class(nbytes)
+        offset = self._take_free_slab(size)
+        if offset is not None:
+            return offset, size
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            return self._allocate_locked(nbytes)
+
+    def acquire_slab(self, nbytes: int) -> Tuple[int, int]:
+        """Reserve one raw slab; returns (offset, size_class).
+
+        The allocator's public fast path, used by the contention microbench:
+        it exercises exactly the slab acquisition `put_array` performs, minus
+        the numpy copy and ref bookkeeping that dominate its wall time.
+        """
+        if self.concurrency == "locked":
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("arena is closed")
+                return self._allocate_locked(nbytes)
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        return self._allocate(nbytes)
+
+    def release_slab(self, offset: int, size: int) -> None:
+        """Return a raw slab taken with :meth:`acquire_slab`.  O(1)."""
+        if self.concurrency == "locked":
+            with self._lock:
+                if not self._closed:
+                    self._release_slab(offset, size)
+            return
+        if not self._closed:
+            self._release_slab(offset, size)
+
     def put_array(self, checksum: str, array: np.ndarray) -> ArenaRef:
         """Store (or find) the shared copy of ``array``; dedup by checksum."""
         if not _shareable(array):
             raise TypeError("only fixed-width numpy arrays can be arena-backed")
         contiguous = np.ascontiguousarray(array)
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("arena is closed")
-            existing = self._refs.get(checksum)
-            if existing is not None:
-                self.dedup_hits += 1
-                return existing
-            if checksum in self._compressed:
-                # The bytes already live here, just squeezed: dedup by
-                # restoring the compressed entry instead of storing a twin.
-                ref = self._decompress_locked(checksum)
-                self.dedup_hits += 1
+        if self.concurrency == "locked":
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("arena is closed")
+                existing = self._refs.get(checksum)
+                if existing is not None:
+                    self.dedup_hits += 1
+                    return existing
+                if checksum in self._compressed:
+                    # The bytes already live here, just squeezed: dedup by
+                    # restoring the compressed entry instead of storing a twin.
+                    ref = self._decompress_locked(checksum)
+                    self.dedup_hits += 1
+                    return ref
+                offset, _ = self._allocate_locked(contiguous.nbytes)
+                ref = self._build_ref(offset, contiguous)
+                self._write_slab(ref, contiguous)
+                self._refs[checksum] = ref
+                self.allocations += 1
                 return ref
-            offset, size = self._allocate(contiguous.nbytes)
-            ref = ArenaRef(
-                segment=self.name,
-                offset=offset,
-                nbytes=int(contiguous.nbytes),
-                dtype=str(contiguous.dtype),
-                shape=tuple(contiguous.shape),
-            )
-            destination = _view(self._shm.buf, ref, writeable=True)
-            destination[...] = contiguous
-            destination.flags.writeable = False
-            self._refs[checksum] = ref
-            self._slab_class[checksum] = size
-            self.allocations += 1
-            return ref
+        # Lock-free mode: compute-then-publish.  The dedup probe, the slab
+        # write and the publish all happen without the metadata lock; the
+        # atomic ``setdefault`` is the linearization point, and the loser of
+        # a same-checksum race simply recycles its private slab as one more
+        # dedup hit.
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        existing = self._refs.get(checksum)  # atomic probe
+        if existing is not None:
+            self.dedup_hits += 1
+            return existing
+        if checksum in self._compressed:
+            # Compressed-tier restore stays fully serialized (tier metadata
+            # is only ever touched under the lock); re-check both tables
+            # once inside.
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("arena is closed")
+                existing = self._refs.get(checksum)
+                if existing is not None:
+                    self.dedup_hits += 1
+                    return existing
+                if checksum in self._compressed:
+                    ref = self._decompress_locked(checksum)
+                    self.dedup_hits += 1
+                    return ref
+            # Entry vanished (freed) between the probes: store it fresh.
+        offset, size = self._allocate(contiguous.nbytes)
+        ref = self._build_ref(offset, contiguous)
+        self._write_slab(ref, contiguous)
+        published = self._refs.setdefault(checksum, ref)  # atomic publish
+        if published is not ref:
+            # Lost the publish race: identical content already landed.
+            self._release_slab(offset, size)
+            self.dedup_hits += 1
+            return published
+        self.allocations += 1
+        return ref
+
+    def _build_ref(self, offset: int, contiguous: np.ndarray) -> ArenaRef:
+        return ArenaRef(
+            segment=self.name,
+            offset=offset,
+            nbytes=int(contiguous.nbytes),
+            dtype=str(contiguous.dtype),
+            shape=tuple(contiguous.shape),
+        )
+
+    def _write_slab(self, ref: ArenaRef, contiguous: np.ndarray) -> None:
+        destination = _view(self._shm.buf, ref, writeable=True)
+        destination[...] = contiguous
+        destination.flags.writeable = False
 
     def free(self, checksum: str) -> bool:
         """Return a parameter's slab to its size class free list.  O(1).
@@ -394,24 +546,45 @@ class SharedMemoryArena:
 
         After :meth:`close` this is a no-op returning False: a late teardown
         (e.g. a raced unregister during shutdown) must not mutate allocator
-        metadata of an unlinked segment.  Compressed-tier entries are freed
+        metadata of an unlinked segment.  (Lock-free mode can leave one
+        stray bookkeeping entry if a free races the close itself; harmless,
+        the segment is already unlinked.)  Compressed-tier entries are freed
         the same way -- their payload slab is released.
         """
-        with self._lock:
-            if self._closed:
-                return False
-            ref = self._refs.pop(checksum, None)
-            if ref is None:
+        if self.concurrency == "locked":
+            with self._lock:
+                if self._closed:
+                    return False
+                return self._free_impl(checksum)
+        if self._closed:
+            return False
+        return self._free_impl(checksum)
+
+    def _free_impl(self, checksum: str) -> bool:
+        # ``dict.pop`` is the atomic claim: in lock-free mode exactly one of
+        # two racing frees (or a free racing commit_compress) gets the ref.
+        ref = self._refs.pop(checksum, None)
+        if ref is None:
+            with self._maybe_lock():
                 entry = self._compressed.pop(checksum, None)
                 if entry is None:
                     return False
-                self._release_slab_locked(entry.ref.offset, _size_class(entry.ref.nbytes))
+                self._release_slab(entry.ref.offset, _size_class(entry.ref.nbytes))
                 self.frees += 1
                 return True
-            size = self._slab_class.pop(checksum)
-            self._release_slab_locked(ref.offset, size)
-            self.frees += 1
-            return True
+        # The slab's class is derivable from the payload size (slabs are
+        # always carved at ``_size_class(nbytes)``), so no side table -- and
+        # therefore no table/claim race -- is needed.
+        self._release_slab(ref.offset, _size_class(ref.nbytes))
+        self.frees += 1
+        return True
+
+    def _maybe_lock(self) -> Any:
+        """The metadata lock in lock-free mode; a no-op in locked mode
+        (whose public entry points already hold it)."""
+        if self.concurrency == "locked":
+            return _NULL_CONTEXT
+        return self._lock
 
     # -- compressed tier -------------------------------------------------------
 
@@ -464,42 +637,91 @@ class SharedMemoryArena:
         with self._lock:
             if self._closed:
                 return False
-            ref = self._refs.get(checksum)
-            if ref is None:
-                return False
-            size = self._slab_class[checksum]
-            # Free first so the payload can reuse the tail the original
-            # occupied.  Rollback is safe: the payload's size class is
-            # strictly smaller, so if its allocation still fails the freed
-            # slab cannot have been consumed -- it is either on the free list
-            # (re-acquirable) or was tail-reclaimed into a bump region large
-            # enough to carve the smaller slab from (contradiction).
-            del self._refs[checksum]
-            del self._slab_class[checksum]
-            self._release_slab_locked(ref.offset, size)
-            try:
-                offset, payload_size = self._allocate(len(payload))
-            except ArenaExhaustedError:
-                self._reacquire_slab_locked(ref.offset, size)
-                self._refs[checksum] = ref
-                self._slab_class[checksum] = size
-                return False
-            self.frees += 1
-            self.allocations += 1
-            payload_ref = ArenaRef(
-                segment=self.name,
-                offset=offset,
-                nbytes=len(payload),
-                dtype="uint8",
-                shape=(len(payload),),
-            )
-            destination = _view(self._shm.buf, payload_ref, writeable=True)
-            destination[...] = np.frombuffer(payload, dtype=np.uint8)
-            destination.flags.writeable = False
-            self._compressed[checksum] = _CompressedSlab(codec=codec, ref=payload_ref, original=ref)
-            self.compressions += 1
-            self._codec_counts[codec] = self._codec_counts.get(codec, 0) + 1
-            return True
+            if self.concurrency == "locked":
+                return self._commit_compress_locked(checksum, codec, payload)
+            return self._commit_compress_lock_free(checksum, codec, payload)
+
+    def _commit_compress_locked(self, checksum: str, codec: str, payload: bytes) -> bool:
+        ref = self._refs.get(checksum)
+        if ref is None:
+            return False
+        size = _size_class(ref.nbytes)
+        # Free first so the payload can reuse the tail the original
+        # occupied.  Rollback is safe: the payload's size class is
+        # strictly smaller, so if its allocation still fails the freed
+        # slab cannot have been consumed -- it is either on the free list
+        # (re-acquirable) or was tail-reclaimed into a bump region large
+        # enough to carve the smaller slab from (contradiction).
+        del self._refs[checksum]
+        self._release_slab(ref.offset, size)
+        try:
+            offset, payload_size = self._allocate_locked(len(payload))
+        except ArenaExhaustedError:
+            self._reacquire_slab_locked(ref.offset, size)
+            self._refs[checksum] = ref
+            return False
+        self._finish_compress(checksum, codec, payload, ref, offset)
+        return True
+
+    def _commit_compress_lock_free(self, checksum: str, codec: str, payload: bytes) -> bool:
+        # The metadata lock is held, but lock-free `free`/`put_array` do not
+        # take it: a released slab can be stolen before any re-acquire, so
+        # the locked mode's free-first-then-rollback order is unsound here.
+        ref = self._refs.get(checksum)
+        if ref is None:
+            return False
+        size = _size_class(ref.nbytes)
+        if _size_class(len(payload)) >= size:
+            # Would not shrink the slab (the trial gate normally prevents
+            # this); in-place carving below also relies on strict shrink.
+            return False
+        # Claim the ref before touching slabs: exactly one of this commit
+        # and any concurrent lock-free free gets the original.
+        claimed = self._refs.pop(checksum, None)
+        if claimed is None:
+            return False
+        carved_in_place = False
+        try:
+            offset, _ = self._allocate_locked(len(payload))
+        except ArenaExhaustedError:
+            # No room elsewhere: carve the payload out of the original slab
+            # itself (its class is strictly larger).  The remainder halves
+            # are published buddy-style; the payload occupies the slab's
+            # front, which we own outright -- no steal window, and the same
+            # space-reuse guarantee the locked mode gets from free-first.
+            carved_in_place = True
+            payload_size = _size_class(len(payload))
+            offset = claimed.offset
+            chunk = size
+            while chunk > payload_size:
+                chunk //= 2
+                self._release_slab(offset + chunk, chunk)
+        self._finish_compress(checksum, codec, payload, claimed, offset)
+        if not carved_in_place:
+            self._release_slab(claimed.offset, size)
+        return True
+
+    def _finish_compress(
+        self, checksum: str, codec: str, payload: bytes, original: ArenaRef, offset: int
+    ) -> None:
+        """Write the payload slab and record the tier entry (lock held)."""
+        self.frees += 1
+        self.allocations += 1
+        payload_ref = ArenaRef(
+            segment=self.name,
+            offset=offset,
+            nbytes=len(payload),
+            dtype="uint8",
+            shape=(len(payload),),
+        )
+        destination = _view(self._shm.buf, payload_ref, writeable=True)
+        destination[...] = np.frombuffer(payload, dtype=np.uint8)
+        destination.flags.writeable = False
+        self._compressed[checksum] = _CompressedSlab(
+            codec=codec, ref=payload_ref, original=original
+        )
+        self.compressions += 1
+        self._codec_counts[codec] = self._codec_counts.get(codec, 0) + 1
 
     def _decompress_locked(self, checksum: str) -> ArenaRef:
         """Restore a compressed entry into a fresh resident slab (lock held)."""
@@ -509,7 +731,7 @@ class SharedMemoryArena:
         # failed allocation would strand the compressed bytes with nothing to
         # rehydrate from.  ArenaExhaustedError propagates with the entry
         # intact, so the caller can make room and retry.
-        offset, size = self._allocate(original.nbytes)
+        offset, _ = self._allocate_locked(original.nbytes)
         self.allocations += 1
         raw = CODECS[entry.codec][1](
             bytes(_view(self._shm.buf, entry.ref, writeable=False).tobytes())
@@ -527,9 +749,8 @@ class SharedMemoryArena:
         )
         destination.flags.writeable = False
         self._refs[checksum] = ref
-        self._slab_class[checksum] = size
         del self._compressed[checksum]
-        self._release_slab_locked(entry.ref.offset, _size_class(entry.ref.nbytes))
+        self._release_slab(entry.ref.offset, _size_class(entry.ref.nbytes))
         self.frees += 1
         self.rehydrations += 1
         return ref
@@ -562,13 +783,17 @@ class SharedMemoryArena:
     # -- lookups ---------------------------------------------------------------
 
     def get(self, checksum: str) -> Optional[ArenaRef]:
-        with self._lock:
-            return self._refs.get(checksum)
+        if self.concurrency == "locked":
+            with self._lock:
+                return self._refs.get(checksum)
+        return self._refs.get(checksum)  # dict.get is one atomic C call
 
     def refs(self) -> Dict[str, ArenaRef]:
         """Snapshot of every live (checksum -> ref) mapping."""
-        with self._lock:
-            return dict(self._refs)
+        if self.concurrency == "locked":
+            with self._lock:
+                return dict(self._refs)
+        return dict(self._refs)  # dict(...) snapshots atomically
 
     def view(self, ref: ArenaRef) -> np.ndarray:
         """Read-only array over the shared bytes (owner-side convenience)."""
@@ -584,8 +809,12 @@ class SharedMemoryArena:
         the whole point of the tier.  (Empty unless the tier is enabled.)
         """
         with self._lock:
-            resident = sum(ref.nbytes for ref in self._refs.values())
-            squeezed = sum(entry.ref.nbytes for entry in self._compressed.values())
+            # list(...) snapshots each table in one atomic C call; lock-free
+            # put/free keep mutating the live dicts even while we hold the
+            # metadata lock, and iterating them directly would raise
+            # "dict changed size during iteration".
+            resident = sum(ref.nbytes for ref in list(self._refs.values()))
+            squeezed = sum(entry.ref.nbytes for entry in list(self._compressed.values()))
             return resident + squeezed
 
     @property
@@ -599,35 +828,38 @@ class SharedMemoryArena:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            used = sum(ref.nbytes for ref in self._refs.values()) + sum(
-                entry.ref.nbytes for entry in self._compressed.values()
+            # Atomic list(...) snapshots: lock-free put/free mutate the live
+            # tables without this lock (see `used_bytes`).
+            refs = list(self._refs.values())
+            compressed = list(self._compressed.values())
+            free_lists = list(self._free_lists.items())
+            used = sum(ref.nbytes for ref in refs) + sum(
+                entry.ref.nbytes for entry in compressed
             )
             stats: Dict[str, Any] = {
                 "segment": self.name,
                 "budget_bytes": self.budget_bytes,
                 "used_bytes": used,
                 "allocated_bytes": self._bump,
-                "parameters": len(self._refs),
+                "parameters": len(refs),
                 "dedup_hits": self.dedup_hits,
                 "allocations": self.allocations,
                 "frees": self.frees,
                 # recycled slabs sitting on the size-class free lists, i.e.
                 # bytes reclaimable without growing the bump pointer
-                "free_slabs": sum(len(offsets) for offsets in self._free_lists.values()),
-                "free_slab_bytes": sum(
-                    size * len(offsets) for size, offsets in self._free_lists.items()
-                ),
+                "free_slabs": sum(len(offsets) for _, offsets in free_lists),
+                "free_slab_bytes": sum(size * len(offsets) for size, offsets in free_lists),
             }
             if self.enable_compressed_tier:
                 # Gated so the plain-eviction policy's stats stay byte-
                 # identical to the pre-tier arena.
                 stats["tier"] = {
-                    "compressed_parameters": len(self._compressed),
+                    "compressed_parameters": len(compressed),
                     "compressed_payload_bytes": sum(
-                        entry.ref.nbytes for entry in self._compressed.values()
+                        entry.ref.nbytes for entry in compressed
                     ),
                     "compressed_original_bytes": sum(
-                        entry.original.nbytes for entry in self._compressed.values()
+                        entry.original.nbytes for entry in compressed
                     ),
                     "compressions": self.compressions,
                     "rehydrations": self.rehydrations,

@@ -1,0 +1,264 @@
+"""Concurrency stress tests for the shared-memory arena.
+
+The lock-free mode's correctness argument is that single C calls (deque
+push/pop, dict setdefault/pop) are the atomic ownership tokens.  These tests
+race the claimed-atomic paths from multiple threads and check the allocator
+invariants that would break if the argument were wrong:
+
+* no double-allocation and no overlapping live slabs,
+* exactly-once frees (a raced ``free`` loses the claim and returns False),
+* byte-equality of every array across dedup hits and across a
+  compress -> rehydrate round trip under concurrent allocator churn.
+
+Both concurrency modes run the same invariant checks -- the locked baseline
+documents that the *contract* is mode-independent.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.shm_store import (
+    ArenaExhaustedError,
+    SharedMemoryArena,
+    _size_class,
+)
+
+BUDGET = 4 * 1024 * 1024
+THREADS = 4
+MODES = ("lock-free", "locked")
+
+
+def _assert_disjoint(intervals, bump):
+    """Every (offset, size) interval must be disjoint and inside the bump."""
+    spans = sorted(intervals)
+    for (offset, size), (next_offset, next_size) in zip(spans, spans[1:]):
+        assert offset + size <= next_offset, (
+            f"overlapping slabs: [{offset}, {offset + size}) and "
+            f"[{next_offset}, {next_offset + next_size})"
+        )
+    for offset, size in spans:
+        assert 0 <= offset and offset + size <= bump
+
+
+def _free_intervals(arena):
+    return [
+        (offset, size)
+        for size, offsets in arena._free_lists.items()
+        for offset in list(offsets)
+    ]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_racing_acquire_release_slabs(mode):
+    """An alloc/free storm must never hand one slab to two owners."""
+    arena = SharedMemoryArena(BUDGET, concurrency=mode)
+    try:
+        errors = []
+        #: offset -> unique owner token; setdefault/del are the atomic
+        #: detector: a second owner for a live offset sees a foreign token.
+        claimed = {}
+        survivors = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(seed):
+            rng = random.Random(seed)
+            held = []
+            try:
+                barrier.wait(timeout=10.0)
+                for step in range(400):
+                    if held and (rng.random() < 0.45 or len(held) > 8):
+                        offset, size = held.pop(rng.randrange(len(held)))
+                        del claimed[offset]
+                        arena.release_slab(offset, size)
+                        continue
+                    nbytes = rng.choice((96, 1024, 4096, 16384))
+                    try:
+                        offset, size = arena.acquire_slab(nbytes)
+                    except ArenaExhaustedError:
+                        while held:
+                            other_offset, other_size = held.pop()
+                            del claimed[other_offset]
+                            arena.release_slab(other_offset, other_size)
+                        continue
+                    token = (seed, step)
+                    previous = claimed.setdefault(offset, token)
+                    if previous is not token:
+                        errors.append(
+                            f"offset {offset} double-allocated: "
+                            f"{previous} vs {token}"
+                        )
+                        return
+                    held.append((offset, size))
+                survivors.extend(held)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+        # Quiescent invariant: live slabs and free slabs tile the arena
+        # without overlap.
+        _assert_disjoint(survivors + _free_intervals(arena), arena._bump)
+    finally:
+        arena.close()
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_racing_put_free_dedup_and_exactly_once_free(mode):
+    """Concurrent puts of the same checksums dedup to one slab each, every
+    view is byte-equal, and each checksum's slab is freed exactly once."""
+    arena = SharedMemoryArena(BUDGET, concurrency=mode)
+    try:
+        rng = np.random.default_rng(7)
+        arrays = {
+            f"chk-{index}": rng.standard_normal(2048 + 512 * index)
+            for index in range(6)
+        }
+        errors = []
+        free_wins = {checksum: [] for checksum in arrays}
+        put_done = threading.Barrier(THREADS)
+
+        def worker(seed):
+            order = list(arrays.items())
+            random.Random(seed).shuffle(order)
+            try:
+                for checksum, value in order:
+                    ref = arena.put_array(checksum, value)
+                    view = arena.view(ref)
+                    if not np.array_equal(view, value):
+                        errors.append(f"{checksum}: dedup view bytes differ")
+                        return
+                # No thread frees until every thread verified its views:
+                # reading a view after another plan's free is outside the
+                # arena's liveness contract (the cluster enforces it).
+                put_done.wait(timeout=10.0)
+                for checksum, _ in order:
+                    if arena.free(checksum):
+                        free_wins[checksum].append(seed)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+        for checksum, winners in free_wins.items():
+            assert len(winners) == 1, (
+                f"{checksum} freed {len(winners)} times (winners: {winners})"
+            )
+        assert arena.refs() == {}
+        assert arena.used_bytes == 0
+        # One slab per checksum despite THREADS puts of each.
+        assert arena.allocations == len(arrays)
+        assert arena.dedup_hits == (THREADS - 1) * len(arrays)
+    finally:
+        arena.close()
+
+
+def test_double_free_returns_false():
+    arena = SharedMemoryArena(BUDGET)
+    try:
+        arena.put_array("chk", np.ones(1024))
+        assert arena.free("chk") is True
+        assert arena.free("chk") is False
+    finally:
+        arena.close()
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_compress_rehydrate_races_allocator_churn(mode):
+    """Repeated compress -> rehydrate cycles racing an alloc/free storm must
+    restore every array byte-equal and keep slabs disjoint."""
+    arena = SharedMemoryArena(
+        BUDGET, enable_compressed_tier=True, codec="zlib-fast", concurrency=mode
+    )
+    try:
+        # Highly compressible payloads so every trial qualifies.
+        pattern = np.arange(64, dtype=np.float64)
+        arrays = {
+            f"cold-{index}": np.tile(pattern, 128) + index for index in range(3)
+        }
+        for checksum, value in arrays.items():
+            arena.put_array(checksum, value)
+        errors = []
+        stop = threading.Event()
+
+        def churn(seed):
+            rng = random.Random(seed)
+            held = []
+            try:
+                while not stop.is_set():
+                    if held and rng.random() < 0.5:
+                        arena.release_slab(*held.pop())
+                    else:
+                        try:
+                            held.append(arena.acquire_slab(rng.choice((128, 2048))))
+                        except ArenaExhaustedError:
+                            while held:
+                                arena.release_slab(*held.pop())
+                for slab in held:
+                    arena.release_slab(*slab)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(repr(error))
+
+        def cycle():
+            try:
+                for _ in range(12):
+                    for checksum in arrays:
+                        trial = arena.trial_compress(checksum)
+                        if trial is None:
+                            errors.append(f"{checksum}: trial refused")
+                            return
+                        if not arena.commit_compress(checksum, *trial):
+                            errors.append(f"{checksum}: commit refused")
+                            return
+                        if not arena.is_compressed(checksum):
+                            errors.append(f"{checksum}: not in compressed tier")
+                            return
+                    for checksum, value in arrays.items():
+                        ref = None
+                        for _attempt in range(50):
+                            try:
+                                ref = arena.decompress(checksum)
+                                break
+                            except ArenaExhaustedError:
+                                continue  # churn pressure; it drains fast
+                        if ref is None:
+                            errors.append(f"{checksum}: rehydration starved")
+                            return
+                        if not np.array_equal(arena.view(ref), value):
+                            errors.append(f"{checksum}: bytes differ after rehydration")
+                            return
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(repr(error))
+            finally:
+                stop.set()
+
+        churners = [threading.Thread(target=churn, args=(seed,)) for seed in range(2)]
+        cycler = threading.Thread(target=cycle)
+        for thread in churners + [cycler]:
+            thread.start()
+        cycler.join(timeout=120.0)
+        stop.set()
+        for thread in churners:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+        # Everything resident again, byte-equal, and the slab map is sane.
+        live = []
+        for checksum, value in arrays.items():
+            ref = arena.get(checksum)
+            assert ref is not None and np.array_equal(arena.view(ref), value)
+            live.append((ref.offset, _size_class(ref.nbytes)))
+        _assert_disjoint(live + _free_intervals(arena), arena._bump)
+        assert arena.rehydrations >= len(arrays)
+        assert arena.compressions >= len(arrays)
+    finally:
+        arena.close()

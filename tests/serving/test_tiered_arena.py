@@ -98,9 +98,9 @@ def test_state_machine_resident_compressed_rehydrated_evicted():
         checksums = cluster.lifecycle.checksums("plan")
         assert checksums and cluster.lifecycle.tier_of("plan") == "resident"
 
-        # resident -> compressed (the demotion the pressure path runs).
-        with cluster._lifecycle_lock:
-            assert cluster._demote_plan_compressed("plan", frozenset())
+        # resident -> compressed (the demotion the pressure path runs; it
+        # acquires the victim's plan lock itself).
+        assert cluster._demote_plan_compressed("plan", frozenset())
         assert cluster.lifecycle.tier_of("plan") == "compressed"
         for checksum in checksums:
             assert cluster.arena.is_compressed(checksum)
@@ -126,8 +126,7 @@ def test_state_machine_resident_compressed_rehydrated_evicted():
 def test_unregister_while_compressed_frees_payload_slabs():
     with PretzelCluster(_config(num_workers=1, placement_replicas=1)) as cluster:
         cluster.register(_linear_pipeline("plan", seed=4), plan_id="plan")
-        with cluster._lifecycle_lock:
-            assert cluster._demote_plan_compressed("plan", frozenset())
+        assert cluster._demote_plan_compressed("plan", frozenset())
         assert cluster.arena.stats()["tier"]["compressed_parameters"] == 1
         cluster.unregister("plan")
         stats = cluster.arena.stats()
@@ -167,9 +166,8 @@ def test_incompressible_plan_falls_through_to_eviction():
 
 
 def test_concurrent_registration_races_compression_pass():
-    """A registration storm racing explicit compression passes under
-    ``_lifecycle_lock`` must neither deadlock nor corrupt any plan's
-    outputs."""
+    """A registration storm racing explicit (self-locking) compression
+    passes must neither deadlock nor corrupt any plan's outputs."""
     with PretzelCluster(_config()) as cluster:
         cluster.register(_linear_pipeline("anchor", seed=5), plan_id="anchor")
         anchor_output = cluster.predict("anchor", _RECORD)
@@ -193,8 +191,7 @@ def test_concurrent_registration_races_compression_pass():
         def compress():
             try:
                 while not done.is_set():
-                    with cluster._lifecycle_lock:
-                        cluster._demote_plan_compressed("anchor", frozenset())
+                    cluster._demote_plan_compressed("anchor", frozenset())
                     cluster.predict("anchor", _RECORD)
             except Exception as error:  # pragma: no cover - surfaced below
                 errors.append(error)
