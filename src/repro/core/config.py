@@ -148,6 +148,23 @@ class PretzelConfig:
         lock; ``"locked"`` keeps every allocator operation behind one
         global lock (the pre-profiling baseline the contention microbench
         compares against).
+    enable_tracing:
+        Run the distributed request tracer (:mod:`repro.observability`):
+        the front door head-samples 1-in-``trace_sample_rate`` requests,
+        threads a :class:`~repro.observability.tracing.TraceContext` through
+        the wire envelope, and records typed spans at every hop into a
+        per-process flight recorder.  Surfaced as ``stats()["tracing"]``,
+        ``cluster.trace_dump()`` and ``cluster.trace_breakdown()``; like the
+        profiler, overhead is gated under 5% by a benchmark, so it defaults
+        to on.
+    trace_sample_rate:
+        Head-based sampling ratio: trace 1 in N front-door requests
+        (``1`` traces everything -- tests and demos; the default keeps the
+        unsampled path to one counter increment and a modulo).
+    trace_buffer_size:
+        Capacity of each process's span ring buffer (the flight recorder).
+        Oldest spans are evicted first; ``trace_dump`` harvests before
+        eviction matters at the default prediction rates.
     """
 
     enable_object_store: bool = True
@@ -180,6 +197,9 @@ class PretzelConfig:
     profiler_interval_seconds: float = 0.005
     scheduler_shards: int = 1
     arena_concurrency: str = "lock-free"
+    enable_tracing: bool = True
+    trace_sample_rate: int = 64
+    trace_buffer_size: int = 2048
 
     def clone(self, **overrides: object) -> "PretzelConfig":
         """Copy the config with some fields replaced (used by ablation benches)."""

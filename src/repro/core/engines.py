@@ -28,6 +28,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core.materialization import SubPlanMaterializer
 from repro.core.oven.plan import ModelPlan, PlanStage
 from repro.core.vector_pool import VectorPool
+from repro.observability import tracer
+from repro.observability.tracing import TraceContext
 
 __all__ = [
     "execute_plan_stage",
@@ -161,12 +163,16 @@ def execute_plan(
     record: Any,
     materializer: Optional[SubPlanMaterializer] = None,
     pool: Optional[VectorPool] = None,
+    trace: Optional[TraceContext] = None,
 ) -> Any:
     """Execute every stage of a plan inline, in topological order.
 
     Working memory is requested from the pool once per pipeline (not per
     stage), lazily at the first stage, exactly as the paper describes for the
-    on-line phase.
+    on-line phase.  When the request carries a sampled :class:`TraceContext`,
+    every stage records a ``stage.execute`` span keyed by the physical
+    stage's signature (the fig5 unit); untraced requests pay a single
+    ``is None`` check per stage.
     """
     values: Dict[Tuple[str, str], Any] = {}
     result: Any = None
@@ -175,13 +181,44 @@ def execute_plan(
         buffer = pool.acquire(plan.max_vector_size)
     try:
         for stage in plan.stages:
-            output = execute_plan_stage(stage, record, values, materializer, pool=None)
+            if trace is None:
+                output = execute_plan_stage(stage, record, values, materializer, pool=None)
+            else:
+                started = time.perf_counter()
+                output = execute_plan_stage(stage, record, values, materializer, pool=None)
+                record_stage_span(trace, stage, time.perf_counter() - started)
             if stage.is_sink:
                 result = output
     finally:
         if buffer is not None and pool is not None:
             pool.release(buffer)
     return result
+
+
+def record_stage_span(
+    trace: TraceContext,
+    stage: PlanStage,
+    duration: float,
+    events: int = 1,
+) -> None:
+    """Record one ``stage.execute`` span for a traced stage execution.
+
+    ``events`` > 1 marks a span produced by a coalesced batch execution (the
+    member's share of one vectorized call); the signature attribute is what
+    :func:`repro.observability.trace_breakdown` aggregates by.
+    """
+    physical = stage.physical
+    tracer().record(
+        trace.trace_id,
+        "stage.execute",
+        duration,
+        parent_span_id=trace.parent_span_id,
+        attributes={
+            "signature": physical.full_signature,
+            "operators": list(physical.transform_names),
+            "events": events,
+        },
+    )
 
 
 class RequestResponseEngine:
@@ -196,9 +233,11 @@ class RequestResponseEngine:
         self.pool = pool
         self.predictions = 0
 
-    def predict(self, plan: ModelPlan, record: Any) -> Any:
+    def predict(
+        self, plan: ModelPlan, record: Any, trace: Optional[TraceContext] = None
+    ) -> Any:
         self.predictions += 1
-        return execute_plan(plan, record, self.materializer, self.pool)
+        return execute_plan(plan, record, self.materializer, self.pool, trace=trace)
 
     def timed_predict(self, plan: ModelPlan, record: Any) -> Tuple[Any, float]:
         start = time.perf_counter()

@@ -20,14 +20,34 @@ same batch still complete.
 from __future__ import annotations
 
 import threading
+import time
 from typing import List, Optional
 
-from repro.core.engines import execute_plan_stage, execute_plan_stage_batch
+from repro.core.engines import (
+    execute_plan_stage,
+    execute_plan_stage_batch,
+    record_stage_span,
+)
 from repro.core.materialization import SubPlanMaterializer
 from repro.core.scheduler import Scheduler, StageBatch, StageEvent
 from repro.core.vector_pool import VectorPool
+from repro.observability import tracer
 
 __all__ = ["Executor", "ExecutorPool"]
+
+
+def _record_queue_wait(event: StageEvent) -> None:
+    """Span for the time a traced event sat in a ready queue before this pull."""
+    trace = event.request.trace
+    if trace is None or event.enqueued_at is None:
+        return
+    tracer().record(
+        trace.trace_id,
+        "queue.wait",
+        time.perf_counter() - event.enqueued_at,
+        parent_span_id=trace.parent_span_id,
+        attributes={"signature": event.signature, "stage_index": event.stage_index},
+    )
 
 
 class Executor(threading.Thread):
@@ -69,6 +89,10 @@ class Executor(threading.Thread):
         """Run one stage event (also callable synchronously from tests)."""
         request = event.request
         stage = request.plan.stages[event.stage_index]
+        trace = request.trace
+        if trace is not None:
+            _record_queue_wait(event)
+            started = time.perf_counter()
         try:
             output = execute_plan_stage(
                 stage,
@@ -80,6 +104,8 @@ class Executor(threading.Thread):
         except BaseException as error:  # noqa: BLE001 - forwarded to the caller
             self.scheduler.on_stage_error(event, error)
             return
+        if trace is not None:
+            record_stage_span(trace, stage, time.perf_counter() - started)
         self.stages_executed += 1
         self.scheduler.on_stage_complete(event, output)
 
@@ -101,6 +127,10 @@ class Executor(threading.Thread):
             )
             for event in batch.events
         ]
+        traced = [event for event in batch.events if event.request.trace is not None]
+        for event in traced:
+            _record_queue_wait(event)
+        started = time.perf_counter() if traced else 0.0
         try:
             outputs = execute_plan_stage_batch(
                 items, materializer=self.materializer, pool=self.vector_pool
@@ -109,6 +139,17 @@ class Executor(threading.Thread):
             for event in batch.events:
                 self.execute_event(event)
             return
+        if traced:
+            # each traced member charges the whole vectorized call once, the
+            # same per-record attribution the offline fig5 harness uses
+            duration = time.perf_counter() - started
+            for event in traced:
+                record_stage_span(
+                    event.request.trace,
+                    event.request.plan.stages[event.stage_index],
+                    duration,
+                    events=len(batch),
+                )
         self.stages_executed += len(batch)
         self.batches_executed += 1
         for event, output in zip(batch.events, outputs):

@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro import profiling
+from repro import observability, profiling
 from repro.core.config import PretzelConfig
 from repro.core.engines import RequestResponseEngine
 from repro.core.executors import ExecutorPool
@@ -100,6 +100,21 @@ class PretzelRuntime:
             # One process-global sampler shared by every runtime; the first
             # runtime's interval wins (restarting would tear attribution).
             profiling.ensure_started(self.config.profiler_interval_seconds)
+        # One process-global tracer too; last configure wins, so a runtime
+        # created with tracing off silences earlier runtimes deliberately
+        # (mirrors the profiler's session-wide semantics).
+        observability.configure(
+            enabled=self.config.enable_tracing,
+            sample_rate=self.config.trace_sample_rate,
+            buffer_size=self.config.trace_buffer_size,
+        )
+        #: whether this runtime head-samples requests that arrive without a
+        #: trace context.  True for a standalone runtime (it *is* the front
+        #: door); the serving worker sets it False, because the cluster made
+        #: the sampling decision already and an absent wire context means
+        #: "not sampled" -- a worker minting its own traces would re-sample
+        #: pass-through traffic and double the effective trace volume.
+        self.mint_traces = True
 
     # -- registration (off-line -> on-line handoff) -----------------------------
 
@@ -252,12 +267,34 @@ class PretzelRuntime:
 
     # -- serving -------------------------------------------------------------------
 
-    def predict(self, plan_id: str, record: Any) -> Any:
-        """Serve one prediction with the request-response engine."""
+    def predict(self, plan_id: str, record: Any, trace: Any = None) -> Any:
+        """Serve one prediction with the request-response engine.
+
+        ``trace`` is a :class:`~repro.observability.tracing.TraceContext`
+        propagated from an upstream hop (the serving worker passes the wire
+        context here); when absent, this front door head-samples one -- so
+        single-process runtimes get the same flight-recorder view as the
+        cluster.  The untraced path costs one ``maybe_trace`` call.
+        """
         registered = self.registered(plan_id)
         registered.predictions += 1
         registered.cold = False
-        return self._request_response.predict(registered.plan, record)
+        if trace is None and self.mint_traces:
+            trace = observability.tracer().maybe_trace()
+        if trace is None:
+            return self._request_response.predict(registered.plan, record)
+        started = time.perf_counter()
+        try:
+            return self._request_response.predict(registered.plan, record, trace=trace)
+        finally:
+            if trace.owns_root:
+                observability.tracer().record(
+                    trace.trace_id,
+                    "request",
+                    time.perf_counter() - started,
+                    span_id=trace.parent_span_id,
+                    attributes={"plan_id": plan_id, "engine": "request-response"},
+                )
 
     def timed_predict(self, plan_id: str, record: Any) -> Tuple[Any, float]:
         start = time.perf_counter()
@@ -270,29 +307,51 @@ class PretzelRuntime:
         records: Sequence[Any],
         latency_sensitive: bool = False,
         timeout: Optional[float] = 60.0,
+        trace: Any = None,
     ) -> List[Any]:
-        """Serve a batch through the batch engine (scheduler + executors)."""
+        """Serve a batch through the batch engine (scheduler + executors).
+
+        A sampled trace rides on the *first* record's request only: one
+        representative trace per batch call keeps the flight recorder from
+        flooding while still capturing queueing and coalescing behaviour.
+        """
         registered = self.registered(plan_id)
         registered.predictions += len(records)
         registered.cold = False
         if not self.executor_pool.started:
             self.executor_pool.start()
+        if trace is None and self.mint_traces:
+            trace = observability.tracer().maybe_trace()
         requests = [
             self.scheduler.submit(
-                InferenceRequest(plan_id, registered.plan, record, latency_sensitive)
+                InferenceRequest(
+                    plan_id,
+                    registered.plan,
+                    record,
+                    latency_sensitive,
+                    trace=trace if index == 0 else None,
+                )
             )
-            for record in records
+            for index, record in enumerate(records)
         ]
         return [request.wait(timeout) for request in requests]
 
-    def submit(self, plan_id: str, record: Any, latency_sensitive: bool = False) -> InferenceRequest:
+    def submit(
+        self,
+        plan_id: str,
+        record: Any,
+        latency_sensitive: bool = False,
+        trace: Any = None,
+    ) -> InferenceRequest:
         """Asynchronously submit one prediction to the batch engine."""
         registered = self.registered(plan_id)
         registered.predictions += 1
         if not self.executor_pool.started:
             self.executor_pool.start()
+        if trace is None and self.mint_traces:
+            trace = observability.tracer().maybe_trace()
         return self.scheduler.submit(
-            InferenceRequest(plan_id, registered.plan, record, latency_sensitive)
+            InferenceRequest(plan_id, registered.plan, record, latency_sensitive, trace=trace)
         )
 
     # -- accounting -------------------------------------------------------------------
@@ -330,6 +389,9 @@ class PretzelRuntime:
         if self.config.enable_profiling:
             # Gated so profiling-off runs keep the pre-profiler stats shape.
             stats["profile"] = profiling.snapshot()
+        if self.config.enable_tracing:
+            # Same gating discipline as the profiler block above.
+            stats["tracing"] = observability.tracer().stats()
         return stats
 
     # -- lifecycle -----------------------------------------------------------------------

@@ -69,6 +69,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.batch_policy import make_batch_sizer
 from repro.core.oven.plan import ModelPlan
+from repro.observability import registry, tracer
+from repro.observability.tracing import TraceContext
 from repro.profiling.locks import ProfiledLock, ProfiledRLock
 from repro.telemetry.batching import StageBatchTelemetry
 
@@ -80,12 +82,22 @@ class InferenceRequest:
 
     _counter = itertools.count()
 
-    def __init__(self, plan_id: str, plan: ModelPlan, record: Any, latency_sensitive: bool = False):
+    def __init__(
+        self,
+        plan_id: str,
+        plan: ModelPlan,
+        record: Any,
+        latency_sensitive: bool = False,
+        trace: Optional[TraceContext] = None,
+    ):
         self.request_id = next(InferenceRequest._counter)
         self.plan_id = plan_id
         self.plan = plan
         self.record = record
         self.latency_sensitive = latency_sensitive
+        #: sampled trace context (None for the untraced fast path); the
+        #: executors and the scheduler record spans against it
+        self.trace = trace
         #: per-request context of exported stage values
         self.values: Dict[Tuple[str, str], Any] = {}
         self.result: Any = None
@@ -134,6 +146,9 @@ class StageEvent:
 
     request: InferenceRequest
     stage_index: int
+    #: set by ``Scheduler._enqueue`` for traced requests only; the executor
+    #: turns it into a ``queue.wait`` span when it pulls the event
+    enqueued_at: Optional[float] = None
 
     @property
     def is_first(self) -> bool:
@@ -293,9 +308,12 @@ class Scheduler:
     untouched); reservations live behind their own lock; sleeping executors
     park on a dedicated condition that producers touch only when the sleeper
     count says someone is actually waiting.  The ``scheduled_events`` /
-    ``completed_requests`` counters are bumped with plain ``+=`` -- a
-    preemption between read and store can drop an increment, which is
-    acceptable for telemetry and keeps the counters off every lock.
+    ``completed_requests`` counters are registry-backed
+    :class:`~repro.observability.metrics.Counter` instruments (the
+    attributes remain as read-only properties), still bumped with plain
+    ``+=`` inside the instrument -- a preemption between read and store can
+    drop an increment, which is acceptable for telemetry and keeps the
+    counters off every lock.
     """
 
     def __init__(
@@ -332,8 +350,19 @@ class Scheduler:
         self._sleep_cond = threading.Condition()
         self._sleepers = 0
         self._shutdown = False
-        self.scheduled_events = 0
-        self.completed_requests = 0
+        #: per-instance instruments on the unified metrics plane; the
+        #: ``scheduled_events`` / ``completed_requests`` properties keep the
+        #: historical attribute API reading exactly this scheduler's counts
+        self._events_total = registry().counter("pretzel_scheduler_events_total")
+        self._completed_total = registry().counter("pretzel_scheduler_completed_total")
+
+    @property
+    def scheduled_events(self) -> int:
+        return self._events_total.value
+
+    @property
+    def completed_requests(self) -> int:
+        return self._completed_total.value
 
     def _stripe_of(self, stripes: List[_Stripe], signature: str) -> _Stripe:
         if len(stripes) == 1:
@@ -396,7 +425,7 @@ class Scheduler:
                 event = queue.popleft()
                 if event is None:
                     break
-                self.scheduled_events -= 1  # _enqueue re-counts it
+                self._events_total.add(-1)  # _enqueue re-counts it
                 if not self._enqueue(event):
                     stranded.append(event)
         self._wake()
@@ -434,6 +463,8 @@ class Scheduler:
         so an enqueue that wins its lock before the drain is drained, and one
         that loses observes the flag -- either way nothing is stranded.
         """
+        if event.request.trace is not None:
+            event.enqueued_at = time.perf_counter()
         executor_id = self._reservations.get(event.request.plan_id)  # atomic probe
         if executor_id is not None:
             with self._reserve_lock:
@@ -444,7 +475,7 @@ class Scheduler:
                 ):
                     if self._shutdown:
                         return False
-                    self.scheduled_events += 1
+                    self._events_total.inc()
                     queue.append(event)
                     return True
             # reservation vanished between the probe and the lock: fall
@@ -454,7 +485,7 @@ class Scheduler:
         with stripe.lock:
             if self._shutdown:
                 return False
-            self.scheduled_events += 1
+            self._events_total.inc()
             stripe.queue.append(event)
         return True
 
@@ -484,10 +515,28 @@ class Scheduler:
             return None
         events = [event]
         backlog = 0
+        formed_at = time.perf_counter()
         if self.enable_stage_batching and not event.request.latency_sensitive:
             backlog = self._coalesce_into(events, executor_id)
         # internally-locked telemetry; recorded outside every queue lock
         self.batching.record(event.signature, len(events), backlog=backlog)
+        if len(events) > 1:
+            traced = [member.request.trace for member in events if member.request.trace]
+            if traced:
+                # one batch span belongs to every member trace: record it on
+                # the first traced member, link the rest by trace id
+                tracer().record(
+                    traced[0].trace_id,
+                    "batch.form",
+                    time.perf_counter() - formed_at,
+                    parent_span_id=traced[0].parent_span_id,
+                    attributes={
+                        "signature": event.signature,
+                        "size": len(events),
+                        "backlog": backlog,
+                        "links": [trace.trace_id for trace in traced],
+                    },
+                )
         return StageBatch(events)
 
     def _next_ready(self, executor_id: int, deadline: float) -> Optional[StageEvent]:
@@ -588,7 +637,19 @@ class Scheduler:
         request = event.request
         if event.is_last:
             request.complete(output)
-            self.completed_requests += 1
+            self._completed_total.inc()
+            trace = request.trace
+            if trace is not None and trace.owns_root:
+                # the hop that minted the context roots the trace; span id is
+                # the pre-minted root id every child already parents under
+                duration = (request.completed_at or 0.0) - request.submitted_at
+                tracer().record(
+                    trace.trace_id,
+                    "request",
+                    duration,
+                    span_id=trace.parent_span_id,
+                    attributes={"plan_id": request.plan_id, "engine": "batch"},
+                )
             return
         next_event = StageEvent(request, event.stage_index + 1)
         if self._enqueue(next_event):

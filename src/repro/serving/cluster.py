@@ -69,7 +69,7 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro import profiling
+from repro import observability, profiling
 from repro.core.config import PretzelConfig
 from repro.core.statistics import TransformStats
 from repro.profiling.locks import ProfiledLock, ProfiledRLock
@@ -147,12 +147,35 @@ class _WorkerHandle:
         self.requests = 0
         #: wire accounting (message payloads, before transport framing):
         #: binary messages carry columnar array frames, json messages are the
-        #: plain ``serialize_message`` envelope.
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.binary_messages = 0
-        self.json_messages = 0
-        self.binary_replies = 0
+        #: plain ``serialize_message`` envelope.  Registry-backed instruments
+        #: (summed across handles by the unified metrics plane); the historic
+        #: per-handle attributes stay available as read-only properties.
+        _registry = observability.registry()
+        self._bytes_sent = _registry.counter("pretzel_wire_bytes_sent_total")
+        self._bytes_received = _registry.counter("pretzel_wire_bytes_received_total")
+        self._binary_messages = _registry.counter("pretzel_wire_binary_messages_total")
+        self._json_messages = _registry.counter("pretzel_wire_json_messages_total")
+        self._binary_replies = _registry.counter("pretzel_wire_binary_replies_total")
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent.value
+
+    @property
+    def bytes_received(self) -> int:
+        return self._bytes_received.value
+
+    @property
+    def binary_messages(self) -> int:
+        return self._binary_messages.value
+
+    @property
+    def json_messages(self) -> int:
+        return self._json_messages.value
+
+    @property
+    def binary_replies(self) -> int:
+        return self._binary_replies.value
 
     def process_alive(self) -> bool:
         """Liveness of the hosting process; attached workers report True
@@ -196,13 +219,25 @@ class _WorkerHandle:
     def _request_locked(self, message: Dict[str, Any], timeout: float) -> Dict[str, Any]:
         kind = str(message.get("type"))
         self.requests += 1
+        # A sampled predict carries its context in the envelope; the encode
+        # cost is charged to the trace under the dispatcher's ipc span.
+        wire_trace = message.get("trace")
         try:
+            encode_started = time.perf_counter()
             encoded = encode_payload(message)
-            self.bytes_sent += len(encoded)
+            if wire_trace is not None:
+                observability.tracer().record(
+                    wire_trace["trace_id"],
+                    "wire.encode",
+                    time.perf_counter() - encode_started,
+                    parent_span_id=wire_trace.get("parent_span_id"),
+                    attributes={"bytes": len(encoded), "worker_id": self.worker_id},
+                )
+            self._bytes_sent.inc(len(encoded))
             if encoded.startswith(BINARY_MAGIC):
-                self.binary_messages += 1
+                self._binary_messages.inc()
             else:
-                self.json_messages += 1
+                self._json_messages.inc()
             self.transport.send_bytes(encoded)
             deadline = time.monotonic() + timeout
             while True:
@@ -210,9 +245,9 @@ class _WorkerHandle:
                 if remaining <= 0 or not self.transport.poll(remaining):
                     raise WorkerTimeout(self.worker_id, timeout, kind)
                 raw = self.transport.recv_bytes()
-                self.bytes_received += len(raw)
+                self._bytes_received.inc(len(raw))
                 if raw.startswith(BINARY_MAGIC):
-                    self.binary_replies += 1
+                    self._binary_replies.inc()
                 reply = decode_payload(raw)
                 if reply.get("msg_id") == message.get("msg_id"):
                     break
@@ -335,6 +370,19 @@ class PretzelCluster:
         if self.config.enable_profiling:
             # One process-global sampler, shared with any in-process runtime.
             profiling.ensure_started(self.config.profiler_interval_seconds)
+        # The tracing front door: sampling decisions are made here and ride
+        # the wire envelope; workers inherit the knobs through the config.
+        observability.configure(
+            enabled=self.config.enable_tracing,
+            sample_rate=self.config.trace_sample_rate,
+            buffer_size=self.config.trace_buffer_size,
+            process="cluster",
+        )
+        #: end-to-end dispatch latency (admission -> reply decoded), observed
+        #: for every request; merges exactly with worker-side histograms
+        self._request_latency = observability.registry().histogram(
+            "pretzel_request_latency_seconds"
+        )
         try:
             for index in range(num_workers):
                 worker_id = f"worker-{index}"
@@ -1054,8 +1102,12 @@ class PretzelCluster:
         if gated:
             # First touch of a compressed plan: rehydrate before routing.
             self._rehydrate_plan(plan_id)
+        # The cluster front door is where sampling happens: 1-in-N dispatches
+        # get a TraceContext whose root span id every hop parents under.
+        trace = observability.tracer().maybe_trace()
+        started = time.perf_counter()
         try:
-            return self._dispatch_once(plan_id, records, latency_sensitive)
+            return self._dispatch_once(plan_id, records, latency_sensitive, trace)
         except WorkerFailure as error:
             # A dispatch can race the demotion's teardown: the worker already
             # dropped the plan (KeyError) but the tier gate was not yet
@@ -1067,33 +1119,83 @@ class PretzelCluster:
                 compressed = live is not None and live.get("tier") == "compressed"
             if not compressed or not self._rehydrate_plan(plan_id):
                 raise
-            return self._dispatch_once(plan_id, records, latency_sensitive)
+            return self._dispatch_once(plan_id, records, latency_sensitive, trace)
+        finally:
+            elapsed = time.perf_counter() - started
+            self._request_latency.observe(elapsed)
+            if trace is not None:
+                observability.tracer().record(
+                    trace.trace_id,
+                    "request",
+                    elapsed,
+                    span_id=trace.parent_span_id,
+                    attributes={"plan_id": plan_id, "records": len(records)},
+                )
 
     def _dispatch_once(
-        self, plan_id: str, records: List[Any], latency_sensitive: bool
+        self,
+        plan_id: str,
+        records: List[Any],
+        latency_sensitive: bool,
+        trace: Any = None,
     ) -> List[Any]:
         if plan_id not in self._plans:
             raise KeyError(f"plan {plan_id!r} is not registered")
+        tracer = observability.tracer()
         # May raise BackpressureError (saturated) or WorkerFailedError (every
         # placed worker evicted mid-fail-over) -- both typed and retryable.
-        worker_id = self.router.acquire(plan_id)
+        admission_started = time.perf_counter() if trace is not None else 0.0
+        try:
+            worker_id = self.router.acquire(plan_id)
+        except BaseException as error:
+            if trace is not None:
+                tracer.record(
+                    trace.trace_id,
+                    "admission",
+                    time.perf_counter() - admission_started,
+                    parent_span_id=trace.parent_span_id,
+                    attributes={"shed": True, "error": type(error).__name__},
+                )
+            raise
+        if trace is not None:
+            tracer.record(
+                trace.trace_id,
+                "admission",
+                time.perf_counter() - admission_started,
+                parent_span_id=trace.parent_span_id,
+                attributes={"shed": False, "worker_id": worker_id},
+            )
         backlog: Optional[int] = None
         try:
             handle = self._workers.get(worker_id)
             if handle is None:
                 raise WorkerFailedError(worker_id, plan_id, "worker evicted mid-dispatch")
+            message = self._message(
+                "predict",
+                plan_id=plan_id,
+                # Uniform numeric batches travel as one columnar
+                # binary frame; anything else stays the JSON row list.
+                records=pack_value_batch(records),
+                latency_sensitive=latency_sensitive,
+            )
+            ipc_span_id = None
+            if trace is not None:
+                # Pre-mint the ipc span id so the worker's spans can parent
+                # under it; the envelope carries the re-parented context.
+                ipc_span_id = tracer.new_span_id()
+                message["trace"] = trace.child(ipc_span_id).to_wire()
+                ipc_started = time.perf_counter()
             try:
-                reply = handle.request(
-                    self._message(
-                        "predict",
-                        plan_id=plan_id,
-                        # Uniform numeric batches travel as one columnar
-                        # binary frame; anything else stays the JSON row list.
-                        records=pack_value_batch(records),
-                        latency_sensitive=latency_sensitive,
-                    ),
-                    self.config.worker_timeout_seconds,
-                )
+                reply = handle.request(message, self.config.worker_timeout_seconds)
+                if trace is not None:
+                    tracer.record(
+                        trace.trace_id,
+                        "ipc",
+                        time.perf_counter() - ipc_started,
+                        span_id=ipc_span_id,
+                        parent_span_id=trace.parent_span_id,
+                        attributes={"worker_id": worker_id},
+                    )
             except WorkerFailure as error:
                 if error.connection_lost or not handle.process_alive():
                     self.control.worker_failed(worker_id, str(error))
@@ -1276,6 +1378,7 @@ class PretzelCluster:
                 "failed_requests": reply["failed_requests"],
                 "memory_bytes": reply["memory_bytes"],
                 "arena": reply["arena"],
+                "tracing": reply.get("tracing"),
             }
         live = [entry for entry in workers.values() if "stats" in entry]
         router_stats = self.router.stats()
@@ -1302,6 +1405,11 @@ class PretzelCluster:
             # cluster.phase, cluster.plan, cluster.worker-channel).  Each
             # worker's own profile rides in workers[id]["stats"]["profile"].
             result["profile"] = profiling.snapshot()
+        if self.config.enable_tracing:
+            # The front door's sampler state; each worker's own flight
+            # recorder state rides in workers[id]["tracing"] (and the spans
+            # themselves are harvested by trace_dump()).
+            result["tracing"] = observability.tracer().stats()
         return result
 
     def wire_stats(self) -> Dict[str, int]:
@@ -1320,6 +1428,64 @@ class PretzelCluster:
             "json_messages": sum(handle.json_messages for handle in handles),
             "binary_replies": sum(handle.binary_replies for handle in handles),
         }
+
+    # -- observability harvest ---------------------------------------------------
+
+    def trace_dump(self, drain: bool = False) -> List[Dict[str, Any]]:
+        """Every buffered span: this process's flight recorder + all workers'.
+
+        One ``traces`` round trip per worker; a worker that cannot answer is
+        simply absent from the dump (a flight recorder is best-effort by
+        contract).  Spans are sorted by (trace id, start), so the spans of
+        one trace -- front-door ``request``/``admission``/``ipc`` spans from
+        the cluster process, ``worker.receive``/``queue.wait``/``stage.
+        execute``/``reply.encode`` spans from the serving process -- come out
+        adjacent and roughly in causal order.
+        """
+        self._ensure_open()
+        spans = observability.tracer().dump(drain=drain)
+        for worker_id, handle in list(self._workers.items()):
+            try:
+                reply = handle.request(
+                    self._message("traces", drain=drain),
+                    self.config.worker_timeout_seconds,
+                )
+            except (WorkerFailure, WorkerTimeout):
+                continue
+            spans.extend(reply.get("spans") or [])
+        spans.sort(key=lambda span: (span.get("trace_id", ""), span.get("start", 0.0)))
+        return spans
+
+    def trace_breakdown(self, drain: bool = False) -> Dict[str, Dict[str, Any]]:
+        """The fig5 per-stage latency breakdown, from live sampled traces.
+
+        Folds the ``stage.execute`` spans of :meth:`trace_dump` into
+        per-signature time shares -- the paper's figure, reconstructed from
+        production traffic instead of an offline harness.
+        """
+        return observability.trace_breakdown(self.trace_dump(drain=drain))
+
+    def metrics(self) -> Dict[str, Any]:
+        """The unified metrics view: every worker's registry merged into ours.
+
+        Counters and gauges add; histograms share fixed log2 buckets, so the
+        merge is exact.  Workers that cannot answer contribute nothing.
+        """
+        self._ensure_open()
+        merged = observability.registry().snapshot()
+        for worker_id, handle in list(self._workers.items()):
+            try:
+                reply = handle.request(
+                    self._message("metrics"), self.config.worker_timeout_seconds
+                )
+            except (WorkerFailure, WorkerTimeout):
+                continue
+            merged = observability.merge_snapshots(merged, reply.get("metrics"))
+        return merged
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of :meth:`metrics`."""
+        return observability.to_prometheus(self.metrics())
 
     def memory_bytes(self) -> int:
         """Cluster footprint: every worker's owned bytes + the arena once.

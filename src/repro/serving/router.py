@@ -32,6 +32,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.observability import registry
 from repro.serving.control.failure import WorkerFailedError
 
 __all__ = ["BackpressureError", "ConsistentHashRing", "ShardRouter"]
@@ -137,8 +138,18 @@ class ShardRouter:
             worker: self._clock() for worker in self.ring.nodes
         }
         self._evicted: List[str] = []
-        self.dispatched = 0
-        self.shed = 0
+        #: registry-backed instruments; ``dispatched`` / ``shed`` remain as
+        #: read-only properties with per-router-instance semantics
+        self._dispatched_total = registry().counter("pretzel_router_dispatched_total")
+        self._shed_total = registry().counter("pretzel_router_shed_total")
+
+    @property
+    def dispatched(self) -> int:
+        return self._dispatched_total.value
+
+    @property
+    def shed(self) -> int:
+        return self._shed_total.value
 
     # -- placement -----------------------------------------------------------
 
@@ -218,7 +229,7 @@ class ShardRouter:
                 if self._inflight[worker] < self.max_inflight_per_worker
             ]
             if not eligible:
-                self.shed += 1
+                self._shed_total.inc()
                 raise BackpressureError(plan_id, loads, self.max_inflight_per_worker)
             now = self._clock()
             chosen = min(
@@ -229,7 +240,7 @@ class ShardRouter:
                 ),
             )
             self._inflight[chosen] += 1
-            self.dispatched += 1
+            self._dispatched_total.inc()
             return chosen
 
     def _effective_backlog(self, worker_id: str, now: float) -> int:

@@ -45,10 +45,15 @@ Wire protocol (all requests carry ``msg_id``; every reply echoes it):
                budget-pressure eviction: adopted views are replaced by
                private copies so the owner may recycle the slabs while the
                plans keep serving)
-``predict``    ``plan_id``, ``records``, ``latency_sensitive`` ->
-               ``{"outputs": [...], "backlog": int}``
+``predict``    ``plan_id``, ``records``, ``latency_sensitive``, optional
+               ``trace`` (a :meth:`TraceContext.to_wire` dict riding the
+               envelope) -> ``{"outputs": [...], "backlog": int}``
 ``stats``      -> ``{"stats": runtime.stats(), ...}``
 ``memory``     -> ``{"memory_bytes": int}`` (lightweight footprint probe)
+``traces``     optional ``drain`` -> ``{"spans": [...]}`` (harvest this
+               process's span flight recorder)
+``metrics``    -> ``{"metrics": registry snapshot}`` (merged by the cluster
+               into the unified metrics view)
 ``shutdown``   -> ack, then the process exits cleanly
 =============  =========================================================
 
@@ -72,9 +77,11 @@ import argparse
 import base64
 import pickle
 import socket
+import time
 import traceback
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro import observability
 from repro.core.config import PretzelConfig
 from repro.core.runtime import PretzelRuntime
 from repro.net import (
@@ -125,8 +132,22 @@ class ServingWorker:
         self.config = config or PretzelConfig()
         self.arena = ArenaClient(arena_segment) if arena_segment else None
         self.runtime = PretzelRuntime(self.config, parameter_backing=self.arena)
-        self.served_predictions = 0
-        self.failed_requests = 0
+        # The cluster front door owns the head-sampling decision; a predict
+        # arriving without a wire context was *not* sampled, so this runtime
+        # must not mint a trace of its own for it.
+        self.runtime.mint_traces = False
+        #: registry-backed instruments; ``served_predictions`` /
+        #: ``failed_requests`` stay available as read-only properties with
+        #: their historical per-worker semantics
+        self.predictions_total = observability.registry().counter(
+            "pretzel_worker_predictions_total"
+        )
+        self.failed_total = observability.registry().counter(
+            "pretzel_worker_failed_total"
+        )
+        self.predict_seconds = observability.registry().histogram(
+            "pretzel_worker_predict_seconds"
+        )
         #: (msg_id, encoded reply) of the last request served.  The socket
         #: transport's reconnect-once retry *resends* the in-flight frame, so
         #: a worker that already processed it (the drop happened after
@@ -136,6 +157,14 @@ class ServingWorker:
         #: connections on purpose: the duplicate arrives on the re-accepted
         #: connection.
         self.last_reply: Optional[Tuple[Any, bytes]] = None
+
+    @property
+    def served_predictions(self) -> int:
+        return self.predictions_total.value
+
+    @property
+    def failed_requests(self) -> int:
+        return self.failed_total.value
 
     # -- handlers ------------------------------------------------------------
 
@@ -151,7 +180,7 @@ class ServingWorker:
             reply.update({"msg_id": msg_id, "ok": True, "worker_id": self.worker_id})
             return reply
         except BaseException as error:  # noqa: BLE001 - reported to the caller
-            self.failed_requests += 1
+            self.failed_total.inc()
             return {
                 "msg_id": msg_id,
                 "ok": False,
@@ -234,16 +263,26 @@ class ServingWorker:
         # exactly what the JSON path would have delivered.
         records = unpack_value_batch(message["records"])
         registered = self.runtime.registered(plan_id)
+        # The cluster's sampling decision rides the envelope: rebuild the
+        # context (None when unsampled) so worker-side spans join the trace
+        # the front door started.  The trace rides the first record only.
+        trace = observability.TraceContext.from_wire(message.get("trace"))
+        started = time.perf_counter()
         if registered.engine == "batch" and len(records) > 1:
             outputs = self.runtime.predict_batch(
                 plan_id,
                 records,
                 latency_sensitive=bool(message.get("latency_sensitive", False)),
                 timeout=self.config.worker_timeout_seconds,
+                trace=trace,
             )
         else:
-            outputs = [self.runtime.predict(plan_id, record) for record in records]
-        self.served_predictions += len(records)
+            outputs = [
+                self.runtime.predict(plan_id, record, trace=trace if index == 0 else None)
+                for index, record in enumerate(records)
+            ]
+        self.predict_seconds.observe(time.perf_counter() - started)
+        self.predictions_total.inc(len(records))
         # Piggyback the scheduler's queue depth so the router's dispatch
         # stays queue-depth-aware without extra stats round trips.
         return {"outputs": pack_value_batch(outputs), "backlog": self._backlog()}
@@ -259,7 +298,16 @@ class ServingWorker:
             "failed_requests": self.failed_requests,
             "memory_bytes": self.runtime.memory_bytes(),
             "arena": self.arena.stats() if self.arena is not None else None,
+            "tracing": observability.tracer().stats(),
         }
+
+    def _handle_traces(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Harvest this process's span flight recorder (optionally draining)."""
+        return {"spans": observability.tracer().dump(drain=bool(message.get("drain")))}
+
+    def _handle_metrics(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """This process's metrics registry, ready for exact cross-worker merge."""
+        return {"metrics": observability.registry().snapshot()}
 
     def _handle_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
         return {"bye": True}
@@ -287,22 +335,37 @@ def _serve(worker: ServingWorker, transport: Transport) -> str:
             payload = transport.recv_bytes()
         except (EOFError, OSError):
             return "eof"
+        decode_started = time.perf_counter()
         message = decode_payload(payload)
+        decode_seconds = time.perf_counter() - decode_started
         msg_id = message.get("msg_id")
+        wire_trace = message.get("trace") if isinstance(message, dict) else None
         cached = worker.last_reply
         if msg_id is not None and cached is not None and cached[0] == msg_id:
             # A transport-level resend of a message this worker already
             # processed (the connection dropped after delivery): replay the
-            # recorded reply instead of executing the handler twice.
+            # recorded reply instead of executing the handler twice.  No
+            # spans or counters either -- the first delivery recorded them;
+            # recording again would double-count the request in every view.
             encoded = cached[1]
         else:
+            trace = observability.TraceContext.from_wire(wire_trace)
+            if trace is not None:
+                observability.tracer().record(
+                    trace.trace_id,
+                    "worker.receive",
+                    decode_seconds,
+                    parent_span_id=trace.parent_span_id,
+                    attributes={"bytes": len(payload)},
+                )
             reply = worker.handle(message)
+            encode_started = time.perf_counter()
             try:
                 encoded = encode_payload(reply)
             except TypeError as error:
                 # A handler produced a non-JSON-able value (e.g. a plan whose
                 # sink emits a custom object); report instead of crashing.
-                worker.failed_requests += 1
+                worker.failed_total.inc()
                 encoded = serialize_message(
                     {
                         "msg_id": msg_id,
@@ -311,6 +374,14 @@ def _serve(worker: ServingWorker, transport: Transport) -> str:
                         "error": f"reply not serializable: {error}",
                         "error_type": "TypeError",
                     }
+                )
+            if trace is not None:
+                observability.tracer().record(
+                    trace.trace_id,
+                    "reply.encode",
+                    time.perf_counter() - encode_started,
+                    parent_span_id=trace.parent_span_id,
+                    attributes={"bytes": len(encoded)},
                 )
             if msg_id is not None:
                 worker.last_reply = (msg_id, encoded)
@@ -337,6 +408,10 @@ def worker_main(
     transport = (
         connection if isinstance(connection, Transport) else PipeTransport(connection)
     )
+    # Fork barrier: a forked worker inherits the cluster's span buffer and
+    # instrument values; zero both and take this worker's identity before
+    # anything is recorded, or every parent-side span would report twice.
+    observability.attach_process(worker_id)
     worker = ServingWorker(worker_id, config=config, arena_segment=arena_segment)
     try:
         _serve(worker, transport)
@@ -390,6 +465,7 @@ def socket_worker_main(
         bootstrap.send_bytes(serialize_message({"port": listener.port, "host": host}))
     finally:
         bootstrap.close()
+    observability.attach_process(worker_id)  # fork barrier, as in worker_main
     worker = ServingWorker(worker_id, config=config, arena_segment=arena_segment)
     listen_and_serve(worker, listener)
 
@@ -421,6 +497,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     listener = SocketListener(host=host, port=port)
     bound_host, bound_port = listener.address
     print(f"pretzel worker {args.worker_id!r} listening on {bound_host}:{bound_port}", flush=True)
+    observability.attach_process(args.worker_id)
     worker = ServingWorker(args.worker_id, config=PretzelConfig(), arena_segment=args.arena)
     listen_and_serve(worker, listener)
     return 0

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["format_table", "format_cdf", "format_batching_report", "ExperimentReport"]
 
 
@@ -40,14 +42,24 @@ def _cell(value: Any) -> str:
 
 
 def format_cdf(points: Sequence[Tuple[float, float]], unit: str = "ms", scale: float = 1e3) -> str:
-    """Render a CDF as (percentile -> latency) checkpoints."""
+    """Render a CDF as (percentile -> latency) checkpoints.
+
+    Checkpoints are *interpolated* between the surrounding CDF points (the
+    same linear rule as ``LatencyRecorder.cdf`` / ``np.quantile``).  The old
+    nearest-point match could print the identical latency for two adjacent
+    checkpoints whenever the CDF was sampled more coarsely than the
+    checkpoint spacing -- e.g. p95 and p99 both snapping to the p97 point.
+    """
     if not points:
         return "(empty cdf)"
+    ordered = sorted(points, key=lambda pair: pair[1])
+    fractions = np.asarray([pair[1] for pair in ordered], dtype=np.float64)
+    values = np.asarray([pair[0] for pair in ordered], dtype=np.float64)
     checkpoints = [0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+    interpolated = np.interp(checkpoints, fractions, values)
     lines = []
-    for target in checkpoints:
-        best = min(points, key=lambda pair: abs(pair[1] - target))
-        lines.append(f"  p{int(target * 100):<3d}  {best[0] * scale:10.3f} {unit}")
+    for target, value in zip(checkpoints, interpolated):
+        lines.append(f"  p{int(target * 100):<3d}  {float(value) * scale:10.3f} {unit}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,207 @@
+"""Unit tests for tracing: contexts, sampling, the flight recorder, analysis."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import (
+    TraceContext,
+    Tracer,
+    format_trace_tree,
+    trace_breakdown,
+)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = TraceContext("t1", parent_span_id="p1", owns_root=True)
+        payload = context.to_wire()
+        assert payload == {"trace_id": "t1", "parent_span_id": "p1", "sampled": True}
+        rebuilt = TraceContext.from_wire(payload)
+        assert rebuilt.trace_id == "t1"
+        assert rebuilt.parent_span_id == "p1"
+        # owns_root never crosses the wire: the minting hop records the root.
+        assert rebuilt.owns_root is False
+
+    def test_from_wire_rejects_garbage(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+        assert TraceContext.from_wire({"trace_id": "t1", "sampled": False}) is None
+        assert TraceContext.from_wire({"sampled": True}) is None
+
+    def test_child_reparents_same_trace(self):
+        context = TraceContext("t1", parent_span_id="root")
+        child = context.child("ipc-span")
+        assert child.trace_id == "t1"
+        assert child.parent_span_id == "ipc-span"
+        assert child.owns_root is False
+
+
+class TestTracer:
+    def test_head_sampling_one_in_n(self):
+        tracer = Tracer(sample_rate=4)
+        contexts = [tracer.maybe_trace() for _ in range(16)]
+        sampled = [context for context in contexts if context is not None]
+        assert len(sampled) == 4
+        for context in sampled:
+            assert context.owns_root
+            assert context.parent_span_id is not None  # pre-minted root span id
+
+    def test_sample_rate_one_traces_everything(self):
+        tracer = Tracer(sample_rate=1)
+        assert all(tracer.maybe_trace() is not None for _ in range(5))
+
+    def test_disabled_tracer_samples_nothing(self):
+        tracer = Tracer(enabled=False, sample_rate=1)
+        assert tracer.maybe_trace() is None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=0)
+        with pytest.raises(ValueError):
+            Tracer(buffer_size=0)
+        with pytest.raises(ValueError):
+            Tracer().configure(sample_rate=-1)
+
+    def test_ring_buffer_bounds_and_drain(self):
+        tracer = Tracer(buffer_size=3, process="worker-9")
+        for index in range(5):
+            tracer.record("t1", f"span-{index}", 0.001)
+        spans = tracer.dump()
+        assert [span["name"] for span in spans] == ["span-2", "span-3", "span-4"]
+        assert all(span["process"] == "worker-9" for span in spans)
+        drained = tracer.dump(drain=True)
+        assert drained == spans
+        assert tracer.dump() == []
+
+    def test_record_returns_span_id_and_defaults_start(self):
+        tracer = Tracer()
+        span_id = tracer.record("t1", "ipc", 0.25, parent_span_id="root")
+        (span,) = tracer.dump()
+        assert span["span_id"] == span_id
+        assert span["parent_span_id"] == "root"
+        assert span["duration"] == 0.25
+        assert span["start"] > 0  # epoch seconds, backdated by the duration
+        explicit = tracer.record("t1", "x", 0.1, span_id="fixed", start=123.0)
+        assert explicit == "fixed"
+        assert tracer.dump()[-1]["start"] == 123.0
+
+    def test_configure_resizes_buffer_preserving_recent(self):
+        tracer = Tracer(buffer_size=8)
+        for index in range(6):
+            tracer.record("t1", f"s{index}", 0.0)
+        tracer.configure(buffer_size=2)
+        assert [span["name"] for span in tracer.dump()] == ["s4", "s5"]
+
+    def test_bound_metrics_count_samples_and_spans(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(sample_rate=1)
+        tracer.bind_metrics(registry)
+        tracer.maybe_trace()
+        tracer.record("t1", "request", 0.01)
+        counters = registry.snapshot()["counters"]
+        assert counters["pretzel_trace_sampled_total"] == 1
+        assert counters["pretzel_trace_spans_total"] == 1
+        stats = tracer.stats()
+        assert stats["sampled"] == 1
+        assert stats["spans_recorded"] == 1
+        assert stats["requests_seen"] == 1
+
+
+def _stage_span(trace_id, signature, duration, operators, events=1):
+    return {
+        "trace_id": trace_id,
+        "span_id": f"{trace_id}-{signature}-{duration}",
+        "parent_span_id": None,
+        "name": "stage.execute",
+        "start": 0.0,
+        "duration": duration,
+        "process": "worker-0",
+        "attributes": {
+            "signature": signature,
+            "operators": operators,
+            "events": events,
+        },
+    }
+
+
+class TestTraceBreakdown:
+    def test_shares_sum_to_one_and_ignore_non_stage_spans(self):
+        spans = [
+            _stage_span("t1", "char", 0.006, ["Tokenizer", "CharNgram"]),
+            _stage_span("t1", "word", 0.003, ["WordNgram"]),
+            _stage_span("t2", "char", 0.002, ["Tokenizer", "CharNgram"]),
+            {"trace_id": "t1", "span_id": "x", "name": "ipc", "duration": 9.0},
+        ]
+        breakdown = trace_breakdown(spans)
+        assert set(breakdown) == {"char", "word"}
+        assert breakdown["char"]["seconds"] == pytest.approx(0.008)
+        assert breakdown["char"]["count"] == 2
+        assert breakdown["char"]["operators"] == ["Tokenizer", "CharNgram"]
+        assert sum(entry["share"] for entry in breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["char"]["share"] == pytest.approx(8 / 11)
+
+    def test_empty_input(self):
+        assert trace_breakdown([]) == {}
+
+
+class TestFormatTraceTree:
+    def test_renders_nested_tree_with_orphans_promoted(self):
+        spans = [
+            {
+                "trace_id": "t1",
+                "span_id": "root",
+                "parent_span_id": None,
+                "name": "request",
+                "start": 0.0,
+                "duration": 0.010,
+                "process": "cluster",
+                "attributes": {},
+            },
+            {
+                "trace_id": "t1",
+                "span_id": "ipc",
+                "parent_span_id": "root",
+                "name": "ipc",
+                "start": 0.001,
+                "duration": 0.008,
+                "process": "cluster",
+                "attributes": {},
+            },
+            {
+                "trace_id": "t1",
+                "span_id": "stage",
+                "parent_span_id": "ipc",
+                "name": "stage.execute",
+                "start": 0.002,
+                "duration": 0.004,
+                "process": "worker-0",
+                "attributes": {"signature": "sig-a"},
+            },
+            # Parent evicted from the ring: still rendered, as a root.
+            {
+                "trace_id": "t1",
+                "span_id": "orphan",
+                "parent_span_id": "gone",
+                "name": "batch.form",
+                "start": 0.003,
+                "duration": 0.001,
+                "process": "worker-0",
+                "attributes": {"links": ["t1", "t2"]},
+            },
+            {"trace_id": "other", "span_id": "z", "name": "request", "duration": 1.0},
+        ]
+        text = format_trace_tree(spans, "t1")
+        lines = text.splitlines()
+        assert lines[0] == "trace t1"
+        assert "other" not in text
+        assert "[sig-a]" in text
+        assert "[links=2]" in text
+        # Nesting depth follows the parent chain.
+        request_line = next(line for line in lines if "request" in line)
+        ipc_line = next(line for line in lines if line.strip().startswith("ipc"))
+        stage_line = next(line for line in lines if "stage.execute" in line)
+        indent = lambda line: len(line) - len(line.lstrip())  # noqa: E731
+        assert indent(request_line) < indent(ipc_line) < indent(stage_line)
+
+    def test_unknown_trace(self):
+        assert "no spans" in format_trace_tree([], "nope")
