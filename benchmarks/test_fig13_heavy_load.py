@@ -96,17 +96,27 @@ def test_fig13_heavy_load(benchmark, sa_family, ac_family, sa_inputs, ac_inputs)
         adaptive = _heavy_load_rows(
             stage_times, max_stage_batch=16, stage_batch_policy="adaptive", loads=loads
         )
+        costmodel = _heavy_load_rows(
+            stage_times, max_stage_batch=16, stage_batch_policy="cost-model", loads=loads
+        )
         # One merged row set: the batched columns show the effect of
         # stage-level coalescing (only visible once the system is backlogged);
         # the adaptive columns size each pull from the signature index's
-        # observed backlog instead of always allowing the full cap.
-        for row, batched_row, adaptive_row in zip(plain, batched, adaptive):
+        # observed backlog instead of always allowing the full cap; the
+        # costmodel columns cap each pull at the per-stage amortization knee
+        # measured online from the simulated service spans.
+        for row, batched_row, adaptive_row, costmodel_row in zip(
+            plain, batched, adaptive, costmodel
+        ):
             row.pop("mean_stage_batch", None)
             row["batched_throughput_kqps"] = batched_row["throughput_kqps"]
             row["batched_ls_ms"] = batched_row["mean_latency_sensitive_ms"]
             row["adaptive_throughput_kqps"] = adaptive_row["throughput_kqps"]
             row["adaptive_ls_ms"] = adaptive_row["mean_latency_sensitive_ms"]
             row["adaptive_mean_batch"] = adaptive_row["mean_stage_batch"]
+            row["costmodel_throughput_kqps"] = costmodel_row["throughput_kqps"]
+            row["costmodel_ls_ms"] = costmodel_row["mean_latency_sensitive_ms"]
+            row["costmodel_mean_batch"] = costmodel_row["mean_stage_batch"]
         return plain
 
     rows = benchmark.pedantic(run, iterations=1, rounds=1)
@@ -114,7 +124,8 @@ def test_fig13_heavy_load(benchmark, sa_family, ac_family, sa_inputs, ac_inputs)
         "Figure 13",
         "PRETZEL throughput and latency-sensitive mean latency under Zipf(2) load, 13 cores; "
         "batched_* columns use stage-level coalescing (max_stage_batch=16), adaptive_* "
-        "columns use the occupancy-driven AdaptiveBatchSizer over the same cap.",
+        "columns use the occupancy-driven AdaptiveBatchSizer over the same cap, costmodel_* "
+        "columns cap pulls at each stage's measured amortization knee (CostModelBatchSizer).",
     )
     report.rows = rows
     write_report("fig13_heavy_load", report.render())
@@ -130,6 +141,11 @@ def test_fig13_heavy_load(benchmark, sa_family, ac_family, sa_inputs, ac_inputs)
     top = rows[-1]
     assert top["adaptive_mean_batch"] > 1.0
     assert top["batched_ls_ms"] <= top["mean_latency_sensitive_ms"] * 1.05
+    # The cost-model sizer must also discover that coalescing amortizes the
+    # per-batch overhead (its knee sits above batch 1), and capping pulls at
+    # the knee must not forfeit the coalescing throughput win.
+    assert top["costmodel_mean_batch"] > 1.0
+    assert top["costmodel_throughput_kqps"] >= 0.9 * top["batched_throughput_kqps"]
 
 
 # -- cluster series: admission control under synthetic overload ----------------

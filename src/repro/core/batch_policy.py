@@ -3,7 +3,7 @@
 The scheduler's per-signature ready index (:class:`repro.core.scheduler.ReadyQueue`)
 makes the *backlog* behind every physical-stage signature observable in O(1),
 which turns the batch-size cap from a static config knob into a policy
-decision.  Two policies are provided:
+decision.  Three policies are provided:
 
 * :class:`FixedBatchSizer` always returns the configured
   ``max_stage_batch_size`` -- the PR 1 behaviour, and the default
@@ -17,15 +17,30 @@ decision.  Two policies are provided:
   :class:`~repro.telemetry.batching.StageBatchTelemetry` shows past batches
   for a signature filling most of their cap, the cap is doubled (still
   clamped to the ceiling) so a saturated stage ramps up quickly.
+* :class:`CostModelBatchSizer` (``stage_batch_policy="cost-model"``) targets
+  each signature's *measured amortization knee*: it asks the shared
+  :class:`~repro.core.cost_model.CostModel` for the smallest batch class whose
+  per-record time is (nearly) as good as the best observed one, and uses that
+  as the per-signature ceiling.  Batching past the knee buys no amortization
+  and only adds queueing delay; before the model has seen two batch classes
+  for a signature the ceiling stays at the global maximum so larger classes
+  remain explorable.
 
-Both policies are deterministic.  Since the scheduler's queues were sharded,
+Every sizer funnels its answer through one shared clamp,
+:func:`clamp_batch_cap`, which applies the optional *per-signature ceiling*
+below the global ``max_batch_size``.  The adaptive sizer accepts such
+ceilings directly (``signature_caps``), and the cost-model sizer derives them
+from measurements -- both resolve the final cap through the identical code
+path, so a cap can never escape ``[1, max_batch_size]`` regardless of policy.
+
+All policies are deterministic.  Since the scheduler's queues were sharded,
 ``batch_cap`` is called *outside* any queue lock (on racy depth snapshots --
 a cap computed from a momentarily stale depth only changes how much of the
 backlog one pull coalesces, never correctness), and ``record`` is serialized
-by the telemetry's own lock.  The discrete-event simulator reuses
-:class:`AdaptiveBatchSizer` verbatim with ``(model, stage)`` tuples as
-signatures, so the simulated adaptive series exercises the same code path
-the real engine runs.
+by the telemetry's own lock.  The discrete-event simulator reuses the
+adaptive and cost-model sizers verbatim with ``(model, stage)`` tuples as
+signatures, so the simulated series exercise the same code paths the real
+engine runs.
 """
 
 from __future__ import annotations
@@ -33,9 +48,37 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Optional
 
+from repro.core.cost_model import CostModel
 from repro.telemetry.batching import StageBatchTelemetry
 
-__all__ = ["FixedBatchSizer", "AdaptiveBatchSizer", "make_batch_sizer"]
+__all__ = [
+    "FixedBatchSizer",
+    "AdaptiveBatchSizer",
+    "CostModelBatchSizer",
+    "clamp_batch_cap",
+    "make_batch_sizer",
+]
+
+
+def clamp_batch_cap(
+    cap: int,
+    max_batch_size: int,
+    ceiling: Optional[int] = None,
+    min_batch_size: int = 1,
+) -> int:
+    """The one clamp every sizer resolves its cap through.
+
+    ``ceiling`` is an optional *per-signature* cap (an operator-family knee,
+    or an explicitly configured limit) applied below the global
+    ``max_batch_size``; the result always lands in
+    ``[min_batch_size, max_batch_size]`` with the ceiling honoured in
+    between.  A ceiling below ``min_batch_size`` wins (the per-signature
+    limit is a correctness/latency bound, the minimum only a floor for
+    sizing heuristics) but never drops below 1.
+    """
+    limit = max_batch_size if ceiling is None else min(max_batch_size, ceiling)
+    limit = max(1, limit)
+    return max(min(min_batch_size, limit), min(cap, limit))
 
 
 class FixedBatchSizer:
@@ -63,6 +106,11 @@ class AdaptiveBatchSizer:
     signature fill at least ``saturation`` of the tentative cap, the cap is
     doubled (clamped), letting a stage whose batches keep coming out full
     escalate to the ceiling in a few pulls.
+
+    ``signature_caps`` holds optional per-signature ceilings below the global
+    maximum; the saturation doubling and the backlog EMA both stay clamped
+    under a signature's ceiling, through the same :func:`clamp_batch_cap`
+    path the cost-model sizer uses.
     """
 
     def __init__(
@@ -72,6 +120,7 @@ class AdaptiveBatchSizer:
         min_batch_size: int = 1,
         smoothing: float = 0.5,
         saturation: float = 0.75,
+        signature_caps: Optional[Dict[Hashable, int]] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -84,7 +133,17 @@ class AdaptiveBatchSizer:
         self.smoothing = smoothing
         self.saturation = saturation
         self.telemetry = telemetry
+        self.signature_caps: Dict[Hashable, int] = dict(signature_caps or {})
         self._backlog_ema: Dict[Hashable, float] = {}
+
+    def set_signature_cap(self, signature: Hashable, cap: Optional[int]) -> None:
+        """Install (or with ``None`` clear) a per-signature ceiling."""
+        if cap is None:
+            self.signature_caps.pop(signature, None)
+        else:
+            if cap < 1:
+                raise ValueError("signature cap must be >= 1")
+            self.signature_caps[signature] = cap
 
     def batch_cap(self, signature: Hashable, backlog: int) -> int:
         previous = self._backlog_ema.get(signature)
@@ -93,12 +152,17 @@ class AdaptiveBatchSizer:
         else:
             ema = (1.0 - self.smoothing) * previous + self.smoothing * backlog
         self._backlog_ema[signature] = ema
-        cap = 1 + math.ceil(ema)
-        cap = max(self.min_batch_size, min(self.max_batch_size, cap))
-        if self.telemetry is not None and cap < self.max_batch_size:
+        ceiling = self.signature_caps.get(signature)
+        cap = clamp_batch_cap(
+            1 + math.ceil(ema), self.max_batch_size, ceiling, self.min_batch_size
+        )
+        limit = self.max_batch_size if ceiling is None else min(self.max_batch_size, ceiling)
+        if self.telemetry is not None and cap < limit:
             observed = self.telemetry.mean_batch_size(signature)
             if observed >= self.saturation * cap:
-                cap = min(self.max_batch_size, cap * 2)
+                cap = clamp_batch_cap(
+                    cap * 2, self.max_batch_size, ceiling, self.min_batch_size
+                )
         return cap
 
     def smoothed_backlog(self, signature: Hashable) -> float:
@@ -113,16 +177,65 @@ class AdaptiveBatchSizer:
         backlog estimate instead of starting fresh.
         """
         self._backlog_ema.pop(signature, None)
+        self.signature_caps.pop(signature, None)
+
+
+class CostModelBatchSizer:
+    """Cap each pull at the signature's measured amortization knee.
+
+    The :class:`~repro.core.cost_model.CostModel` keeps per-(signature,
+    backend, batch-class) throughput EMAs from live executions;
+    :meth:`CostModel.preferred_batch_cap` turns them into the smallest batch
+    class within ``knee_tolerance`` of the best observed per-record time.
+    This sizer applies that knee as the per-signature ceiling -- through the
+    same :func:`clamp_batch_cap` path the adaptive sizer uses -- so stages
+    with early amortization knees (GEMM-bound linear stages) stop coalescing
+    past the point of diminishing returns while ensemble stages, whose knee
+    sits at the ceiling, keep batching all the way up.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int,
+        cost_model: CostModel,
+        telemetry: Optional[StageBatchTelemetry] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.cost_model = cost_model
+        self.telemetry = telemetry
+
+    def batch_cap(self, signature: Hashable, backlog: int) -> int:
+        ceiling = self.cost_model.preferred_batch_cap(
+            signature, default=self.max_batch_size
+        )
+        return clamp_batch_cap(self.max_batch_size, self.max_batch_size, ceiling)
+
+    def forget(self, signature: Hashable) -> None:
+        """Drop the signature's measurements along with its plan."""
+        self.cost_model.forget(signature)
 
 
 def make_batch_sizer(
     policy: str,
     max_batch_size: int,
     telemetry: Optional[StageBatchTelemetry] = None,
+    cost_model: Optional[CostModel] = None,
 ):
-    """Build the batch sizer named by ``policy`` ("fixed" or "adaptive")."""
+    """Build the batch sizer named by ``policy``.
+
+    ``"cost-model"`` needs the runtime's shared :class:`CostModel` instance
+    (the same object the executors feed observations into).
+    """
     if policy == "fixed":
         return FixedBatchSizer(max_batch_size)
     if policy == "adaptive":
         return AdaptiveBatchSizer(max_batch_size, telemetry=telemetry)
-    raise ValueError(f"unknown stage_batch_policy {policy!r} (use 'fixed' or 'adaptive')")
+    if policy == "cost-model":
+        if cost_model is None:
+            raise ValueError("stage_batch_policy='cost-model' requires a cost model")
+        return CostModelBatchSizer(max_batch_size, cost_model, telemetry=telemetry)
+    raise ValueError(
+        f"unknown stage_batch_policy {policy!r} (use 'fixed', 'adaptive' or 'cost-model')"
+    )

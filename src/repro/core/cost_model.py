@@ -1,0 +1,321 @@
+"""Per-stage cost models: measured (signature, backend, batch-class) throughput.
+
+PRETZEL's white-box bet is that the runtime, not the operator author, should
+decide how a shared physical stage executes.  With the kernel-backend
+registry (:mod:`repro.operators.backends`) offering several implementations
+per operator family, that decision needs data: this module measures the
+per-record service time of every (stage signature, backend, batch-size
+class) combination *online*, from the same wall-clock spans the executors
+already pay for, and answers two questions on the hot path:
+
+* **which backend** should this stage's next batch run on
+  (:meth:`CostModel.select`), and
+* **how large a batch** is worth coalescing for this stage
+  (:meth:`CostModel.preferred_batch_cap` -- the *amortization knee*, consumed
+  by the ``stage_batch_policy="cost-model"`` sizer).
+
+Selection follows the same measured-EMA idiom the tiered arena uses for
+codec choice (Ariadne-style): a short round-robin **exploration** phase
+guarantees every available backend a few samples per batch class, then
+**exploitation** picks the lowest per-record EMA, and a periodic **re-probe**
+(every ``probe_interval`` selections) re-samples a non-best backend so a
+drifting workload can dethrone a stale winner.  Batch sizes are bucketed
+into power-of-two classes so a 16-way cap needs five cells, not sixteen.
+
+The model is deliberately engine-agnostic: signatures are opaque hashables
+(the real engine passes ``physical.full_signature``; the discrete-event
+simulator passes its ``(model, stage)`` tuples), and observations can come
+from the executors, the calibration harness, or the backend sweep benchmark.
+All state sits behind one small lock -- the callers hold no lock of their
+own, and one probe/observe pair per *stage batch* (not per record) keeps the
+cost invisible next to a vectorized kernel call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = ["CostModel"]
+
+#: selection modes reported by snapshot(); purely informational.
+_EXPLORING = "exploring"
+_EXPLOITING = "exploiting"
+
+
+def batch_class(batch_size: int) -> int:
+    """The power-of-two class a batch size falls into (1, 2, 4, 8, ...)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return 1 << (batch_size - 1).bit_length()
+
+
+class _Cell:
+    """EMA of per-record seconds for one (signature, backend, class)."""
+
+    __slots__ = ("ema", "samples")
+
+    def __init__(self) -> None:
+        self.ema = 0.0
+        self.samples = 0
+
+    def observe(self, per_record_seconds: float, smoothing: float) -> None:
+        if self.samples == 0:
+            self.ema = per_record_seconds
+        else:
+            self.ema = (1.0 - smoothing) * self.ema + smoothing * per_record_seconds
+        self.samples += 1
+
+
+class CostModel:
+    """Online backend + batch-size choice from measured per-stage throughput.
+
+    ``pinned`` short-circuits selection to one backend name (``"reference"``
+    or a registered backend) while observations still accumulate -- this is
+    how ``kernel_backend="fused"`` pins dispatch yet the cost-model *sizer*
+    keeps learning knees, and how ``kernel_backend="reference"`` with
+    ``stage_batch_policy="cost-model"`` stays byte-identical on the execution
+    path.  ``pinned=None`` enables the explore/exploit/re-probe loop.
+    """
+
+    def __init__(
+        self,
+        max_batch_size: int = 16,
+        probe_interval: int = 256,
+        warmup_samples: int = 2,
+        smoothing: float = 0.3,
+        knee_tolerance: float = 0.10,
+        pinned: Optional[str] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if probe_interval < 2:
+            raise ValueError("probe_interval must be >= 2")
+        if warmup_samples < 1:
+            raise ValueError("warmup_samples must be >= 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.max_batch_size = max_batch_size
+        self.probe_interval = probe_interval
+        self.warmup_samples = warmup_samples
+        self.smoothing = smoothing
+        self.knee_tolerance = knee_tolerance
+        self.pinned = pinned
+        self._lock = threading.Lock()
+        #: (signature, backend, class) -> EMA cell
+        self._cells: Dict[Tuple[Hashable, str, int], _Cell] = {}
+        #: signature -> backends seen for it (insertion-ordered)
+        self._candidates: Dict[Hashable, List[str]] = {}
+        #: signature -> number of select() calls (drives probe cadence)
+        self._selections: Dict[Hashable, int] = {}
+        #: signature -> rotating cursors for exploration / re-probing
+        self._explore_cursor: Dict[Hashable, int] = {}
+        self._probe_cursor: Dict[Hashable, int] = {}
+
+    # -- engine-facing backend policy (duck-typed in engines.py) -----------
+
+    def select(self, physical: Any, batch_size: int) -> str:
+        """Pick the backend for one stage batch on the real engine."""
+        return self.choose(
+            physical.full_signature, physical.available_backends(), batch_size
+        )
+
+    def observe(self, physical: Any, backend: str, batch_size: int, seconds: float) -> None:
+        """Feed one measured stage-batch execution back into the model."""
+        self.record(physical.full_signature, backend, batch_size, seconds)
+
+    # -- core selection ----------------------------------------------------
+
+    def choose(
+        self, signature: Hashable, candidates: Sequence[str], batch_size: int
+    ) -> str:
+        """The explore / exploit / re-probe loop over ``candidates``.
+
+        Warm-up is round-robin: while any candidate has fewer than
+        ``warmup_samples`` observations in this batch class, the
+        least-sampled candidate (ties broken by a rotating cursor, so two
+        cold backends alternate) is chosen.  After warm-up the lowest
+        per-record EMA wins, except every ``probe_interval``-th selection,
+        which re-samples the next non-best candidate so drift is noticed.
+        """
+        if not candidates:
+            return "reference"
+        if self.pinned is not None:
+            return self.pinned if self.pinned in candidates else "reference"
+        if len(candidates) == 1:
+            return candidates[0]
+        cls = min(batch_class(batch_size), batch_class(self.max_batch_size))
+        with self._lock:
+            self._candidates[signature] = list(candidates)
+            count = self._selections.get(signature, 0) + 1
+            self._selections[signature] = count
+            cold = [
+                name
+                for name in candidates
+                if self._cell(signature, name, cls).samples < self.warmup_samples
+            ]
+            if cold:
+                cursor = self._explore_cursor.get(signature, 0)
+                self._explore_cursor[signature] = cursor + 1
+                return cold[cursor % len(cold)]
+            best = self._best_locked(signature, cls, candidates)
+            if count % self.probe_interval == 0:
+                others = [name for name in candidates if name != best]
+                if others:
+                    cursor = self._probe_cursor.get(signature, 0)
+                    self._probe_cursor[signature] = cursor + 1
+                    return others[cursor % len(others)]
+            return best
+
+    def record(
+        self, signature: Hashable, backend: str, batch_size: int, seconds: float
+    ) -> None:
+        """Record one measured execution of ``batch_size`` records."""
+        if batch_size < 1:
+            return
+        cls = min(batch_class(batch_size), batch_class(self.max_batch_size))
+        per_record = seconds / batch_size
+        with self._lock:
+            self._cell(signature, backend, cls).observe(per_record, self.smoothing)
+            names = self._candidates.setdefault(signature, [])
+            if backend not in names:
+                names.append(backend)
+
+    def _cell(self, signature: Hashable, backend: str, cls: int) -> _Cell:
+        key = (signature, backend, cls)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = _Cell()
+            self._cells[key] = cell
+        return cell
+
+    def _best_locked(
+        self, signature: Hashable, cls: int, candidates: Sequence[str]
+    ) -> str:
+        """Lowest per-record EMA in ``cls`` (nearest observed class as fallback)."""
+        best_name = candidates[0]
+        best_time = float("inf")
+        for name in candidates:
+            cell = self._cells.get((signature, name, cls))
+            if cell is None or cell.samples == 0:
+                cell = self._nearest_cell_locked(signature, name, cls)
+            if cell is not None and cell.samples and cell.ema < best_time:
+                best_time = cell.ema
+                best_name = name
+        return best_name
+
+    def _nearest_cell_locked(
+        self, signature: Hashable, backend: str, cls: int
+    ) -> Optional[_Cell]:
+        nearest: Optional[_Cell] = None
+        nearest_gap = 0
+        candidate = 1
+        while candidate <= batch_class(self.max_batch_size):
+            cell = self._cells.get((signature, backend, candidate))
+            if cell is not None and cell.samples:
+                gap = abs(candidate.bit_length() - cls.bit_length())
+                if nearest is None or gap < nearest_gap:
+                    nearest = cell
+                    nearest_gap = gap
+            candidate <<= 1
+        return nearest
+
+    # -- batch-size knee ---------------------------------------------------
+
+    def preferred_batch_cap(
+        self, signature: Hashable, default: Optional[int] = None
+    ) -> int:
+        """The signature's measured amortization knee, as a batch-size cap.
+
+        The knee is the smallest observed batch class whose best per-record
+        time is within ``knee_tolerance`` of the best time over *all*
+        observed classes: batching past it buys (almost) no amortization and
+        only adds queueing delay.  With fewer than two observed classes
+        there is nothing to compare yet, so the cap stays at ``default``
+        (the global maximum) to keep larger classes explorable.
+        """
+        ceiling = default if default is not None else self.max_batch_size
+        with self._lock:
+            times = self._class_times_locked(signature)
+            if len(times) < 2:
+                return ceiling
+            floor = min(times.values())
+            threshold = floor * (1.0 + self.knee_tolerance)
+            for cls in sorted(times):
+                if times[cls] <= threshold:
+                    return max(1, min(cls, ceiling))
+        return ceiling
+
+    def knee(self, signature: Hashable) -> Optional[int]:
+        """The knee batch class, or None before two classes are observed."""
+        with self._lock:
+            times = self._class_times_locked(signature)
+        if len(times) < 2:
+            return None
+        floor = min(times.values())
+        threshold = floor * (1.0 + self.knee_tolerance)
+        return min(cls for cls, seconds in times.items() if seconds <= threshold)
+
+    def _class_times_locked(self, signature: Hashable) -> Dict[int, float]:
+        """Best observed per-record EMA per batch class, across backends."""
+        times: Dict[int, float] = {}
+        for (sig, _backend, cls), cell in self._cells.items():
+            if sig != signature or not cell.samples:
+                continue
+            if cls not in times or cell.ema < times[cls]:
+                times[cls] = cell.ema
+        return times
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def forget(self, signature: Hashable) -> None:
+        """Drop a signature's state when its last plan unregisters."""
+        with self._lock:
+            for key in [key for key in self._cells if key[0] == signature]:
+                del self._cells[key]
+            for table in (
+                self._candidates,
+                self._selections,
+                self._explore_cursor,
+                self._probe_cursor,
+            ):
+                table.pop(signature, None)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cost-model state for ``stats()``: per-signature EMAs, knee, mode."""
+        with self._lock:
+            signatures: Dict[str, Any] = {}
+            for signature in sorted({key[0] for key in self._cells}, key=repr):
+                backends: Dict[str, Dict[str, Any]] = {}
+                for (sig, backend, cls), cell in sorted(
+                    self._cells.items(), key=lambda item: (item[0][1], item[0][2])
+                ):
+                    if sig != signature or not cell.samples:
+                        continue
+                    backends.setdefault(backend, {})[str(cls)] = {
+                        "per_record_us": cell.ema * 1e6,
+                        "samples": cell.samples,
+                    }
+                if not backends:
+                    continue
+                times = self._class_times_locked(signature)
+                knee = None
+                if len(times) >= 2:
+                    threshold = min(times.values()) * (1.0 + self.knee_tolerance)
+                    knee = min(c for c, t in times.items() if t <= threshold)
+                warmed = all(
+                    any(cell["samples"] >= self.warmup_samples for cell in cells.values())
+                    for cells in backends.values()
+                )
+                key = signature if isinstance(signature, str) else repr(signature)
+                signatures[key] = {
+                    "backends": backends,
+                    "selections": self._selections.get(signature, 0),
+                    "knee": knee,
+                    "mode": _EXPLOITING if warmed else _EXPLORING,
+                }
+            return {
+                "pinned": self.pinned,
+                "probe_interval": self.probe_interval,
+                "signatures": signatures,
+            }

@@ -86,6 +86,7 @@ def execute_plan_stage_batch(
     items: Sequence[Tuple[PlanStage, Any, Dict[Tuple[str, str], Any]]],
     materializer: Optional[SubPlanMaterializer] = None,
     pool: Optional[VectorPool] = None,
+    backend_policy: Optional[Any] = None,
 ) -> List[Any]:
     """The engine's one stage-execution path, for any batch size >= 1.
 
@@ -104,6 +105,12 @@ def execute_plan_stage_batch(
     external vectors into.  Records with a materialization-cache hit are
     excluded from the batched execution; misses are stored back, exactly as
     before.  Returns each request's final stage output, in ``items`` order.
+
+    ``backend_policy`` (a :class:`~repro.core.cost_model.CostModel`, or any
+    object with the same ``select``/``observe`` pair) chooses which kernel
+    backend the vectorized path runs and is fed the measured wall-clock of
+    the call; ``None`` -- the default -- runs the reference kernels through
+    the exact pre-backend code path.
     """
     if not items:
         return []
@@ -134,9 +141,18 @@ def execute_plan_stage_batch(
             # every record, bit-identical by construction.
             batch_outputs = [physical.execute(externals_per_item[misses[0]])]
         elif misses:
-            batch_outputs = physical.execute_batch(
-                [externals_per_item[index] for index in misses], scratch=buffer
-            )
+            miss_externals = [externals_per_item[index] for index in misses]
+            if backend_policy is None:
+                batch_outputs = physical.execute_batch(miss_externals, scratch=buffer)
+            else:
+                backend = backend_policy.select(physical, len(misses))
+                started = time.perf_counter()
+                batch_outputs = physical.execute_batch(
+                    miss_externals, scratch=buffer, backend=backend
+                )
+                backend_policy.observe(
+                    physical, backend, len(misses), time.perf_counter() - started
+                )
         else:
             batch_outputs = []
         for position, index in enumerate(misses):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.engines import (
     execute_plan_stage,
@@ -60,11 +60,13 @@ class Executor(threading.Thread):
         materializer: Optional[SubPlanMaterializer] = None,
         vector_pooling: bool = True,
         pool_entries: int = 8,
+        backend_policy: Optional[Any] = None,
     ):
         super().__init__(name=f"pretzel-executor-{executor_id}", daemon=True)
         self.executor_id = executor_id
         self.scheduler = scheduler
         self.materializer = materializer
+        self.backend_policy = backend_policy
         self.vector_pool = VectorPool(enabled=vector_pooling, entries_per_class=pool_entries)
         self.stages_executed = 0
         self.batches_executed = 0
@@ -133,7 +135,10 @@ class Executor(threading.Thread):
         started = time.perf_counter() if traced else 0.0
         try:
             outputs = execute_plan_stage_batch(
-                items, materializer=self.materializer, pool=self.vector_pool
+                items,
+                materializer=self.materializer,
+                pool=self.vector_pool,
+                backend_policy=self.backend_policy,
             )
         except BaseException:  # noqa: BLE001 - re-run members to isolate the fault
             for event in batch.events:
@@ -169,6 +174,7 @@ class ExecutorPool:
         materializer: Optional[SubPlanMaterializer] = None,
         vector_pooling: bool = True,
         pool_entries: int = 8,
+        backend_policy: Optional[Any] = None,
     ):
         if num_executors < 1:
             raise ValueError("need at least one executor")
@@ -180,6 +186,7 @@ class ExecutorPool:
                 materializer=materializer,
                 vector_pooling=vector_pooling,
                 pool_entries=pool_entries,
+                backend_policy=backend_policy,
             )
             for index in range(num_executors)
         ]

@@ -322,6 +322,7 @@ class Scheduler:
         max_stage_batch_size: int = 16,
         stage_batch_policy: str = "fixed",
         shards: int = 1,
+        cost_model: Optional[Any] = None,
     ) -> None:
         if max_stage_batch_size < 1:
             raise ValueError("max_stage_batch_size must be >= 1")
@@ -333,7 +334,10 @@ class Scheduler:
         self.shards = shards
         self.batching = StageBatchTelemetry()
         self.batch_sizer = make_batch_sizer(
-            stage_batch_policy, max_stage_batch_size, telemetry=self.batching
+            stage_batch_policy,
+            max_stage_batch_size,
+            telemetry=self.batching,
+            cost_model=cost_model,
         )
         self._low = [_Stripe("scheduler.low") for _ in range(shards)]
         self._high = [_Stripe("scheduler.high") for _ in range(shards)]

@@ -1,0 +1,178 @@
+"""Pluggable kernel backends: alternative ``transform_batch`` implementations.
+
+PR 5 made ``transform_batch(ColumnBatch) -> ColumnBatch`` the device
+boundary: every operator family ships a numpy *reference* kernel that is the
+correctness contract (bit-equal to the scalar ``transform``, with a tight
+relative-tolerance carve-out for families whose vectorization reorders
+floating-point reductions).  This package makes that boundary pluggable: a
+:class:`KernelBackend` is a named set of alternative kernels, registered per
+operator family, that the runtime may substitute for the reference kernel on
+the batched path when a per-stage cost model (:mod:`repro.core.cost_model`)
+measures it to be faster.
+
+Contract
+--------
+* A kernel is a plain function ``fn(operator, values) -> ColumnBatch`` with
+  exactly the semantics of ``operator.transform_batch(values)``.  Kernels
+  must accept anything ``as_column_batch`` accepts and may fall back to the
+  operator's own ``transform_batch`` for input shapes they do not accelerate
+  (e.g. a rows-only batch that cannot be densified).
+* Every registered kernel must pass the batch-vs-scalar oracle in
+  ``tests/operators/test_batch_equivalence.py``.  Kernels registered with
+  ``exact=True`` are held to bit-equality; ``exact=False`` marks the same
+  reduction-reordering carve-out the reference kernels already use (one
+  matmul instead of per-record dots sums in a different order).
+* The ``"reference"`` backend is implicit: it is every operator's own
+  ``transform_batch`` and is always available for every family.  Backends
+  never appear on the scalar path -- ``PhysicalStage.execute`` and the
+  request-response engine are untouched by construction.
+
+Backends self-register at import time (the builtin modules are imported at
+the bottom of this file); ``available`` lets a backend that needs an optional
+dependency (numba) register its kernels while staying invisible to dispatch
+when the dependency is absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.operators.batch import ColumnBatch
+
+__all__ = [
+    "REFERENCE_BACKEND",
+    "KernelBackend",
+    "KernelSpec",
+    "register_backend",
+    "register_kernel",
+    "backend",
+    "backend_names",
+    "all_backend_names",
+    "kernel_for",
+    "backends_for_family",
+    "registered_kernels",
+]
+
+#: name of the implicit backend: the operator's own ``transform_batch``.
+REFERENCE_BACKEND = "reference"
+
+#: a kernel: ``fn(operator, values) -> ColumnBatch``.
+Kernel = Callable[[Any, Any], ColumnBatch]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered kernel: which family it serves, under which backend."""
+
+    family: str
+    backend: str
+    fn: Kernel
+    #: True when the kernel is bit-equal to the scalar oracle; False marks
+    #: the reduction-reordering tolerance carve-out (same as the PR 5 oracle).
+    exact: bool = True
+
+
+@dataclass
+class KernelBackend:
+    """A named set of alternative kernels, keyed by operator family name."""
+
+    name: str
+    description: str = ""
+    #: availability gate -- False for backends whose optional dependency is
+    #: absent (their kernels stay registered but are never dispatched).
+    available: bool = True
+    kernels: Dict[str, KernelSpec] = field(default_factory=dict)
+
+    def kernel(self, family: str) -> Optional[KernelSpec]:
+        return self.kernels.get(family)
+
+    def families(self) -> List[str]:
+        return sorted(self.kernels)
+
+
+#: the process-wide registry; insertion order is the exploration order the
+#: cost model probes backends in.
+_BACKENDS: Dict[str, KernelBackend] = {}
+
+
+def register_backend(
+    name: str, description: str = "", available: bool = True
+) -> KernelBackend:
+    """Create (or fetch) a named backend.  Idempotent by name."""
+    if name == REFERENCE_BACKEND:
+        raise ValueError("'reference' is the implicit backend; it cannot be registered")
+    entry = _BACKENDS.get(name)
+    if entry is None:
+        entry = KernelBackend(name=name, description=description, available=available)
+        _BACKENDS[name] = entry
+    return entry
+
+
+def register_kernel(
+    family: str, backend_name: str, exact: bool = True
+) -> Callable[[Kernel], Kernel]:
+    """Decorator registering ``fn(operator, values)`` for an operator family."""
+
+    def decorate(fn: Kernel) -> Kernel:
+        entry = _BACKENDS.get(backend_name)
+        if entry is None:
+            entry = register_backend(backend_name)
+        if family in entry.kernels:
+            raise ValueError(
+                f"backend {backend_name!r} already has a kernel for family {family!r}"
+            )
+        entry.kernels[family] = KernelSpec(
+            family=family, backend=backend_name, fn=fn, exact=exact
+        )
+        return fn
+
+    return decorate
+
+
+def backend(name: str) -> Optional[KernelBackend]:
+    return _BACKENDS.get(name)
+
+
+def backend_names() -> List[str]:
+    """Names of the *available* registered backends (reference excluded)."""
+    return [name for name, entry in _BACKENDS.items() if entry.available]
+
+
+def all_backend_names() -> List[str]:
+    """Every registered backend name, available or not (reference excluded)."""
+    return list(_BACKENDS)
+
+
+def kernel_for(family: str, backend_name: str) -> Optional[KernelSpec]:
+    """The kernel serving ``family`` under ``backend_name``, if registered."""
+    entry = _BACKENDS.get(backend_name)
+    if entry is None:
+        return None
+    return entry.kernels.get(family)
+
+
+def backends_for_family(family: str) -> List[str]:
+    """Available backend names with a kernel for ``family`` (reference first)."""
+    names = [REFERENCE_BACKEND]
+    for name, entry in _BACKENDS.items():
+        if entry.available and family in entry.kernels:
+            names.append(name)
+    return names
+
+
+def registered_kernels(include_unavailable: bool = True) -> List[KernelSpec]:
+    """Every registered kernel spec (the oracle's registry scan walks this)."""
+    specs: List[KernelSpec] = []
+    for entry in _BACKENDS.values():
+        if not include_unavailable and not entry.available:
+            continue
+        specs.extend(entry.kernels[family] for family in sorted(entry.kernels))
+    return specs
+
+
+# Builtin backends self-register on import.  Imported last so the registry
+# API above exists when they do.
+from repro.operators.backends import gemm as _gemm  # noqa: E402,F401
+from repro.operators.backends import jit as _jit  # noqa: E402,F401
+from repro.operators.backends import trees as _trees  # noqa: E402,F401

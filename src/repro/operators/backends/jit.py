@@ -1,0 +1,101 @@
+"""The optional ``numba`` backend: JIT-compiled ensemble traversal.
+
+Tree traversal is branchy gather/compare work that numba compiles to a tight
+per-record loop with no intermediate arrays at all -- typically ahead of even
+the fused numpy arena on small batches, where the level-order passes still
+pay a handful of numpy dispatches per tree level.
+
+The backend registers unconditionally so the registry (and the oracle's
+registry scan) always sees it, but it is marked unavailable when numba is not
+importable: dispatch, the cost model and the batch sweep all skip it, and the
+equivalence oracle skips (not fails) its cases.  Nothing in this repository
+depends on numba being installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.operators.backends import register_backend, register_kernel
+from repro.operators.backends.trees import _arena_of, _ensemble_matrix
+from repro.operators.batch import ColumnBatch
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the import is the availability probe
+    numba = None
+    HAVE_NUMBA = False
+
+register_backend(
+    "numba",
+    description="JIT-compiled whole-ensemble traversal (requires numba)",
+    available=HAVE_NUMBA,
+)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def _jit_leaves(matrix, feature, threshold, left, right, roots, out):
+        n_records = matrix.shape[0]
+        n_trees = roots.shape[0]
+        for record in range(n_records):
+            for position in range(n_trees):
+                node = roots[position]
+                while left[node] != -1:
+                    if matrix[record, feature[node]] <= threshold[node]:
+                        node = left[node]
+                    else:
+                        node = right[node]
+                out[record, position] = node
+
+    def _ensemble_leaves_jit(operator: Any, matrix: np.ndarray) -> np.ndarray:
+        arena = _arena_of(operator, operator.trees)
+        out = np.empty((matrix.shape[0], arena.roots.shape[0]), dtype=np.int64)
+        _jit_leaves(
+            np.ascontiguousarray(matrix),
+            arena.feature,
+            arena.threshold,
+            arena.left,
+            arena.right,
+            arena.roots,
+            out,
+        )
+        return arena, out
+
+else:
+
+    def _ensemble_leaves_jit(operator: Any, matrix: np.ndarray):
+        raise RuntimeError("numba backend selected but numba is not installed")
+
+
+@register_kernel("RandomForest", "numba", exact=False)
+def random_forest_numba(operator: Any, values: Any) -> ColumnBatch:
+    """Forest mean from the JIT traversal (same comparisons, same leaves)."""
+    if not operator.trees:
+        raise RuntimeError("RandomForest used before fit()")
+    matrix, batch = _ensemble_matrix(operator, values)
+    if not batch:
+        return ColumnBatch.from_scalars(np.empty(0, dtype=np.float64))
+    if matrix is None:
+        return operator.transform_batch(batch)
+    arena, leaves = _ensemble_leaves_jit(operator, matrix)
+    return ColumnBatch.from_scalars(np.mean(arena.value[leaves], axis=1))
+
+
+@register_kernel("TreeEnsembleClassifier", "numba")
+def tree_ensemble_classifier_numba(operator: Any, values: Any) -> ColumnBatch:
+    """Per-class score columns from the JIT traversal (bit-equal)."""
+    if not operator.trees:
+        raise RuntimeError("TreeEnsembleClassifier used before fit()")
+    matrix, batch = _ensemble_matrix(operator, values)
+    if not batch:
+        return ColumnBatch.from_rows([])
+    if matrix is None:
+        return operator.transform_batch(batch)
+    arena, leaves = _ensemble_leaves_jit(operator, matrix)
+    return ColumnBatch.from_matrix(arena.value[leaves])

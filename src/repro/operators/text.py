@@ -50,6 +50,57 @@ class Tokenizer(Operator):
             text = text.lower()
         return self._compiled.findall(text)
 
+    supports_batch = True
+
+    def transform_batch(self, values: Any) -> ColumnBatch:
+        """Tokenize a whole batch with one shared regex scan.
+
+        The batch's texts are joined with a NUL sentinel and matched in a
+        *single* ``finditer`` pass; match offsets are bucketed back to their
+        records with one ``searchsorted`` over the cumulative record
+        boundaries.  This is the same shared-assembly idiom the n-gram
+        featurizers use: the per-record Python overhead (a method call, a
+        findall set-up, a result list) is paid once per batch instead of once
+        per record.  The fused scan is bit-equal to the scalar path because
+        the default token pattern is a character class that can never match
+        the sentinel, so no token spans a record boundary; custom patterns
+        (or grouped ones, whose ``findall`` semantics differ) keep the exact
+        per-record scan.
+        """
+        batch = as_column_batch(values)
+        rows = batch.rows
+        if not rows:
+            return ColumnBatch.from_rows([])
+        if self.pattern != _TOKEN_PATTERN.pattern or self._compiled.groups:
+            return ColumnBatch.from_rows([self.transform(value) for value in rows])
+        texts: List[str] = []
+        for value in rows:
+            text = "" if value is None else str(value)
+            if self.lowercase:
+                text = text.lower()
+            texts.append(text)
+        # boundaries[i] = first joined-string offset past record i (its
+        # sentinel included), so searchsorted(right) maps offset -> record.
+        boundaries = np.cumsum(np.fromiter(
+            (len(text) + 1 for text in texts), dtype=np.int64, count=len(texts)
+        ))
+        tokens: List[str] = []
+        positions: List[int] = []
+        for match in self._compiled.finditer("\x00".join(texts)):
+            tokens.append(match.group())
+            positions.append(match.start())
+        record_of = np.searchsorted(
+            boundaries, np.asarray(positions, dtype=np.int64), side="right"
+        )
+        counts = np.bincount(record_of, minlength=len(texts))
+        outputs: List[List[str]] = []
+        position = 0
+        for count in counts:
+            end = position + int(count)
+            outputs.append(tokens[position:end])
+            position = end
+        return ColumnBatch.from_rows(outputs)
+
     def parameters(self) -> List[Parameter]:
         return [Parameter("tokenizer.config", {"lowercase": self.lowercase, "pattern": self.pattern})]
 

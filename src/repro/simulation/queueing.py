@@ -34,7 +34,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batch_policy import AdaptiveBatchSizer
+from repro.core.batch_policy import AdaptiveBatchSizer, CostModelBatchSizer
+from repro.core.cost_model import CostModel
 from repro.telemetry.batching import StageBatchTelemetry
 
 __all__ = [
@@ -321,20 +322,31 @@ def simulate_stage_scheduler(
     ``stage_batch_policy="adaptive"`` sizes each pull with the *same*
     :class:`~repro.core.batch_policy.AdaptiveBatchSizer` the real scheduler
     uses (fed by a private :class:`StageBatchTelemetry`), instead of always
-    allowing ``max_stage_batch`` members.
+    allowing ``max_stage_batch`` members.  ``stage_batch_policy="cost-model"``
+    runs the *same* :class:`~repro.core.batch_policy.CostModelBatchSizer` the
+    real scheduler uses, backed by a private
+    :class:`~repro.core.cost_model.CostModel` fed online from every simulated
+    service span -- each signature's cap converges to its measured
+    amortization knee exactly as on the real engine.
     """
     if n_cores < 1:
         raise ValueError("need at least one core")
-    if stage_batch_policy not in ("fixed", "adaptive"):
+    if stage_batch_policy not in ("fixed", "adaptive", "cost-model"):
         raise ValueError(f"unknown stage_batch_policy {stage_batch_policy!r}")
     reservations = reservations or {}
     for core in reservations.values():
         if not 0 <= core < n_cores:
             raise ValueError(f"reserved core {core} out of range for {n_cores} cores")
     coalescing = max_stage_batch is not None and max_stage_batch > 1
-    sizer: Optional[AdaptiveBatchSizer] = None
+    sizer = None
+    cost_model: Optional[CostModel] = None
     if coalescing and stage_batch_policy == "adaptive":
         sizer = AdaptiveBatchSizer(max_stage_batch, telemetry=StageBatchTelemetry())
+    elif coalescing and stage_batch_policy == "cost-model":
+        cost_model = CostModel(max_batch_size=max_stage_batch)
+        sizer = CostModelBatchSizer(
+            max_stage_batch, cost_model, telemetry=StageBatchTelemetry()
+        )
 
     pending = sorted(arrivals, key=lambda a: a.time)
     pending_index = 0
@@ -433,6 +445,10 @@ def simulate_stage_scheduler(
         service = (
             sum(member.stage_times[member.next_stage] for member in members) + event_overhead
         )
+        if cost_model is not None:
+            # Feed the knee estimator from the simulated span, exactly as the
+            # executors feed it measured wall-clock on the real engine.
+            cost_model.record(batch_key, "reference", len(members), service)
         finish = start + service
         core_free_at[core] = finish
         core_busy[core] += service

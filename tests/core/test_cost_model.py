@@ -1,0 +1,321 @@
+"""Deterministic tests for the per-stage cost model and its batch sizer.
+
+The CostModel is exercised directly (synthetic signatures, hand-fed
+observations) so the explore -> exploit -> re-probe lifecycle, the drift
+response and the knee computation are verified without any wall-clock
+dependence; the runtime-level tests then check the wiring (config knobs,
+stats gating, numba-absent fallback) on a real plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch_policy import (
+    AdaptiveBatchSizer,
+    CostModelBatchSizer,
+    clamp_batch_cap,
+    make_batch_sizer,
+)
+from repro.core.config import PretzelConfig
+from repro.core.cost_model import CostModel, batch_class
+from repro.core.runtime import PretzelRuntime
+from repro.mlnet.pipeline import Pipeline
+from repro.operators import backends as backend_registry
+from repro.operators import DecisionTree, MissingValueImputer, RandomForest
+
+
+SIG = "stage-sig"
+CANDIDATES = ["reference", "fused"]
+
+
+def _feed(model, signature, backend, batch_size, seconds, times=1):
+    for _ in range(times):
+        model.record(signature, backend, batch_size, seconds)
+
+
+class TestBatchClass:
+    def test_power_of_two_buckets(self):
+        assert [batch_class(n) for n in (1, 2, 3, 4, 5, 8, 9, 16)] == [
+            1, 2, 4, 4, 8, 8, 16, 16,
+        ]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            batch_class(0)
+
+
+class TestSelection:
+    def test_explores_round_robin_then_exploits_the_best(self):
+        model = CostModel(max_batch_size=16, warmup_samples=2, probe_interval=1000)
+        picks = []
+        for _ in range(4):
+            backend = model.choose(SIG, CANDIDATES, batch_size=8)
+            picks.append(backend)
+            # fused is measured 2x faster than reference
+            seconds = 8e-6 if backend == "reference" else 4e-6
+            model.record(SIG, backend, 8, seconds * 8)
+        # warm-up gave each candidate its two samples, round-robin
+        assert sorted(picks) == ["fused", "fused", "reference", "reference"]
+        assert all(
+            model.choose(SIG, CANDIDATES, batch_size=8) == "fused" for _ in range(20)
+        )
+
+    def test_periodic_reprobe_samples_a_non_best_backend(self):
+        model = CostModel(max_batch_size=16, warmup_samples=1, probe_interval=5)
+        for backend in CANDIDATES:
+            _feed(model, SIG, backend, 8, 1e-5 if backend == "fused" else 2e-5)
+        picks = [model.choose(SIG, CANDIDATES, batch_size=8) for _ in range(15)]
+        assert picks.count("reference") == len(picks) // 5
+        # the probes land exactly every probe_interval-th selection
+        assert all(pick == "fused" for i, pick in enumerate(picks) if (i + 1) % 5)
+
+    def test_reprobe_notices_drift_and_dethrones_a_stale_winner(self):
+        model = CostModel(
+            max_batch_size=16, warmup_samples=1, probe_interval=3, smoothing=1.0
+        )
+        _feed(model, SIG, "fused", 8, 8e-6)
+        _feed(model, SIG, "reference", 8, 16e-6)
+        assert model.choose(SIG, CANDIDATES, 8) == "fused"
+        # the workload drifts: reference becomes much faster; only the
+        # periodic probes run it, but each probe feeds the new measurement
+        flipped = None
+        for round_index in range(9):
+            backend = model.choose(SIG, CANDIDATES, 8)
+            seconds = 2e-6 if backend == "reference" else 8e-6
+            model.record(SIG, backend, 8, seconds * 8)
+            if backend == "reference" and flipped is None and round_index > 0:
+                flipped = round_index
+        assert model.choose(SIG, CANDIDATES, 8) == "reference"
+
+    def test_single_candidate_short_circuits(self):
+        model = CostModel()
+        assert model.choose(SIG, ["reference"], 4) == "reference"
+        assert model.choose(SIG, [], 4) == "reference"
+
+    def test_pinned_backend_wins_when_available(self):
+        model = CostModel(pinned="fused")
+        assert model.choose(SIG, CANDIDATES, 4) == "fused"
+
+    def test_pinned_backend_falls_back_to_reference_when_absent(self):
+        # kernel_backend="numba" on a host without numba: the stage's
+        # available_backends() never lists numba, so dispatch stays reference.
+        model = CostModel(pinned="numba")
+        assert model.choose(SIG, CANDIDATES, 4) == "reference"
+
+    def test_observations_still_accumulate_under_pinning(self):
+        model = CostModel(pinned="reference")
+        _feed(model, SIG, "reference", 1, 1e-5)
+        _feed(model, SIG, "reference", 16, 2e-5)
+        snapshot = model.snapshot()
+        assert snapshot["pinned"] == "reference"
+        assert snapshot["signatures"][SIG]["backends"]["reference"].keys() == {"1", "16"}
+
+
+class TestKnee:
+    def test_knee_is_the_smallest_class_near_the_floor(self):
+        model = CostModel(max_batch_size=16, knee_tolerance=0.10)
+        # classic amortization curve (per-record): 10us, 6us, 4.1us, 4us, 3.9us
+        for cls, per_record in [(1, 10e-6), (2, 6e-6), (4, 4.1e-6), (8, 4e-6), (16, 3.9e-6)]:
+            _feed(model, SIG, "reference", cls, per_record * cls)
+        assert model.knee(SIG) == 4
+        assert model.preferred_batch_cap(SIG, default=16) == 4
+
+    def test_flat_curve_knees_at_the_smallest_class(self):
+        model = CostModel(max_batch_size=16)
+        for cls in (1, 2, 4, 8, 16):
+            _feed(model, SIG, "reference", cls, 5e-6 * cls)
+        assert model.knee(SIG) == 1
+
+    def test_under_two_observed_classes_keeps_the_ceiling(self):
+        model = CostModel(max_batch_size=16)
+        assert model.knee(SIG) is None
+        assert model.preferred_batch_cap(SIG, default=16) == 16
+        _feed(model, SIG, "reference", 8, 1e-5)
+        assert model.preferred_batch_cap(SIG, default=16) == 16
+
+    def test_forget_drops_all_signature_state(self):
+        model = CostModel()
+        for cls in (1, 8):
+            _feed(model, SIG, "reference", cls, 1e-5)
+        model.choose(SIG, CANDIDATES, 8)
+        model.forget(SIG)
+        assert model.snapshot()["signatures"] == {}
+        assert model.knee(SIG) is None
+
+
+class TestClampPath:
+    def test_clamp_applies_signature_ceiling_below_the_global_max(self):
+        assert clamp_batch_cap(16, 16, ceiling=None) == 16
+        assert clamp_batch_cap(16, 16, ceiling=4) == 4
+        assert clamp_batch_cap(2, 16, ceiling=4) == 2
+        assert clamp_batch_cap(100, 16, ceiling=64) == 16
+        assert clamp_batch_cap(0, 16, ceiling=4, min_batch_size=2) == 2
+        # a ceiling below the minimum wins, but never drops under 1
+        assert clamp_batch_cap(8, 16, ceiling=1, min_batch_size=2) == 1
+
+    def test_adaptive_sizer_respects_per_signature_caps(self):
+        """Satellite regression: the adaptive sizer's saturation doubling used
+        to clamp only at the global maximum; a per-signature ceiling must hold
+        through the same clamp path the cost-model sizer uses."""
+        sizer = AdaptiveBatchSizer(max_batch_size=16, smoothing=1.0)
+        sizer.set_signature_cap("capped", 4)
+        assert sizer.batch_cap("capped", backlog=100) == 4
+        assert sizer.batch_cap("uncapped", backlog=100) == 16
+        sizer.set_signature_cap("capped", None)
+        assert sizer.batch_cap("capped", backlog=100) == 16
+
+    def test_adaptive_saturation_doubling_stays_under_the_ceiling(self):
+        class Saturated:
+            def mean_batch_size(self, signature=None):
+                return 1e9
+
+        sizer = AdaptiveBatchSizer(
+            max_batch_size=16, telemetry=Saturated(), smoothing=1.0
+        )
+        sizer.set_signature_cap("capped", 3)
+        assert sizer.batch_cap("capped", backlog=1) <= 3
+
+    def test_adaptive_forget_drops_the_signature_cap(self):
+        sizer = AdaptiveBatchSizer(max_batch_size=16)
+        sizer.set_signature_cap("sig", 2)
+        sizer.forget("sig")
+        assert "sig" not in sizer.signature_caps
+
+    def test_cost_model_sizer_caps_at_the_measured_knee(self):
+        model = CostModel(max_batch_size=16)
+        for cls, per_record in [(1, 10e-6), (2, 6e-6), (4, 4e-6), (8, 3.95e-6), (16, 3.9e-6)]:
+            _feed(model, SIG, "reference", cls, per_record * cls)
+        sizer = CostModelBatchSizer(16, model)
+        assert sizer.batch_cap(SIG, backlog=100) == 4
+        assert sizer.batch_cap("unmeasured", backlog=100) == 16
+
+    def test_make_batch_sizer_policies(self):
+        assert isinstance(make_batch_sizer("fixed", 8), object)
+        model = CostModel()
+        sizer = make_batch_sizer("cost-model", 8, cost_model=model)
+        assert isinstance(sizer, CostModelBatchSizer)
+        assert sizer.cost_model is model
+        with pytest.raises(ValueError, match="requires a cost model"):
+            make_batch_sizer("cost-model", 8)
+        with pytest.raises(ValueError, match="cost-model"):
+            make_batch_sizer("bogus", 8)
+
+
+def _tree_pipeline(seed=0):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(120, 6))
+    labels = rng.normal(size=120)
+    pipeline = Pipeline("cm-trees")
+    pipeline.add("impute", MissingValueImputer().fit(list(matrix)), ["input"])
+    pipeline.add(
+        "forest",
+        RandomForest(n_trees=4, max_depth=4, seed=3).fit(list(matrix), labels),
+        ["impute"],
+    )
+    return pipeline, [row for row in rng.normal(size=(40, 6))]
+
+
+class TestRuntimeWiring:
+    def test_default_config_builds_no_cost_model(self):
+        runtime = PretzelRuntime(PretzelConfig())
+        try:
+            assert runtime.cost_model is None
+            assert "cost_model" not in runtime.stats()
+        finally:
+            runtime.shutdown()
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown kernel_backend"):
+            PretzelRuntime(PretzelConfig(kernel_backend="not-a-backend"))
+
+    def test_unavailable_backend_serves_reference_results(self):
+        """kernel_backend="numba" without numba installed must keep serving
+        (reference fallback), not crash -- and must match reference output."""
+        pipeline, records = _tree_pipeline()
+        reference = PretzelRuntime(PretzelConfig(enable_stage_batching=True))
+        pinned = PretzelRuntime(
+            PretzelConfig(enable_stage_batching=True, kernel_backend="numba")
+        )
+        try:
+            ref_id = reference.register(pipeline)
+            pin_id = pinned.register(pipeline)
+            expected = reference.predict_batch(ref_id, records, timeout=30.0)
+            actual = pinned.predict_batch(pin_id, records, timeout=30.0)
+            assert actual == pytest.approx(expected)
+        finally:
+            reference.shutdown()
+            pinned.shutdown()
+
+    def test_cost_model_dispatch_matches_reference_results(self):
+        pipeline, records = _tree_pipeline(seed=7)
+        reference = PretzelRuntime(PretzelConfig(enable_stage_batching=True))
+        costed = PretzelRuntime(
+            PretzelConfig(
+                enable_stage_batching=True,
+                kernel_backend="cost-model",
+                stage_batch_policy="cost-model",
+                backend_probe_interval=8,
+            )
+        )
+        try:
+            ref_id = reference.register(pipeline)
+            cm_id = costed.register(pipeline)
+            expected = reference.predict_batch(ref_id, records, timeout=30.0)
+            actual = costed.predict_batch(cm_id, records, timeout=30.0)
+            assert actual == pytest.approx(expected)
+            stats = costed.stats()
+            assert stats["cost_model"]["pinned"] is None
+            assert stats["cost_model"]["probe_interval"] == 8
+        finally:
+            reference.shutdown()
+            costed.shutdown()
+
+    def test_unregister_forgets_cost_model_state(self):
+        pipeline, records = _tree_pipeline(seed=11)
+        runtime = PretzelRuntime(
+            PretzelConfig(enable_stage_batching=True, kernel_backend="fused")
+        )
+        try:
+            plan_id = runtime.register(pipeline)
+            runtime.predict_batch(plan_id, records, timeout=30.0)
+            runtime.unregister(plan_id)
+            assert runtime.stats()["cost_model"]["signatures"] == {}
+        finally:
+            runtime.shutdown()
+
+    def test_available_backends_lists_registered_families_only(self):
+        pipeline, _records = _tree_pipeline(seed=13)
+        runtime = PretzelRuntime(PretzelConfig())
+        try:
+            plan_id = runtime.register(pipeline)
+            plan = runtime.plan(plan_id)
+            backends = set()
+            for stage in plan.stages:
+                backends.update(stage.physical.available_backends())
+            assert "reference" in backends
+            # the forest stage has a fused kernel for every operator position
+            # only if each operator family registered one; either way numba is
+            # unavailable in CI and must never be listed
+            assert "numba" not in backends
+        finally:
+            runtime.shutdown()
+
+
+class TestBackendRegistryContract:
+    def test_reference_cannot_be_registered(self):
+        with pytest.raises(ValueError):
+            backend_registry.register_backend("reference")
+
+    def test_duplicate_kernel_registration_fails(self):
+        with pytest.raises(ValueError, match="already has a kernel"):
+            backend_registry.register_kernel("RandomForest", "fused")(lambda op, v: v)
+
+    def test_decision_tree_stage_has_no_fused_kernel_and_stays_reference(self):
+        # DecisionTree (single tree) deliberately has no fused kernel: a
+        # physical stage containing it only offers the reference backend.
+        model = CostModel(pinned="fused")
+        assert model.choose("sig", ["reference"], 4) == "reference"
+        assert backend_registry.kernel_for("DecisionTree", "fused") is None
+        assert DecisionTree.supports_batch
